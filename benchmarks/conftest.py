@@ -1,0 +1,31 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one paper figure's observable result (the
+"rows/series" of DESIGN.md's experiment index), prints it, and times the
+end-to-end experiment with pytest-benchmark.  Absolute times are ours
+(this is a simulator); the *shape assertions* inside each bench are the
+reproduction claim.
+"""
+
+import pytest
+
+from repro.core.testbed import TestbedConfig, build_testbed
+
+
+def report(title, lines):
+    """Print an experiment's result block (shown with pytest -s or in
+    the benchmark run's captured output)."""
+    print()
+    print(f"=== {title} ===")
+    for line in lines:
+        print(f"  {line}")
+
+
+@pytest.fixture
+def testbed():
+    return build_testbed(TestbedConfig())
+
+
+@pytest.fixture
+def testbed_fig5():
+    return build_testbed(TestbedConfig(poison_target="test-ipv6.com"))

@@ -1,0 +1,65 @@
+"""E2 (figure 2): the Echolink IPv4-literal app and the census it skews.
+E10 (figure 10): Windows 10's RDNSS preference shields it from poison.
+"""
+
+from repro.dns.rdata import RRType
+from repro.clients.apps import EcholinkApp
+from repro.clients.profiles import WINDOWS_10, WINDOWS_11
+from repro.core.testbed import SC24_WEB_V4, TestbedConfig, build_testbed
+
+from benchmarks.conftest import report
+
+
+def run_fig2():
+    testbed = build_testbed(TestbedConfig())
+    testbed.sc24_web.tcp_listen(5200, lambda conn: conn.close())
+    laptop = testbed.add_client(WINDOWS_10, "echolink-laptop")
+    app = EcholinkApp([SC24_WEB_V4], port=5200)
+    result = app.connect(laptop)
+    census = testbed.census()
+    return result, census
+
+
+def test_fig2_echolink(benchmark):
+    result, census = benchmark(run_fig2)
+    report(
+        "E2 / Figure 2 — IPv4 literals on the v6 SSID",
+        [
+            f"Echolink connect over {result.family}: {result.connected}",
+            f"naive 'v6 SSID' client count:    {census.naive_ipv6_only_count()}",
+            f"accurate IPv6-only client count: {census.accurate_ipv6_only_count()}",
+        ],
+    )
+    assert result.connected and result.family == "ipv4"
+    assert census.naive_ipv6_only_count() == 1
+    assert census.accurate_ipv6_only_count() == 0
+
+
+def run_fig10():
+    testbed = build_testbed(TestbedConfig())
+    w10 = testbed.add_client(WINDOWS_10, "w10")
+    w11 = testbed.add_client(WINDOWS_11, "w11")
+    w10_result = w10.resolver.resolve("vpn.anl.gov", RRType.A)
+    after_w10 = testbed.poisoner.poison_answers
+    w11_result = w11.resolver.resolve("vpn.anl.gov", RRType.A)
+    after_w11 = testbed.poisoner.poison_answers
+    return testbed, w10, w11, w10_result, w11_result, after_w10, after_w11
+
+
+def test_fig10_rdnss_pref(benchmark):
+    testbed, w10, w11, w10_result, w11_result, after_w10, after_w11 = benchmark(run_fig10)
+    report(
+        "E10 / Figure 10 — resolver preference decides poison exposure",
+        [
+            f"Windows 10 resolver order: {[str(s) for s in w10.dns_server_order()]}",
+            f"Windows 10 A(vpn.anl.gov) = {w10_result.records[0].rdata} "
+            f"(poison answers so far: {after_w10})",
+            f"Windows 11 resolver order: {[str(s) for s in w11.dns_server_order()]}",
+            f"Windows 11 A(vpn.anl.gov) = {w11_result.records[0].rdata} "
+            f"(poison answers so far: {after_w11})",
+        ],
+    )
+    assert after_w10 == 0  # W10 shielded by RDNSS preference
+    assert after_w11 > 0  # W11's DHCP-first preference hits the poison
+    assert str(w10_result.records[0].rdata) == "130.202.228.253"
+    assert str(w11_result.records[0].rdata) == "23.153.8.71"

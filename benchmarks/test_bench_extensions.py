@@ -1,0 +1,147 @@
+"""Extension experiments beyond the paper's figures (E17-E20):
+
+- E17: Happy-Eyeballs fallback — why dual-stack users don't *feel*
+  breakage even when one family's path dies;
+- E18: RFC 7050 prefix discovery under a network-specific NAT64 prefix;
+- E19: the NOC's DNS-log view — finding IPv4-only clients server-side;
+- E20: the enhanced-mirror advisories (§VII future work).
+"""
+
+from repro.net.addresses import IPv4Address, IPv6Address, IPv6Network
+from repro.analysis.dnsstats import analyze_dns_logs
+from repro.clients.happy_eyeballs import happy_eyeballs_connect
+from repro.clients.profiles import MACOS, NINTENDO_SWITCH, WINDOWS_10, WINDOWS_XP
+from repro.core.advisor import advise
+from repro.core.scoring import score_rfc8925_aware
+from repro.core.testbed import TestbedConfig, build_testbed
+from repro.services.testipv6 import run_test_ipv6
+
+from benchmarks.conftest import report
+
+MIRROR_V4 = IPv4Address("216.218.228.115")
+MIRROR_V6 = IPv6Address("2001:470:1:18::115")
+
+
+def run_e17():
+    testbed = build_testbed(TestbedConfig())
+    client = testbed.add_client(WINDOWS_10, "w10")
+    healthy = happy_eyeballs_connect(client.host, [MIRROR_V6, MIRROR_V4], 80)
+    if healthy.connection:
+        healthy.connection.close()
+    # Blackhole forwarded v6 at the gateway and race again.
+    original = testbed.gateway.lan_iface.on_ipv6
+
+    def blackhole(packet):
+        if packet.dst in testbed.gateway.lan_iface.ipv6_addresses:
+            return original(packet)
+        return None
+
+    testbed.gateway.lan_iface.on_ipv6 = blackhole
+    broken = happy_eyeballs_connect(client.host, [MIRROR_V6, MIRROR_V4], 80)
+    if broken.connection:
+        broken.connection.close()
+    # Sequential fallback for comparison (what a non-HE app suffers).
+    testbed2 = build_testbed(TestbedConfig())
+    client2 = testbed2.add_client(WINDOWS_10, "w10b")
+    original2 = testbed2.gateway.lan_iface.on_ipv6
+
+    def blackhole2(packet):
+        if packet.dst in testbed2.gateway.lan_iface.ipv6_addresses:
+            return original2(packet)
+        return None
+
+    testbed2.gateway.lan_iface.on_ipv6 = blackhole2
+    t0 = testbed2.engine.now
+    outcome = client2.fetch("test-ipv6.com", happy_eyeballs=False)
+    sequential_elapsed = testbed2.engine.now - t0
+    return healthy, broken, outcome, sequential_elapsed
+
+
+def test_e17_happy_eyeballs(benchmark):
+    healthy, broken, sequential, sequential_elapsed = benchmark.pedantic(
+        run_e17, rounds=3, iterations=1
+    )
+    report(
+        "E17 — Happy-Eyeballs (RFC 8305) fallback",
+        [
+            f"healthy network: winner={healthy.winner} in {healthy.elapsed * 1000:.0f} ms "
+            f"(v4 never attempted: {len(healthy.attempts) == 1})",
+            f"v6 blackholed:   winner={broken.winner} in {broken.elapsed * 1000:.0f} ms "
+            f"(one stagger delay, not a TCP timeout)",
+            f"sequential fallback for comparison: {sequential_elapsed * 1000:.0f} ms "
+            f"(landed {sequential.landed_on})",
+        ],
+    )
+    assert healthy.winner == MIRROR_V6
+    assert broken.winner == MIRROR_V4
+    assert broken.elapsed < 1.0 < sequential_elapsed
+
+
+def run_e18():
+    custom = IPv6Network("2001:db8:64::/96")
+    testbed = build_testbed(TestbedConfig(nat64_prefix=custom))
+    client = testbed.add_client(MACOS, "mac")
+    outcome = client.fetch("sc24.supercomputing.org")
+    return custom, client, outcome
+
+
+def test_e18_prefix_discovery(benchmark):
+    custom, client, outcome = benchmark(run_e18)
+    report(
+        "E18 — RFC 7050 discovery with a network-specific NAT64 prefix",
+        [
+            f"operator prefix: {custom}",
+            f"client discovered: {client.nat64_prefix_discovered} (via ipv4only.arpa AAAA)",
+            f"CLAT configured for: {client.host.clat.config.nat64_prefix}",
+            f"browse via {outcome.address} -> {outcome.landed_on}",
+        ],
+    )
+    assert client.nat64_prefix_discovered == custom
+    assert outcome.ok and outcome.address in custom
+
+
+def run_e19():
+    testbed = build_testbed(TestbedConfig())
+    nsw = testbed.add_client(NINTENDO_SWITCH, "nsw")
+    xp = testbed.add_client(WINDOWS_XP, "xp")
+    w10 = testbed.add_client(WINDOWS_10, "w10")
+    for client in (nsw, xp, w10):
+        client.fetch("sc24.supercomputing.org")
+        client.fetch("ip6.me")
+    analysis = analyze_dns_logs([testbed.poisoner, testbed.dns64])
+    return testbed, nsw, analysis
+
+
+def test_e19_noc_dns_view(benchmark):
+    testbed, nsw, analysis = benchmark(run_e19)
+    report("E19 — NOC view: IPv4-only clients from DNS logs", analysis.table().split("\n"))
+    suspects = {p.client for p in analysis.ipv4_only_suspects}
+    assert str(nsw.host.ipv4_config.address) in suspects
+    assert len(suspects) == 1  # only the genuinely v4-only device
+
+
+def run_e20():
+    testbed = build_testbed(TestbedConfig())
+    out = []
+    for profile, name in ((MACOS, "phone"), (WINDOWS_10, "laptop"), (NINTENDO_SWITCH, "console")):
+        client = testbed.add_client(profile, name)
+        rep = run_test_ipv6(client, testbed.mirror)
+        score = score_rfc8925_aware(rep, testbed.scoring_context())
+        out.append(advise(rep, score))
+    return out
+
+
+def test_e20_advisories(benchmark):
+    advisories = benchmark(run_e20)
+    lines = []
+    for advisory in advisories:
+        lines.append(f"{advisory.client_name}: {advisory.score}")
+        for item in sorted(advisory.advice, key=lambda a: a.severity):
+            lines.append(f"    -> {item.title}")
+        if not advisory.advice:
+            lines.append("    -> (no action needed)")
+    report("E20 — enhanced-mirror advisories (§VII)", lines)
+    by_name = {a.client_name: a for a in advisories}
+    assert not by_name["phone"].advice
+    assert any("RFC 8925" in item.title for item in by_name["laptop"].advice)
+    assert any("no IPv6" in item.title for item in by_name["console"].advice)

@@ -1,0 +1,63 @@
+"""E3 (figure 3): the 5G gateway's RA quirks and the workaround."""
+
+from repro.net.addresses import IPv6Address
+from repro.dns.message import DnsMessage
+from repro.dns.rdata import RRType
+from repro.clients.profiles import LINUX
+from repro.core.testbed import PI_HEALTHY_V6, TestbedConfig, build_testbed
+
+from benchmarks.conftest import report
+
+
+def run_fig3():
+    """Observe the dead-RDNSS condition raw, then with the workaround."""
+    raw = build_testbed(
+        TestbedConfig(poisoned_dns=False, dhcp_snooping=False, switch_ra=False, option_108=False)
+    )
+    raw_client = raw.add_client(LINUX, "lin-raw")
+    query = DnsMessage.query("ip6.me", RRType.AAAA, ident=1).encode()
+    raw_rdnss = list(raw_client.host.slaac.rdnss)
+    raw_answer = raw_client.host.udp_exchange(raw_rdnss[0], 53, query, timeout=0.5)
+
+    fixed = build_testbed(TestbedConfig())
+    fixed_client = fixed.add_client(LINUX, "lin-fixed")
+    fixed_answer = fixed_client.host.udp_exchange(PI_HEALTHY_V6, 53, query, timeout=1.0)
+    default_router = fixed_client.host.slaac.default_router()
+    return raw_rdnss, raw_answer, fixed_answer, default_router, fixed
+
+
+def test_fig3_ra(benchmark):
+    raw_rdnss, raw_answer, fixed_answer, default_router, fixed = benchmark(run_fig3)
+    report(
+        "E3 / Figure 3 — RA from 5G gateway with ULA RDNSS",
+        [
+            f"gateway-advertised RDNSS: {', '.join(map(str, raw_rdnss))}",
+            f"query to {raw_rdnss[0]} without workaround: "
+            f"{'ANSWERED' if raw_answer else 'DEAD (timeout)'}",
+            f"query to fd00:976a::9 with switch-RA workaround: "
+            f"{'ANSWERED' if fixed_answer else 'dead'}",
+            f"default router after workaround: {default_router.address} "
+            f"(still the 5G gateway — LOW-preference RA did not usurp it)",
+        ],
+    )
+    assert raw_rdnss == [IPv6Address("fd00:976a::9"), IPv6Address("fd00:976a::10")]
+    assert raw_answer is None  # dead, as the paper observed
+    assert fixed_answer is not None  # resurrected at the Pi
+    assert default_router.address == fixed.gateway.lan_iface.link_local
+
+
+def run_reboot_rotation():
+    testbed = build_testbed(TestbedConfig())
+    prefixes = [testbed.gateway.gua_prefix]
+    for _ in range(3):
+        prefixes.append(testbed.gateway.reboot())
+    return prefixes
+
+
+def test_fig3_prefix_rotation(benchmark):
+    prefixes = benchmark(run_reboot_rotation)
+    report(
+        "E3b — GUA /64 rotation across gateway reboots",
+        [f"boot {i}: {p}" for i, p in enumerate(prefixes)],
+    )
+    assert len(set(prefixes)) == len(prefixes)

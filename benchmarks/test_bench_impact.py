@@ -1,0 +1,47 @@
+"""E15 (§IV prose): zero impact on RFC 8925 / dual-stack / v6-only
+clients — success parity and latency deltas with the intervention on
+and off."""
+
+from repro.clients.profiles import LINUX, MACOS, WINDOWS_10, WINDOWS_11_RFC8925
+from repro.core.testbed import TestbedConfig, build_testbed
+
+from benchmarks.conftest import report
+
+SITES = ("sc24.supercomputing.org", "ip6.me", "test-ipv6.com")
+PROFILES = (MACOS, WINDOWS_10, LINUX, WINDOWS_11_RFC8925)
+
+
+def run_impact():
+    rows = []
+    for profile in PROFILES:
+        with_poison = build_testbed(TestbedConfig(poisoned_dns=True))
+        without = build_testbed(TestbedConfig(poisoned_dns=False))
+        a = with_poison.add_client(profile, "dev")
+        b = without.add_client(profile, "dev")
+        for site in SITES:
+            t0 = with_poison.engine.now
+            oa = a.fetch(site)
+            ta = with_poison.engine.now - t0
+            t1 = without.engine.now
+            ob = b.fetch(site)
+            tb = without.engine.now - t1
+            rows.append((profile.name, site, oa, ta, ob, tb))
+    return rows
+
+
+def test_no_impact(benchmark):
+    rows = benchmark(run_impact)
+    lines = []
+    for name, site, oa, ta, ob, tb in rows:
+        delta_ms = (ta - tb) * 1000
+        lines.append(
+            f"{name:28s} {site:24s} poisoned={oa.landed_on or 'FAIL':24s} "
+            f"clean={ob.landed_on or 'FAIL':24s} Δt={delta_ms:+.2f} ms"
+        )
+        # Identical landing site, identical transport family:
+        assert oa.landed_on == ob.landed_on == site
+        assert oa.family == ob.family
+        # Simulated fetch latency identical — the poisoned path is never
+        # consulted by these clients, so no extra round trips exist.
+        assert abs(delta_ms) < 1.0
+    report("E15 / §IV — intervention impact on non-target clients", lines)

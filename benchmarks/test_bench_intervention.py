@@ -1,0 +1,82 @@
+"""E6 (figure 6): the Nintendo Switch intervention + escape hatch.
+E9 (figure 9): poisoned A for a nonexistent FQDN via suffix search.
+E13 (§VII): the RPZ alternative fixes E9.
+"""
+
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.clients.profiles import NINTENDO_SWITCH, WINDOWS_11
+from repro.core.testbed import CARRIER_DNS_V4, TestbedConfig, build_testbed
+from repro.services.captive import ProbeOutcome, connectivity_probe
+
+from benchmarks.conftest import report
+
+
+def run_fig6():
+    testbed = build_testbed(TestbedConfig())
+    client = testbed.add_client(NINTENDO_SWITCH, "switch")
+    probe = connectivity_probe(client)
+    browse = client.fetch("sc24.supercomputing.org")
+    client.set_manual_dns([CARRIER_DNS_V4])
+    escaped = client.fetch("sc24.supercomputing.org")
+    return probe, browse, escaped
+
+
+def test_fig6_switch(benchmark):
+    probe, browse, escaped = benchmark(run_fig6)
+    report(
+        "E6 / Figure 6 — IPv4-only Nintendo Switch",
+        [
+            f"OS connectivity probe: {probe.outcome.value} (landed on {probe.landed_on})",
+            f"browse sc24.supercomputing.org → {browse.landed_on} over {browse.family}",
+            f"after manual DNS change → {escaped.landed_on} (the escape hatch)",
+        ],
+    )
+    assert probe.outcome is ProbeOutcome.PORTAL
+    assert browse.landed_on == "ip6.me"
+    assert escaped.landed_on == "sc24.supercomputing.org"
+
+
+def run_fig9(use_rpz):
+    testbed = build_testbed(TestbedConfig(use_rpz=use_rpz))
+    client = testbed.add_client(WINDOWS_11, "w11")
+    nslookup = client.nslookup("vpn.anl.gov")
+    ping_addrs = client.resolve_addresses("vpn.anl.gov")
+    rtt = client.ping_name("vpn.anl.gov")
+    return nslookup, ping_addrs, rtt, testbed
+
+
+def test_fig9_nxdomain(benchmark):
+    nslookup, ping_addrs, rtt, _tb = benchmark(run_fig9, use_rpz=False)
+    report(
+        "E9 / Figure 9 — nonexistent A via suffix search (dnsmasq-style)",
+        [
+            f"nslookup vpn.anl.gov → Name: {nslookup.queried_name}  "
+            f"Address: {nslookup.records[0].rdata}",
+            f"ping vpn.anl.gov → [{ping_addrs[0]}] rtt={rtt * 1000:.1f} ms" if rtt else "ping failed",
+        ],
+    )
+    # The fabricated FQDN got a poisoned A answer:
+    assert str(nslookup.queried_name) == "vpn.anl.gov.rfc8925.com"
+    assert nslookup.records[0].rdata.address == IPv4Address("23.153.8.71")
+    # Meanwhile ping used the valid (synthesized) AAAA:
+    assert ping_addrs[0] == IPv6Address("64:ff9b::82ca:e4fd")
+    assert rtt is not None
+
+
+def test_rpz_fix(benchmark):
+    nslookup, ping_addrs, rtt, testbed = benchmark(run_fig9, use_rpz=True)
+    nsw = testbed.add_client(NINTENDO_SWITCH, "sw")
+    intervened = nsw.fetch("sc24.supercomputing.org")
+    report(
+        "E13 / §VII — BIND9-RPZ alternative",
+        [
+            f"nslookup vpn.anl.gov → Name: {nslookup.queried_name} "
+            f"(suffixed query now NXDOMAIN, literal name rewritten)",
+            f"IPv4-only client still intervened: browse → {intervened.landed_on}",
+            f"RPZ negative answers passed through: {testbed.poisoner.passed_negative}",
+        ],
+    )
+    # The fix: no fabricated FQDN in the answer.
+    assert str(nslookup.queried_name) == "vpn.anl.gov"
+    assert intervened.landed_on == "ip6.me"
+    assert testbed.poisoner.passed_negative > 0

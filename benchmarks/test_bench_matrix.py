@@ -1,0 +1,31 @@
+"""E12 (§V prose): the full device-outcome matrix."""
+
+from repro.analysis.matrix import matrix_table, run_device_matrix
+from repro.core.testbed import TestbedConfig
+
+from benchmarks.conftest import report
+
+
+def test_device_matrix(benchmark):
+    outcomes = benchmark(run_device_matrix, TestbedConfig())
+    report("E12 / §V — device outcome matrix (intervention ON)", matrix_table(outcomes).split("\n"))
+    intervened = {o.profile for o in outcomes if o.intervened}
+    assert intervened == {
+        "Windows 10 (IPv6 disabled)",
+        "Nintendo Switch",
+        "Legacy IoT",
+    }
+    for outcome in outcomes:
+        if o_has_v6 := outcome.has_ipv6:
+            assert outcome.browse_landed_on == "sc24.supercomputing.org"
+
+
+def test_device_matrix_without_intervention(benchmark):
+    outcomes = benchmark(
+        run_device_matrix, TestbedConfig(poisoned_dns=False)
+    )
+    report(
+        "E12b — device outcome matrix (intervention OFF)",
+        matrix_table(outcomes).split("\n"),
+    )
+    assert not any(o.intervened for o in outcomes)

@@ -1,0 +1,41 @@
+"""E16 (§VII): deploy/remove playbooks — the Ansible-equivalent drill."""
+
+from repro.clients.profiles import NINTENDO_SWITCH
+from repro.core.testbed import TestbedConfig, build_testbed
+
+from benchmarks.conftest import report
+
+
+def run_rollback_drill():
+    testbed = build_testbed(TestbedConfig())
+    states = []
+
+    def observe(tag):
+        client = testbed.add_client(NINTENDO_SWITCH, f"probe-{tag}")
+        states.append((tag, client.fetch("sc24.supercomputing.org").landed_on))
+
+    observe("initial")
+    remove = testbed.remove_intervention_playbook()
+    run = remove.run()
+    observe("after-removal")
+    remove.rollback(run)
+    observe("after-rollback")
+    deploy = testbed.deploy_intervention_playbook()
+    deploy.run()
+    observe("after-redeploy")
+    return states
+
+
+def test_rollback_drill(benchmark):
+    states = benchmark(run_rollback_drill)
+    report(
+        "E16 / §VII — intervention removal playbook drill",
+        [f"{tag:15s} IPv4-only browse lands on: {landed}" for tag, landed in states],
+    )
+    expected = {
+        "initial": "ip6.me",
+        "after-removal": "sc24.supercomputing.org",
+        "after-rollback": "ip6.me",
+        "after-redeploy": "ip6.me",
+    }
+    assert dict(states) == expected

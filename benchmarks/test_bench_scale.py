@@ -1,0 +1,85 @@
+"""Scale: 'SC23v6's successful deployment of RFC8925 to hundreds of
+devices on the SC23 show floor has proved that this transition method is
+viable at scale' (paper §VII) — a show-floor-sized population, plus the
+Windows-refresh adoption sweep.
+"""
+
+from repro.analysis.adoption import run_adoption_sweep, sweep_table, windows_refresh_mixes
+from repro.clients.profiles import (
+    ANDROID,
+    IOS,
+    LINUX,
+    MACOS,
+    NINTENDO_SWITCH,
+    WINDOWS_10,
+    WINDOWS_11,
+)
+from repro.core.testbed import TestbedConfig, build_testbed
+
+from benchmarks.conftest import report
+
+#: A plausible show-floor mix (fractions of the population).
+SHOW_FLOOR = (
+    (IOS, 12),
+    (ANDROID, 10),
+    (MACOS, 8),
+    (WINDOWS_10, 8),
+    (WINDOWS_11, 5),
+    (LINUX, 4),
+    (NINTENDO_SWITCH, 3),
+)
+
+
+def run_show_floor():
+    testbed = build_testbed(TestbedConfig())
+    index = 0
+    for profile, count in SHOW_FLOOR:
+        for _ in range(count):
+            testbed.add_client(profile, f"attendee-{index}")
+            index += 1
+    # Everyone browses once — the data-plane load.
+    ok = 0
+    intervened = 0
+    for client in testbed.clients:
+        outcome = client.fetch("sc24.supercomputing.org")
+        if outcome.ok:
+            ok += 1
+            if outcome.landed_on == "ip6.me":
+                intervened += 1
+    census = testbed.census()
+    return testbed, ok, intervened, census
+
+
+def test_show_floor_population(benchmark):
+    testbed, ok, intervened, census = benchmark.pedantic(run_show_floor, rounds=3, iterations=1)
+    total = len(testbed.clients)
+    report(
+        "Scale — show-floor population",
+        [
+            f"devices: {total}; successful fetches: {ok}; intervened: {intervened}",
+            f"accurate IPv6-only count: {census.accurate_ipv6_only_count()} "
+            f"(naive: {census.naive_ipv6_only_count()})",
+            f"gateway NAT64 sessions: {testbed.gateway.nat64.session_count}, "
+            f"NAT44 sessions: {testbed.gateway.nat44.session_count}",
+            f"option-108 grants at the DHCP server: {testbed.dhcp_server.option_108_grants}",
+            f"simulated events processed: {testbed.engine.events_run}",
+        ],
+    )
+    assert ok == total  # every device gets *an* answer
+    assert intervened == 3  # exactly the Nintendo Switch population
+    assert census.accurate_ipv6_only_count() == 12 + 10 + 8  # iOS+Android+macOS
+    assert testbed.dhcp_server.option_108_grants >= 30
+
+
+def test_adoption_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_adoption_sweep(windows_refresh_mixes(fleet_size=15)),
+        rounds=2,
+        iterations=1,
+    )
+    report(
+        "Adoption — §VII Windows 10 EOL refresh trajectory",
+        sweep_table(points).split("\n"),
+    )
+    assert points[-1].v6only_share > points[0].v6only_share
+    assert points[-1].ipv4_leases < points[0].ipv4_leases

@@ -1,0 +1,97 @@
+"""E5 (figure 5): the erroneous 10/10.
+E11 (figure 11): the VPN 0/10.
+E14 (§VI): the RFC 8925-only-10/10 scoring fix.
+"""
+
+from repro.clients.profiles import MACOS, WINDOWS_10, WINDOWS_10_V6_DISABLED
+from repro.clients.vpn import SplitTunnelVPN, VpnAwareClient, VpnMode
+from repro.core.scoring import score_rfc8925_aware, score_stock
+from repro.core.testbed import CARRIER_DNS_V4, CONCENTRATOR_V4, TestbedConfig, build_testbed
+from repro.services.testipv6 import run_test_ipv6
+
+from benchmarks.conftest import report
+
+
+def run_fig5():
+    testbed = build_testbed(TestbedConfig(poison_target="test-ipv6.com"))
+    client = testbed.add_client(WINDOWS_10_V6_DISABLED, "w10-nov6")
+    rep = run_test_ipv6(client, testbed.mirror)
+    stock = score_stock(rep)
+    fixed = score_rfc8925_aware(rep, testbed.scoring_context())
+    return client, rep, stock, fixed
+
+
+def test_fig5_erroneous_score(benchmark):
+    client, rep, stock, fixed = benchmark(run_fig5)
+    report(
+        "E5 / Figure 5 — erroneous test-ipv6.com score via poisoned DNS",
+        [
+            f"client: {client.profile.name} — IPv6 addresses: "
+            f"{client.host.ipv6_global_addresses() or 'NONE'}",
+            f"stock mirror score: {stock}   <-- the paper's erroneous 10/10",
+            f"fixed mirror score: {fixed}",
+            f"aaaa_record_fetch family: {rep.subtest('aaaa_record_fetch').family_seen}",
+        ],
+    )
+    assert not client.host.ipv6_global_addresses()
+    assert stock.score == 10  # paper: "erroneously reported as 10/10"
+    assert fixed.score < 10
+
+
+def run_fig11():
+    testbed = build_testbed(TestbedConfig())
+    client = testbed.add_client(WINDOWS_10, "w10")
+    vpn = SplitTunnelVPN(
+        client,
+        testbed.concentrator,
+        CONCENTRATOR_V4,
+        corporate_dns=CARRIER_DNS_V4,
+        mode=VpnMode.FULL_TUNNEL,
+        allowed_tunnel_destinations=[],
+    )
+    vpn.connect()
+    vpn_report = run_test_ipv6(VpnAwareClient(vpn), testbed.mirror)
+    bare = testbed.add_client(WINDOWS_10, "w10-bare")
+    bare_report = run_test_ipv6(bare, testbed.mirror)
+    return score_stock(vpn_report), score_stock(bare_report)
+
+
+def test_fig11_vpn_zero(benchmark):
+    vpn_score, bare_score = benchmark(run_fig11)
+    report(
+        "E11 / Figure 11 — mirror score over the IPv4-only corporate VPN",
+        [
+            f"same device over full-tunnel VPN: {vpn_score}  <-- paper's 0/10",
+            f"same device without VPN:          {bare_score}",
+        ],
+    )
+    assert vpn_score.score == 0
+    assert bare_score.score == 10
+
+
+def run_rfc8925_scoring():
+    testbed = build_testbed(TestbedConfig())
+    context = testbed.scoring_context()
+    rows = []
+    for profile, name in ((MACOS, "rfc8925"), (WINDOWS_10, "dual-stack"), ):
+        client = testbed.add_client(profile, name)
+        rep = run_test_ipv6(client, testbed.mirror)
+        rows.append((name, score_stock(rep), score_rfc8925_aware(rep, context)))
+    return rows
+
+
+def test_rfc8925_scoring(benchmark):
+    rows = benchmark(run_rfc8925_scoring)
+    report(
+        "E14 / §VI — 'only RFC8925 clients may receive a 10/10 score'",
+        [
+            f"{name:12s} stock={stock.score}/10   fixed={fixed.score}/10 ({fixed.classified_as})"
+            for name, stock, fixed in rows
+        ],
+    )
+    by_name = {name: (stock, fixed) for name, stock, fixed in rows}
+    # Stock logic cannot tell them apart (the paper's complaint):
+    assert by_name["rfc8925"][0].score == by_name["dual-stack"][0].score == 10
+    # The fix differentiates:
+    assert by_name["rfc8925"][1].score == 10
+    assert by_name["dual-stack"][1].score == 9

@@ -1,0 +1,60 @@
+"""E8 (figure 8): VPN split-tunnel behaviour when IPv4 is restricted."""
+
+from repro.clients.profiles import WINDOWS_10
+from repro.clients.vpn import SplitTunnelVPN, VpnMode
+from repro.core.testbed import (
+    CARRIER_DNS_V4,
+    CONCENTRATOR_V4,
+    TestbedConfig,
+    VTC_V4,
+    build_testbed,
+)
+from repro.xlat.siit import TranslationError
+
+from benchmarks.conftest import report
+
+
+class _BlockedNat:
+    """The 'access control list further blocking IPv4 internet access'."""
+
+    def translate_out(self, packet):
+        raise TranslationError("ACL: IPv4 internet blocked")
+
+    def translate_in(self, packet):
+        raise TranslationError("ACL: IPv4 internet blocked")
+
+
+def run_fig8():
+    testbed = build_testbed(TestbedConfig())
+    client = testbed.add_client(WINDOWS_10, "w10")
+    vpn = SplitTunnelVPN(
+        client,
+        testbed.concentrator,
+        CONCENTRATOR_V4,
+        corporate_dns=CARRIER_DNS_V4,
+        mode=VpnMode.SPLIT_TUNNEL,
+        split_literals=[VTC_V4],
+    )
+    vpn.connect()
+    with_v4 = vpn.fetch_literal(VTC_V4, "vtc.example.com")
+    # The DNS intervention alone — VTC must keep working:
+    with_intervention = vpn.fetch_literal(VTC_V4, "vtc.example.com")
+    # Now further restrict IPv4:
+    testbed.gateway.nat44 = _BlockedNat()
+    blocked = vpn.fetch_literal(VTC_V4, "vtc.example.com")
+    return with_v4, with_intervention, blocked
+
+
+def test_fig8_split_tunnel(benchmark):
+    with_v4, with_intervention, blocked = benchmark(run_fig8)
+    report(
+        "E8 / Figure 8 — split-tunnel VPN vs IPv4 restriction",
+        [
+            f"VTC via split tunnel, IPv4 + DNS intervention active: "
+            f"{'OK' if with_intervention.ok else 'FAIL'}",
+            f"VTC via split tunnel, IPv4 further blocked by ACL: "
+            f"{'OK' if blocked.ok else 'FAIL (the figure-8 breakage)'}",
+        ],
+    )
+    assert with_v4.ok and with_intervention.ok
+    assert not blocked.ok

@@ -1,0 +1,40 @@
+"""E7 (figure 7): Windows XP via the poisoned DNS64 + NAT64."""
+
+from repro.net.addresses import IPv6Address
+from repro.clients.profiles import WINDOWS_XP
+from repro.core.testbed import PI_POISON_V4, TestbedConfig, build_testbed
+
+from benchmarks.conftest import report
+
+
+def run_fig7():
+    testbed = build_testbed(TestbedConfig())
+    xp = testbed.add_client(WINDOWS_XP, "t23")  # hostname from the figure
+    browse = xp.fetch("sc24.supercomputing.org")
+    ping_sc24 = xp.ping_name("sc24.supercomputing.org")
+    ping_ip6me = xp.ping_name("ip6.me")
+    return testbed, xp, browse, ping_sc24, ping_ip6me
+
+
+def test_fig7_winxp(benchmark):
+    testbed, xp, browse, ping_sc24, ping_ip6me = benchmark(run_fig7)
+    ula = [a for a in xp.host.ipv6_global_addresses() if str(a).startswith("fd00:976a")]
+    report(
+        "E7 / Figure 7 — Windows XP using NAT64/DNS64 via IPv4 DNS resolver",
+        [
+            f"DNS resolver (DHCPv4-provided, poisoned): {xp.dns_server_order()}",
+            f"connection-specific DNS suffix: {xp.search_domains()}",
+            f"ULA address (cf. figure's ipconfig): {ula}",
+            f"browse sc24.supercomputing.org → {browse.landed_on} via {browse.address}",
+            f"ping sc24.supercomputing.org [64:ff9b::be5c:9e04]: "
+            f"{ping_sc24 * 1000:.1f} ms" if ping_sc24 else "ping failed",
+            f"ping ip6.me [2001:4810:0:3::71]: {ping_ip6me * 1000:.1f} ms"
+            if ping_ip6me
+            else "ping failed",
+            f"NAT64 sessions created: {testbed.gateway.nat64.session_count}",
+        ],
+    )
+    assert xp.dns_server_order() == [PI_POISON_V4]
+    assert browse.ok and browse.address == IPv6Address("64:ff9b::be5c:9e04")
+    assert ping_sc24 is not None and ping_ip6me is not None
+    assert testbed.gateway.nat64.translated_out > 0

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""The Argonne-Auth scenario (paper §IV): the same SSID serves both
+RFC 8925 segments and tightly-controlled IPv4-only service accounts,
+decided per device by AAA policy.
+
+Run:  python examples/argonne_auth.py
+"""
+
+from repro.clients.profiles import LEGACY_IOT, MACOS, WINDOWS_10
+from repro.core.testbed import TestbedConfig, build_testbed
+
+
+def main() -> None:
+    testbed = build_testbed(TestbedConfig(poisoned_dns=True))
+
+    # A legacy instrument controller that must keep IPv4: the operations
+    # team registers its MAC as a service account in the AAA policy.
+    instrument = testbed.add_client(LEGACY_IOT, "beamline-plc", bring_up=False)
+    testbed.policy.exempt(instrument.host.mac)
+    instrument.bring_up()
+
+    # An unregistered IPv4-only gadget on the same network.
+    gadget = testbed.add_client(LEGACY_IOT, "random-gadget")
+
+    # Ordinary managed clients.
+    laptop = testbed.add_client(WINDOWS_10, "staff-laptop")
+    phone = testbed.add_client(MACOS, "staff-phone")
+
+    rows = [
+        ("beamline-plc (service account)", instrument),
+        ("random-gadget", gadget),
+        ("staff-laptop", laptop),
+        ("staff-phone", phone),
+    ]
+    print(f"{'device':32s} {'dns servers':28s} browse sc24.supercomputing.org")
+    print("-" * 100)
+    for label, client in rows:
+        outcome = client.fetch("sc24.supercomputing.org")
+        servers = ",".join(str(s) for s in client.dns_server_order())
+        print(f"{label:32s} {servers:28s} -> {outcome.landed_on} ({outcome.family})")
+
+    assert instrument.fetch("sc24.supercomputing.org").landed_on == "sc24.supercomputing.org"
+    assert gadget.fetch("sc24.supercomputing.org").landed_on == "ip6.me"
+    print("\nService-account exemption honoured; all other IPv4-only "
+          "devices received the intervention.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The device lab: reproduce the paper's §V device walk-through —
+Nintendo Switch (figure 6), Windows XP (figure 7), Windows 10/11
+resolver preferences (figures 9 and 10) — with packet-level evidence.
+
+Run:  python examples/device_lab.py
+"""
+
+from repro.clients.profiles import NINTENDO_SWITCH, WINDOWS_10, WINDOWS_11, WINDOWS_XP
+from repro.core.testbed import CARRIER_DNS_V4, TestbedConfig, build_testbed
+from repro.services.captive import connectivity_probe
+
+
+def main() -> None:
+    testbed = build_testbed(TestbedConfig(poisoned_dns=True, capture_traffic=True))
+
+    print("== Figure 6: Nintendo Switch ==")
+    console = testbed.add_client(NINTENDO_SWITCH, "switch")
+    probe = connectivity_probe(console)
+    print(f"  OS probe: {probe.outcome.value}; browse lands on "
+          f"{console.fetch('sc24.supercomputing.org').landed_on}")
+    console.set_manual_dns([CARRIER_DNS_V4])
+    print(f"  after manual DNS change: "
+          f"{console.fetch('sc24.supercomputing.org').landed_on} (escape hatch)")
+
+    print("\n== Figure 7: Windows XP ==")
+    xp = testbed.add_client(WINDOWS_XP, "t23")
+    outcome = xp.fetch("sc24.supercomputing.org")
+    print(f"  resolver: {xp.dns_server_order()} (the poisoned one!)")
+    print(f"  browse -> {outcome.landed_on} via {outcome.address}")
+    print(f"  ping sc24.supercomputing.org: {xp.ping_name('sc24.supercomputing.org')}")
+
+    print("\n== Figure 9: Windows 11 nslookup vs ping ==")
+    w11 = testbed.add_client(WINDOWS_11, "w11")
+    ns = w11.nslookup("vpn.anl.gov")
+    print(f"  nslookup vpn.anl.gov -> Name: {ns.queried_name}  "
+          f"Address: {ns.records[0].rdata}")
+    addresses = w11.resolve_addresses("vpn.anl.gov")
+    print(f"  ping vpn.anl.gov -> [{addresses[0]}] rtt="
+          f"{w11.ping_name('vpn.anl.gov')}")
+
+    print("\n== Figure 10: Windows 10 RDNSS preference ==")
+    w10 = testbed.add_client(WINDOWS_10, "w10")
+    before = testbed.poisoner.poison_answers
+    w10.fetch("vpn.anl.gov")
+    print(f"  resolver order: {w10.dns_server_order()}")
+    print(f"  poisoned answers served to W10: "
+          f"{testbed.poisoner.poison_answers - before}")
+
+    print("\n== last packets on the wire ==")
+    print(testbed.trace.dump(limit=8))
+
+
+if __name__ == "__main__":
+    main()

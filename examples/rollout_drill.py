@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The operations drill (paper §VII): deploy the intervention with a
+reversible playbook, verify the target behaviour, then pull it back out
+— "an Ansible playbook to remove the IPv4 DNS interventions should
+major issues be reported".
+
+Run:  python examples/rollout_drill.py
+"""
+
+from repro.clients.profiles import NINTENDO_SWITCH, WINDOWS_10
+from repro.core.testbed import TestbedConfig, build_testbed
+
+
+def check(testbed, tag):
+    v4only = testbed.add_client(NINTENDO_SWITCH, f"v4-{tag}")
+    dual = testbed.add_client(WINDOWS_10, f"ds-{tag}")
+    v4_landing = v4only.fetch("sc24.supercomputing.org").landed_on
+    ds_landing = dual.fetch("sc24.supercomputing.org").landed_on
+    print(f"  [{tag:14s}] IPv4-only browse -> {v4_landing:26s} "
+          f"dual-stack browse -> {ds_landing}")
+    return v4_landing, ds_landing
+
+
+def main() -> None:
+    # Start clean: intervention not yet deployed.
+    testbed = build_testbed(TestbedConfig(poisoned_dns=False))
+    print("Initial state (no intervention):")
+    check(testbed, "clean")
+
+    print("\nRunning deploy playbook...")
+    deploy = testbed.deploy_intervention_playbook()
+    for task in deploy.tasks:
+        print(f"  task: {task.name}")
+    run = deploy.run()
+    print(f"  result: {'ok' if run.ok else 'FAILED'}")
+    check(testbed, "deployed")
+
+    print("\n'Major issues reported' — rolling back...")
+    deploy.rollback(run)
+    check(testbed, "rolled-back")
+
+    print("\nRe-deploying for the show...")
+    deploy2 = testbed.deploy_intervention_playbook()
+    deploy2.run()
+    v4_landing, ds_landing = check(testbed, "re-deployed")
+    assert v4_landing == "ip6.me"
+    assert ds_landing == "sc24.supercomputing.org"
+    print("\nDrill complete: intervention is reversible and dual-stack "
+          "clients were never affected.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""The SC24v6 show-floor scenario: a heterogeneous crowd of devices
+joins the IPv6-only SSID; the mirror scores each one with both the
+stock and the proposed RFC 8925-aware logic, and the operator gets an
+accurate IPv6-only client count.
+
+Run:  python examples/sc24v6_conference.py
+"""
+
+from repro.clients.profiles import ALL_PROFILES
+from repro.core.scoring import score_rfc8925_aware, score_stock
+from repro.core.testbed import TestbedConfig, build_testbed
+from repro.services.testipv6 import run_test_ipv6
+
+
+def main() -> None:
+    testbed = build_testbed(TestbedConfig(poisoned_dns=True))
+    context = testbed.scoring_context()
+
+    print(f"{'device':30s} {'stock':>7s} {'fixed':>7s}  classification")
+    print("-" * 86)
+    for index, profile in enumerate(ALL_PROFILES):
+        client = testbed.add_client(profile, f"attendee-{index}")
+        report = run_test_ipv6(client, testbed.mirror)
+        stock = score_stock(report)
+        fixed = score_rfc8925_aware(report, context)
+        print(
+            f"{profile.name:30s} {stock.score:>4d}/10 {fixed.score:>4d}/10  "
+            f"{fixed.classified_as}"
+        )
+
+    print()
+    census = testbed.census()
+    print(f"SC23-style (naive) IPv6-only count: {census.naive_ipv6_only_count()}")
+    print(f"SC24 accurate IPv6-only count:      {census.accurate_ipv6_only_count()}")
+    print()
+    breakdown = census.breakdown()
+    for cls, count in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        print(f"  {count:3d}  {cls.value}")
+
+
+if __name__ == "__main__":
+    main()

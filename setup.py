@@ -1,0 +1,8 @@
+"""Setup shim for environments without PEP 517 build isolation (offline).
+
+``pip install -e .`` uses pyproject.toml metadata; this shim lets
+``python setup.py develop`` work where the ``wheel`` package is absent.
+"""
+from setuptools import setup
+
+setup()

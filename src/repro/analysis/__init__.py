@@ -1,0 +1,32 @@
+"""Experiment analysis: the device-outcome matrix, fleet-refresh
+adoption sweeps and report rendering."""
+
+from repro.analysis.matrix import DeviceOutcome, run_device_matrix, matrix_table
+from repro.analysis.adoption import (
+    AdoptionPoint,
+    FleetMix,
+    run_adoption_sweep,
+    sweep_table,
+    windows_refresh_mixes,
+)
+from repro.analysis.report import (
+    census_markdown,
+    device_matrix_markdown,
+    markdown_table,
+    score_markdown,
+)
+
+__all__ = [
+    "DeviceOutcome",
+    "run_device_matrix",
+    "matrix_table",
+    "AdoptionPoint",
+    "FleetMix",
+    "run_adoption_sweep",
+    "sweep_table",
+    "windows_refresh_mixes",
+    "census_markdown",
+    "device_matrix_markdown",
+    "markdown_table",
+    "score_markdown",
+]

@@ -1,0 +1,132 @@
+"""Fleet-refresh adoption modelling (paper §VII).
+
+"The October 2025 Windows 10 end-of-life deadline provides a rare
+opportunity to leverage the Windows 11 refresh cycle as a catalyst for
+sunsetting IPv4."
+
+:func:`run_adoption_sweep` simulates a campus fleet at a sequence of
+refresh stages: at each stage a fraction of the legacy Windows
+population has been replaced with the RFC 8925-capable build, and a
+fresh testbed measures, with real clients, how many devices still need
+native IPv4, how many hit the intervention, and the accurate IPv6-only
+share.  The output is the adoption trajectory the paper's conclusion
+argues for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.clients.profiles import (
+    LEGACY_IOT,
+    MACOS,
+    OsProfile,
+    WINDOWS_10,
+    WINDOWS_11_RFC8925,
+)
+from repro.core.testbed import Testbed, TestbedConfig
+
+__all__ = ["FleetMix", "AdoptionPoint", "run_adoption_sweep", "sweep_table"]
+
+
+@dataclass(frozen=True)
+class FleetMix:
+    """Device population for one refresh stage."""
+
+    #: (profile, count) pairs.
+    devices: Tuple[Tuple[OsProfile, int], ...]
+    label: str = ""
+
+    @property
+    def total(self) -> int:
+        return sum(count for _p, count in self.devices)
+
+
+@dataclass
+class AdoptionPoint:
+    label: str
+    total: int
+    ipv4_leases: int
+    rfc8925_grants: int
+    intervened: int
+    accurate_v6only: int
+
+    @property
+    def v6only_share(self) -> float:
+        return self.accurate_v6only / self.total if self.total else 0.0
+
+    @property
+    def ipv4_demand_share(self) -> float:
+        return self.ipv4_leases / self.total if self.total else 0.0
+
+
+def windows_refresh_mixes(
+    fleet_size: int = 20, stages: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0)
+) -> List[FleetMix]:
+    """The §VII scenario: a fixed fleet whose Windows 10 machines are
+    progressively replaced by the RFC 8925 Windows 11 build.  A couple
+    of Macs and one legacy IoT box ride along, as on any real campus."""
+    mixes = []
+    windows_count = fleet_size - 3  # 2 Macs + 1 IoT stay constant
+    for fraction in stages:
+        upgraded = round(windows_count * fraction)
+        mixes.append(
+            FleetMix(
+                devices=(
+                    (WINDOWS_10, windows_count - upgraded),
+                    (WINDOWS_11_RFC8925, upgraded),
+                    (MACOS, 2),
+                    (LEGACY_IOT, 1),
+                ),
+                label=f"{int(fraction * 100)}% refreshed",
+            )
+        )
+    return mixes
+
+
+def run_adoption_sweep(
+    mixes: Sequence[FleetMix], config: TestbedConfig | None = None
+) -> List[AdoptionPoint]:
+    """Measure each stage on a fresh testbed with live clients."""
+    points = []
+    for mix in mixes:
+        testbed = Testbed(config or TestbedConfig())
+        intervened = 0
+        index = 0
+        for profile, count in mix.devices:
+            for _ in range(count):
+                client = testbed.add_client(profile, f"dev-{index}")
+                index += 1
+                outcome = client.fetch("sc24.supercomputing.org")
+                if outcome.landed_on == "ip6.me":
+                    intervened += 1
+        census = testbed.census()
+        points.append(
+            AdoptionPoint(
+                label=mix.label,
+                total=mix.total,
+                ipv4_leases=sum(
+                    1 for c in testbed.clients if c.host.ipv4_config is not None
+                ),
+                rfc8925_grants=sum(
+                    1 for c in testbed.clients if c.host.v6only_wait is not None
+                ),
+                intervened=intervened,
+                accurate_v6only=census.accurate_ipv6_only_count(),
+            )
+        )
+    return points
+
+
+def sweep_table(points: Sequence[AdoptionPoint]) -> str:
+    lines = [
+        f"{'stage':16s} {'fleet':>5s} {'v4 leases':>9s} {'opt108':>7s} "
+        f"{'intervened':>10s} {'v6-only share':>13s}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.label:16s} {p.total:>5d} {p.ipv4_leases:>9d} {p.rfc8925_grants:>7d} "
+            f"{p.intervened:>10d} {p.v6only_share:>12.0%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Operator analytics from DNS query logs.
+
+The paper's helpdesk story ("encourage them to visit the SCinet
+helpdesk") needs the inverse view too: from the *server* side, which
+clients are actually consuming poisoned answers?  Those are precisely
+the IPv4-only devices the intervention exists for — a list the NOC can
+proactively reach out about, derived purely from query logs the
+servers already keep (:attr:`repro.dns.server.DnsServer.query_log`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.dns.rdata import RRType
+from repro.dns.server import DnsServer, QueryLogEntry
+
+__all__ = ["ClientDnsProfile", "DnsLogAnalysis", "analyze_dns_logs"]
+
+
+@dataclass
+class ClientDnsProfile:
+    """Per-source-address aggregates over one or more servers' logs."""
+
+    client: str
+    a_queries: int = 0
+    aaaa_queries: int = 0
+    poisoned_answers: int = 0
+    forwarded_answers: int = 0
+    top_names: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def looks_ipv4_only(self) -> bool:
+        """A client that consumed poisoned A answers while issuing few or
+        no AAAA queries is IPv4-only with high confidence — it is
+        *relying* on the poison.
+
+        Dual-stack clients that use an IPv4 resolver (Windows XP / some
+        Windows 11) pair nearly every A query with an AAAA query, so the
+        ratio separates them even when diagnostic tools (the mirror's
+        explicit AAAA subtest) add a stray AAAA to a v4-only client's
+        log.
+        """
+        return self.poisoned_answers > 0 and self.aaaa_queries <= self.a_queries // 4
+
+    @property
+    def total(self) -> int:
+        return self.a_queries + self.aaaa_queries
+
+
+@dataclass
+class DnsLogAnalysis:
+    profiles: Dict[str, ClientDnsProfile] = field(default_factory=dict)
+
+    @property
+    def ipv4_only_suspects(self) -> List[ClientDnsProfile]:
+        return sorted(
+            (p for p in self.profiles.values() if p.looks_ipv4_only),
+            key=lambda p: -p.poisoned_answers,
+        )
+
+    def table(self) -> str:
+        lines = [
+            f"{'client':28s} {'A':>5s} {'AAAA':>5s} {'poisoned':>9s} {'v4-only?':>8s}"
+        ]
+        for profile in sorted(self.profiles.values(), key=lambda p: p.client):
+            lines.append(
+                f"{profile.client:28s} {profile.a_queries:>5d} "
+                f"{profile.aaaa_queries:>5d} {profile.poisoned_answers:>9d} "
+                f"{'YES' if profile.looks_ipv4_only else 'no':>8s}"
+            )
+        return "\n".join(lines)
+
+
+def analyze_dns_logs(servers: Sequence[DnsServer]) -> DnsLogAnalysis:
+    """Aggregate query logs from any number of servers.
+
+    Clients are keyed by the stringified source the simulator passed as
+    the ``client`` log field (an IP address in the testbed).
+    """
+    analysis = DnsLogAnalysis()
+    for server in servers:
+        for entry in server.query_log:
+            if entry.client is None:
+                continue
+            key = str(entry.client)
+            profile = analysis.profiles.setdefault(key, ClientDnsProfile(client=key))
+            if entry.rrtype == RRType.A:
+                profile.a_queries += 1
+            elif entry.rrtype == RRType.AAAA:
+                profile.aaaa_queries += 1
+            if entry.answered_from in ("poison", "rpz"):
+                profile.poisoned_answers += 1
+            elif entry.answered_from == "forwarded":
+                profile.forwarded_answers += 1
+            name = str(entry.name)
+            profile.top_names[name] = profile.top_names.get(name, 0) + 1
+    return analysis

@@ -1,0 +1,76 @@
+"""The device-outcome matrix (paper §V, prose results).
+
+For every OS profile, bring a fresh client onto the testbed and record
+the observable outcomes the paper reports per device: did it get IPv4?
+did option 108 fire?  where does a browse to an ordinary site land?
+does the OS connectivity probe say "online"?
+
+Run with the intervention on and off to see exactly which devices the
+poisoned DNS touches — the paper's central claim is that the set is
+"IPv4-only clients, and nothing else".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.services.captive import ProbeOutcome, connectivity_probe
+from repro.clients.profiles import ALL_PROFILES, OsProfile
+from repro.core.testbed import Testbed, TestbedConfig
+
+__all__ = ["DeviceOutcome", "run_device_matrix", "matrix_table"]
+
+
+@dataclass
+class DeviceOutcome:
+    profile: str
+    got_ipv4_lease: bool
+    got_option_108: bool
+    has_ipv6: bool
+    clat_active: bool
+    probe: ProbeOutcome
+    browse_landed_on: Optional[str]
+    browse_family: Optional[str]
+    intervened: bool  # browse to a normal site got hijacked to ip6.me
+
+    def row(self) -> str:
+        return (
+            f"{self.profile:28s} v4={str(self.got_ipv4_lease):5s} "
+            f"opt108={str(self.got_option_108):5s} v6={str(self.has_ipv6):5s} "
+            f"clat={str(self.clat_active):5s} probe={self.probe.value:7s} "
+            f"browse→{self.browse_landed_on or 'FAIL':24s} ({self.browse_family or '-'}) "
+            f"intervened={self.intervened}"
+        )
+
+
+def run_device_matrix(
+    config: Optional[TestbedConfig] = None,
+    profiles: Sequence[OsProfile] = ALL_PROFILES,
+    target_site: str = "sc24.supercomputing.org",
+) -> List[DeviceOutcome]:
+    """One fresh testbed, one client per profile, full outcome row each."""
+    testbed = Testbed(config or TestbedConfig())
+    outcomes: List[DeviceOutcome] = []
+    for index, profile in enumerate(profiles):
+        client = testbed.add_client(profile, f"dev-{index}-{profile.name}")
+        probe = connectivity_probe(client)
+        browse = client.fetch(target_site)
+        outcomes.append(
+            DeviceOutcome(
+                profile=profile.name,
+                got_ipv4_lease=client.host.ipv4_config is not None,
+                got_option_108=client.host.v6only_wait is not None,
+                has_ipv6=bool(client.host.ipv6_global_addresses()),
+                clat_active=client.host.clat is not None and client.host.clat.enabled,
+                probe=probe.outcome,
+                browse_landed_on=browse.landed_on,
+                browse_family=browse.family,
+                intervened=browse.landed_on == "ip6.me" and target_site != "ip6.me",
+            )
+        )
+    return outcomes
+
+
+def matrix_table(outcomes: Sequence[DeviceOutcome]) -> str:
+    return "\n".join(o.row() for o in outcomes)

@@ -1,0 +1,87 @@
+"""Experiment report rendering: markdown tables for the device matrix,
+census and mirror scores — the artifacts an operations team circulates
+after a pilot (and the format EXPERIMENTS.md embeds).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.matrix import DeviceOutcome
+from repro.core.metrics import ClientCensus
+from repro.core.scoring import ScoreBreakdown
+from repro.services.testipv6 import TestReport
+
+__all__ = [
+    "markdown_table",
+    "device_matrix_markdown",
+    "census_markdown",
+    "score_markdown",
+]
+
+
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def device_matrix_markdown(outcomes: Sequence[DeviceOutcome]) -> str:
+    """The §V device matrix as markdown."""
+    return markdown_table(
+        ("device", "IPv4 lease", "option 108", "IPv6", "CLAT", "probe", "browse lands on", "intervened"),
+        (
+            (
+                o.profile,
+                "yes" if o.got_ipv4_lease else "no",
+                "yes" if o.got_option_108 else "no",
+                "yes" if o.has_ipv6 else "no",
+                "yes" if o.clat_active else "no",
+                o.probe.value,
+                o.browse_landed_on or "—",
+                "**yes**" if o.intervened else "no",
+            )
+            for o in outcomes
+        ),
+    )
+
+
+def census_markdown(census: ClientCensus) -> str:
+    """The client census as markdown, with both counting methods."""
+    table = markdown_table(
+        ("client", "classification", "v4 lease", "v6 addr", "v4 flows", "v6 flows"),
+        (
+            (
+                r.name,
+                r.classification.value,
+                "yes" if r.has_v4_lease else "no",
+                "yes" if r.has_v6_address else "no",
+                "yes" if r.sent_v4_flows else "no",
+                "yes" if r.sent_v6_flows else "no",
+            )
+            for r in census.rows
+        ),
+    )
+    return (
+        table
+        + f"\n\n- naive (SC23-style) IPv6-only count: **{census.naive_ipv6_only_count()}**"
+        + f"\n- accurate (SC24) IPv6-only count: **{census.accurate_ipv6_only_count()}**"
+    )
+
+
+def score_markdown(
+    entries: Sequence[tuple],  # (label, TestReport, stock, fixed)
+) -> str:
+    """Mirror scores side by side: stock vs RFC 8925-aware."""
+    return markdown_table(
+        ("device", "stock score", "fixed score", "classification"),
+        (
+            (label, f"{stock.score}/10", f"{fixed.score}/10", fixed.classified_as)
+            for label, _report, stock, fixed in entries
+        ),
+    )

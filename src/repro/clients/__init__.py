@@ -1,0 +1,47 @@
+"""Client operating-system behaviour profiles, the device driver that
+applies them, and the applications the paper observed (Echolink-style
+IPv4-literal apps, split-tunnel VPNs).
+"""
+
+from repro.clients.profiles import (
+    DnsOrder,
+    OsProfile,
+    WINDOWS_XP,
+    WINDOWS_10,
+    WINDOWS_10_V6_DISABLED,
+    WINDOWS_11,
+    WINDOWS_11_RFC8925,
+    LINUX,
+    MACOS,
+    IOS,
+    ANDROID,
+    NINTENDO_SWITCH,
+    LEGACY_IOT,
+    ALL_PROFILES,
+)
+from repro.clients.device import ClientDevice, FetchOutcome
+from repro.clients.apps import EcholinkApp, AppResult
+from repro.clients.vpn import SplitTunnelVPN, VpnMode
+
+__all__ = [
+    "DnsOrder",
+    "OsProfile",
+    "WINDOWS_XP",
+    "WINDOWS_10",
+    "WINDOWS_10_V6_DISABLED",
+    "WINDOWS_11",
+    "WINDOWS_11_RFC8925",
+    "LINUX",
+    "MACOS",
+    "IOS",
+    "ANDROID",
+    "NINTENDO_SWITCH",
+    "LEGACY_IOT",
+    "ALL_PROFILES",
+    "ClientDevice",
+    "FetchOutcome",
+    "EcholinkApp",
+    "AppResult",
+    "SplitTunnelVPN",
+    "VpnMode",
+]

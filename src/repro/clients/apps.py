@@ -1,0 +1,62 @@
+"""Applications with their own ideas about addressing.
+
+:class:`EcholinkApp` models the paper's figure-2 observation: the
+Argonne Amateur Radio Club's Echolink client connects to **IPv4
+literals** — no DNS at all — so a dual-stack host on the SC23v6 SSID
+happily used pure IPv4 while "actively being counted towards the SC23v6
+usage statistics".  On an RFC 8925 client the same literals work through
+CLAT+NAT64; on a poisoned-DNS-only intervention they also keep working
+(DNS interventions cannot touch literal traffic — a scope limit the
+paper accepts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.net.addresses import IPv4Address
+from repro.clients.device import ClientDevice
+
+__all__ = ["AppResult", "EcholinkApp"]
+
+
+@dataclass
+class AppResult:
+    connected: bool
+    used_literal: Optional[IPv4Address] = None
+    family: Optional[str] = None
+    detail: str = ""
+
+
+class EcholinkApp:
+    """An IPv4-literal application (directory + relay server addresses
+    are baked in, as the real client's configuration screen shows)."""
+
+    def __init__(self, servers: Sequence[IPv4Address], port: int = 5200) -> None:
+        if not servers:
+            raise ValueError("Echolink needs at least one server literal")
+        self.servers = list(servers)
+        self.port = port
+
+    def connect(self, client: ClientDevice, timeout: float = 2.0) -> AppResult:
+        """Try each configured literal over TCP, exactly like the app."""
+        for server in self.servers:
+            conn = client.host.tcp_connect(server, self.port, timeout=timeout)
+            if conn is not None:
+                conn.close()
+                via_clat = (
+                    client.host.clat is not None
+                    and client.host.clat.enabled
+                    and client.host.ipv4_config is None
+                )
+                return AppResult(
+                    connected=True,
+                    used_literal=server,
+                    family="ipv4-via-clat" if via_clat else "ipv4",
+                    detail=f"reached {server}:{self.port}",
+                )
+        return AppResult(
+            connected=False,
+            detail=f"no literal reachable ({client.host.last_connect_error})",
+        )

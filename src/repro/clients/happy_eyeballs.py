@@ -1,0 +1,112 @@
+"""Happy Eyeballs v2 (RFC 8305) connection racing.
+
+The paper's "no noticeable impact on dual-stack or IPv6-only clients"
+claim ultimately rests on client fallback behaviour: modern OSes and
+browsers do not wait out a full TCP timeout on the preferred family —
+they start the next candidate after the *connection attempt delay*
+(RFC 8305 §5, recommended 250 ms) and take whichever completes first.
+
+:func:`happy_eyeballs_connect` implements that race over the simulated
+stack: candidates are assumed already sorted (RFC 6724 order from
+:meth:`ClientDevice.resolve_addresses` — the "sorted address list" of
+RFC 8305 §4), attempts start staggered, the first established
+connection wins and the rest are aborted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.sim.stack import HostStack, TcpConnection
+
+__all__ = ["RaceResult", "happy_eyeballs_connect", "CONNECTION_ATTEMPT_DELAY"]
+
+AnyAddress = Union[IPv4Address, IPv6Address]
+
+#: RFC 8305 §5: "a delay of 250 ms is RECOMMENDED".
+CONNECTION_ATTEMPT_DELAY = 0.25
+
+
+@dataclass
+class RaceResult:
+    """Outcome of one Happy-Eyeballs race."""
+
+    connection: Optional[TcpConnection]
+    winner: Optional[AnyAddress] = None
+    attempts: List[AnyAddress] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.connection is not None
+
+
+def happy_eyeballs_connect(
+    stack: HostStack,
+    candidates: Sequence[AnyAddress],
+    port: int,
+    attempt_delay: float = CONNECTION_ATTEMPT_DELAY,
+    timeout: float = 3.0,
+) -> RaceResult:
+    """Race connections to ``candidates`` (already RFC 6724-sorted).
+
+    Starts the first attempt immediately, each further attempt
+    ``attempt_delay`` after the previous (or immediately when the
+    previous attempt has already failed), and returns the first
+    connection to establish.  Losers are reset/closed.
+    """
+    engine = stack.engine
+    start = engine.now
+    deadline = start + timeout
+    result = RaceResult(connection=None)
+    in_flight: List[TcpConnection] = []
+    index = 0
+    next_start = start
+
+    def winner() -> Optional[TcpConnection]:
+        for conn in in_flight:
+            if conn.state == TcpConnection.ESTABLISHED:
+                return conn
+        return None
+
+    def all_dead() -> bool:
+        return index >= len(candidates) and all(
+            c.state == TcpConnection.CLOSED for c in in_flight
+        )
+
+    while engine.now < deadline:
+        # Launch the next attempt when its stagger timer fires, or
+        # immediately if everything in flight has already failed.
+        if index < len(candidates) and (
+            engine.now >= next_start
+            or all(c.state == TcpConnection.CLOSED for c in in_flight)
+        ):
+            candidate = candidates[index]
+            index += 1
+            conn = stack.tcp_connect_begin(candidate, port)
+            if conn is not None:
+                in_flight.append(conn)
+                result.attempts.append(candidate)
+            next_start = engine.now + attempt_delay
+        pump_until = min(deadline, next_start if index < len(candidates) else deadline)
+        engine.run_until(
+            lambda: winner() is not None or all_dead(),
+            deadline=pump_until,
+        )
+        won = winner()
+        if won is not None:
+            for conn in in_flight:
+                if conn is not won and conn.state != TcpConnection.CLOSED:
+                    conn.state = TcpConnection.CLOSED
+                    stack._forget_connection(conn)
+            result.connection = won
+            result.winner = won.remote_addr
+            break
+        if all_dead() and index >= len(candidates):
+            break
+        if index >= len(candidates) and engine.now >= pump_until and pump_until >= deadline:
+            break
+    result.elapsed = engine.now - start
+    return result

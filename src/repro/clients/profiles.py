@@ -1,0 +1,165 @@
+"""Operating-system behaviour profiles.
+
+Each profile encodes the handful of stack behaviours the paper's
+results turn on, sourced from the paper's own observations (§V, §VI)
+and the cited vendor documentation:
+
+- **option 108 support** — Apple and Android adopted RFC 8925 quickly;
+  Windows 11's CLAT/option-108 support was still "planned" at writing
+  [paper ref 29], so :data:`WINDOWS_11_RFC8925` models that future build.
+- **resolver preference** — "most Linux operating systems ... along with
+  Windows 10 will prefer the IPv6 RDNSS resolver received via RA instead
+  of the DHCPv4 provided DNS resolver ... some versions of Windows 11
+  will prefer the IPv4 DNS server received via DHCPv4" (§VI).
+- **Windows XP** — dual-stack capable but "without support for IPv6 DNS
+  resolvers" (§V): it can only talk to an IPv4 resolver address, yet
+  happily uses the AAAA answers it gets back (figure 7).
+- **Nintendo Switch** — "continue[s] to only support legacy IPv4
+  connectivity" (§V, figure 6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dns.resolver import SearchOrder
+
+__all__ = [
+    "DnsOrder",
+    "OsProfile",
+    "WINDOWS_XP",
+    "WINDOWS_10",
+    "WINDOWS_10_V6_DISABLED",
+    "WINDOWS_11",
+    "WINDOWS_11_RFC8925",
+    "LINUX",
+    "MACOS",
+    "IOS",
+    "ANDROID",
+    "NINTENDO_SWITCH",
+    "LEGACY_IOT",
+    "ALL_PROFILES",
+]
+
+
+class DnsOrder(enum.Enum):
+    """Which learned resolvers the OS consults, and in what order."""
+
+    RDNSS_FIRST = "rdnss-first"  # IPv6 RA resolvers, then DHCPv4 ones
+    DHCP_FIRST = "dhcp-first"  # DHCPv4 resolvers, then RA ones
+    DHCP_ONLY = "dhcp-only"  # only IPv4 resolver addresses (Windows XP)
+    RDNSS_ONLY = "rdnss-only"  # only RA resolvers (v6-only native stacks)
+
+
+@dataclass(frozen=True)
+class OsProfile:
+    """The behavioural fingerprint of one client OS."""
+
+    name: str
+    ipv6_enabled: bool = True
+    ipv4_enabled: bool = True
+    supports_option_108: bool = False
+    clat_capable: bool = False
+    dns_order: DnsOrder = DnsOrder.RDNSS_FIRST
+    search_order: SearchOrder = SearchOrder.AS_IS_FIRST
+    #: nslookup-style tools on Windows append suffixes eagerly; this flag
+    #: drives the figure-9 experiment.
+    nslookup_suffix_first: bool = True
+    notes: str = ""
+
+
+WINDOWS_XP = OsProfile(
+    name="Windows XP",
+    supports_option_108=False,
+    clat_capable=False,
+    dns_order=DnsOrder.DHCP_ONLY,
+    search_order=SearchOrder.AS_IS_FIRST,
+    notes="Dual-stack but IPv4-resolver-only (paper figure 7).",
+)
+
+WINDOWS_10 = OsProfile(
+    name="Windows 10",
+    supports_option_108=False,
+    dns_order=DnsOrder.RDNSS_FIRST,
+    notes="Prefers the RDNSS resolver; unaffected by the poisoned IPv4 DNS (figure 10).",
+)
+
+WINDOWS_10_V6_DISABLED = OsProfile(
+    name="Windows 10 (IPv6 disabled)",
+    ipv6_enabled=False,
+    dns_order=DnsOrder.DHCP_ONLY,
+    notes="The figure-5 client: IPv6 stack administratively off.",
+)
+
+WINDOWS_11 = OsProfile(
+    name="Windows 11",
+    supports_option_108=False,
+    dns_order=DnsOrder.DHCP_FIRST,
+    notes="Some versions prefer the DHCPv4 resolver (paper §VI), so they do consult the poisoned server.",
+)
+
+WINDOWS_11_RFC8925 = OsProfile(
+    name="Windows 11 (RFC 8925 build)",
+    supports_option_108=True,
+    clat_capable=True,
+    dns_order=DnsOrder.RDNSS_ONLY,
+    notes="The anticipated CLAT-capable build [paper ref 29]; only the RDNSS resolver is used.",
+)
+
+LINUX = OsProfile(
+    name="Linux",
+    supports_option_108=False,
+    dns_order=DnsOrder.RDNSS_FIRST,
+    notes="Most distributions prefer the RA resolver (paper §VI).",
+)
+
+MACOS = OsProfile(
+    name="macOS",
+    supports_option_108=True,
+    clat_capable=True,
+    dns_order=DnsOrder.RDNSS_FIRST,
+    notes="RFC 8925 adopter; runs CLAT when v6-only.",
+)
+
+IOS = OsProfile(
+    name="iOS",
+    supports_option_108=True,
+    clat_capable=True,
+    dns_order=DnsOrder.RDNSS_FIRST,
+)
+
+ANDROID = OsProfile(
+    name="Android",
+    supports_option_108=True,
+    clat_capable=True,
+    dns_order=DnsOrder.RDNSS_FIRST,
+)
+
+NINTENDO_SWITCH = OsProfile(
+    name="Nintendo Switch",
+    ipv6_enabled=False,
+    dns_order=DnsOrder.DHCP_ONLY,
+    notes="IPv4-only consumer device (paper figure 6).",
+)
+
+LEGACY_IOT = OsProfile(
+    name="Legacy IoT",
+    ipv6_enabled=False,
+    dns_order=DnsOrder.DHCP_ONLY,
+    notes="Generic v4-only embedded device.",
+)
+
+ALL_PROFILES = (
+    WINDOWS_XP,
+    WINDOWS_10,
+    WINDOWS_10_V6_DISABLED,
+    WINDOWS_11,
+    WINDOWS_11_RFC8925,
+    LINUX,
+    MACOS,
+    IOS,
+    ANDROID,
+    NINTENDO_SWITCH,
+    LEGACY_IOT,
+)

@@ -1,0 +1,38 @@
+"""The paper's contribution: IPv4 DNS interventions for IPv6-only
+networks, their policy and rollback machinery, the scoring fix, and the
+one-call testbed builder.
+"""
+
+from repro.core.intervention import PoisonedDNSServer, InterventionConfig
+from repro.core.rpz import RPZPolicyServer, RpzConfig
+from repro.core.policy import InterventionPolicy, PolicyDecision, PolicyDhcpServer
+from repro.core.scoring import score_stock, score_rfc8925_aware, ScoringContext, ScoreBreakdown
+from repro.core.rollback import Playbook, Task, PlaybookRun
+from repro.core.testbed import Testbed, TestbedConfig, build_testbed
+from repro.core.metrics import ClientCensus, ClientClass
+from repro.core.advisor import Advice, AdvisoryReport, advise
+
+__all__ = [
+    "PoisonedDNSServer",
+    "InterventionConfig",
+    "RPZPolicyServer",
+    "RpzConfig",
+    "InterventionPolicy",
+    "PolicyDecision",
+    "PolicyDhcpServer",
+    "score_stock",
+    "score_rfc8925_aware",
+    "ScoringContext",
+    "ScoreBreakdown",
+    "Playbook",
+    "Task",
+    "PlaybookRun",
+    "Testbed",
+    "TestbedConfig",
+    "build_testbed",
+    "ClientCensus",
+    "ClientClass",
+    "Advice",
+    "AdvisoryReport",
+    "advise",
+]

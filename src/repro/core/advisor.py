@@ -1,0 +1,164 @@
+"""Actionable advice for imperfect test-ipv6 scores (paper §VII).
+
+"The SCinet SC24 DevOps Team intends on further enhancing their mirror
+of test-ipv6.com to provide more useful information for clients unable
+to obtain a perfect IPv6 readiness score."
+
+:func:`advise` turns a :class:`~repro.services.testipv6.TestReport` and
+its :class:`~repro.core.scoring.ScoreBreakdown` into the ranked,
+human-readable next steps a helpdesk (or the mirror's result page)
+would show — each tied to the specific subtest evidence that triggered
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.scoring import ScoreBreakdown
+from repro.services.testipv6 import SubtestResult, TestReport
+
+__all__ = ["Advice", "AdvisoryReport", "advise"]
+
+
+@dataclass(frozen=True)
+class Advice:
+    """One recommendation, ordered by severity (lower = more urgent)."""
+
+    severity: int
+    title: str
+    detail: str
+    evidence: str
+
+    def render(self) -> str:
+        return f"[{self.severity}] {self.title}\n      {self.detail}\n      evidence: {self.evidence}"
+
+
+@dataclass
+class AdvisoryReport:
+    client_name: str
+    score: ScoreBreakdown
+    advice: List[Advice] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"IPv6 readiness for {self.client_name}: {self.score} ",
+        ]
+        if not self.advice:
+            lines.append("No action needed — this device is fully IPv6-only ready.")
+        for item in sorted(self.advice, key=lambda a: a.severity):
+            lines.append(item.render())
+        return "\n".join(lines)
+
+
+def _sub(report: TestReport, name: str) -> Optional[SubtestResult]:
+    return report.subtest(name)
+
+
+def advise(report: TestReport, score: ScoreBreakdown) -> AdvisoryReport:
+    """Produce the enhanced-mirror advisory for one test run."""
+    advice: List[Advice] = []
+    aaaa = _sub(report, "aaaa_record_fetch")
+    a_rec = _sub(report, "a_record_fetch")
+    dns_aaaa = _sub(report, "dns_resolves_aaaa")
+    dns_a = _sub(report, "dns_resolves_a")
+    v6_lit = _sub(report, "v6_literal_fetch")
+    v4_lit = _sub(report, "v4_literal_fetch")
+    ds = _sub(report, "dualstack_fetch")
+    prefers = _sub(report, "dualstack_prefers_v6")
+
+    no_v6_at_all = (
+        (aaaa is None or not aaaa.passed or aaaa.family_seen != "ipv6")
+        and (v6_lit is None or not v6_lit.passed)
+    )
+    has_working_v4 = (v4_lit is not None and v4_lit.passed) or (
+        a_rec is not None and a_rec.passed
+    )
+
+    if no_v6_at_all and has_working_v4:
+        advice.append(
+            Advice(
+                1,
+                "This device has no IPv6 connectivity",
+                "Your device or its configuration does not support the current "
+                "version of the Internet Protocol. Check that IPv6 is enabled in "
+                "the operating system's network settings; if the device cannot "
+                "support IPv6, it will not work on an IPv6-only network. Visit "
+                "the helpdesk for assistance.",
+                f"aaaa_record_fetch={'FAIL' if not (aaaa and aaaa.passed) else aaaa.family_seen}, "
+                f"v6_literal_fetch={'FAIL' if not (v6_lit and v6_lit.passed) else 'ok'}",
+            )
+        )
+    elif no_v6_at_all and not has_working_v4:
+        advice.append(
+            Advice(
+                1,
+                "No working connectivity at all",
+                "Neither IPv4 nor IPv6 fetches completed. Check the physical "
+                "connection, VPN state (figure 11's culprit) and whether a "
+                "captive portal is pending.",
+                "every fetch subtest failed",
+            )
+        )
+
+    if aaaa is not None and aaaa.passed and aaaa.family_seen == "ipv4":
+        advice.append(
+            Advice(
+                2,
+                "IPv6 test pages loaded over IPv4 (misleading result)",
+                "The IPv6-only hostname was reached over IPv4 — a DNS "
+                "configuration (such as a poisoned resolver pointing back at "
+                "this mirror) is masking the true result. This is the known "
+                "erroneous-10/10 condition; the score shown by older mirrors "
+                "is not trustworthy for this device.",
+                f"aaaa_record_fetch passed but family={aaaa.family_seen}",
+            )
+        )
+
+    if dns_aaaa is not None and not dns_aaaa.passed and (dns_a is None or dns_a.passed):
+        advice.append(
+            Advice(
+                2,
+                "Resolver cannot answer AAAA queries",
+                "A records resolve but AAAA queries fail — the configured DNS "
+                "server is unhealthy for IPv6 answers (dead upstream DNS64?). "
+                "Network operations should check the resolver chain.",
+                f"dns_resolves_aaaa: {dns_aaaa.detail}",
+            )
+        )
+
+    if (
+        ds is not None
+        and ds.passed
+        and prefers is not None
+        and not prefers.passed
+        and not no_v6_at_all
+    ):
+        advice.append(
+            Advice(
+                3,
+                "Dual-stack host is preferring IPv4",
+                "The device reached the dual-stack site over IPv4 despite "
+                "having IPv6. Its address-selection policy (RFC 6724 table, "
+                "or an application override) favours legacy IP — expect "
+                "degraded behaviour on IPv6-only networks.",
+                f"dualstack_fetch family={ds.family_seen}",
+            )
+        )
+
+    if score.classified_as == "dual-stack":
+        advice.append(
+            Advice(
+                4,
+                "Works today, but not yet RFC 8925 ready",
+                "This device still configures native IPv4 (it did not request "
+                "or honour DHCPv4 option 108). It functions on IPv6-mostly "
+                "networks but consumes IPv4 addresses; an OS update adding "
+                "IPv6-Only-Preferred support (e.g. the Windows 11 CLAT "
+                "rollout) would complete the transition.",
+                "classified as dual-stack by NAT64-egress analysis",
+            )
+        )
+
+    return AdvisoryReport(client_name=report.client_name, score=score, advice=advice)

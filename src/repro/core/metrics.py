@@ -1,0 +1,128 @@
+"""Client census: the accurate IPv6-only client counting SC24 wants.
+
+Paper §III.A: a dual-stack laptop running an IPv4-literal application
+"was actively being counted towards the SC23v6 usage statistics, despite
+solely connecting into that SSID for an IPv4-only service.  For SC24,
+SCinet's IPv6 operational subject matter experts would like to have an
+accurate IPv6-only client count."
+
+:class:`ClientCensus` classifies each client from *observable* network
+state — DHCP leases (v6-only grants vs plain IPv4 leases), NAT44 vs
+NAT64 session tables, and native v6 flows — the same evidence a real
+operator has.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.addresses import MacAddress
+
+__all__ = ["ClientClass", "CensusRow", "ClientCensus"]
+
+
+class ClientClass(enum.Enum):
+    """Operator-visible classification of one client device."""
+
+    IPV6_ONLY_RFC8925 = "ipv6-only (RFC 8925 grant)"
+    IPV6_ONLY_NATIVE = "ipv6-only (no IPv4 at all)"
+    DUAL_STACK = "dual-stack"
+    IPV4_ONLY = "ipv4-only"
+    UNKNOWN = "unknown"
+
+    @property
+    def counts_as_ipv6_only(self) -> bool:
+        return self in (ClientClass.IPV6_ONLY_RFC8925, ClientClass.IPV6_ONLY_NATIVE)
+
+
+@dataclass
+class CensusRow:
+    name: str
+    mac: MacAddress
+    classification: ClientClass
+    has_v4_lease: bool
+    has_v6_address: bool
+    sent_v4_flows: bool
+    sent_v6_flows: bool
+
+
+@dataclass
+class ClientCensus:
+    """Aggregates classification over a set of observed clients."""
+
+    rows: List[CensusRow] = field(default_factory=list)
+
+    def observe(
+        self,
+        name: str,
+        mac: MacAddress,
+        has_v4_lease: bool,
+        granted_v6only: bool,
+        has_v6_address: bool,
+        sent_v4_flows: bool,
+        sent_v6_flows: bool,
+    ) -> CensusRow:
+        """Classify one client from operator-visible evidence.
+
+        Note the SC23 failure mode is preserved deliberately in the
+        *naive* counting (see :meth:`naive_ipv6_only_count`): a client
+        associated to the v6 SSID counts regardless of what it actually
+        sent.  The accurate count demands v6 flows and no native v4.
+        """
+        if granted_v6only and has_v6_address:
+            cls = ClientClass.IPV6_ONLY_RFC8925
+        elif not has_v4_lease and has_v6_address and not sent_v4_flows:
+            cls = ClientClass.IPV6_ONLY_NATIVE
+        elif has_v4_lease and has_v6_address and sent_v6_flows:
+            cls = ClientClass.DUAL_STACK
+        elif has_v4_lease and not has_v6_address:
+            cls = ClientClass.IPV4_ONLY
+        elif has_v4_lease and has_v6_address and not sent_v6_flows:
+            # Associated to the v6 network, used only IPv4 — the
+            # Echolink laptop of figure 2.
+            cls = ClientClass.DUAL_STACK
+        else:
+            cls = ClientClass.UNKNOWN
+        row = CensusRow(
+            name,
+            mac,
+            cls,
+            has_v4_lease,
+            has_v6_address,
+            sent_v4_flows,
+            sent_v6_flows,
+        )
+        self.rows.append(row)
+        return row
+
+    # -- the two counting methods the paper contrasts ------------------------
+
+    def naive_ipv6_only_count(self) -> int:
+        """SC23-style: every associated client with a v6 address counts."""
+        return sum(1 for r in self.rows if r.has_v6_address)
+
+    def accurate_ipv6_only_count(self) -> int:
+        """SC24 goal: only clients genuinely operating IPv6-only."""
+        return sum(1 for r in self.rows if r.classification.counts_as_ipv6_only)
+
+    def breakdown(self) -> Dict[ClientClass, int]:
+        out: Dict[ClientClass, int] = {}
+        for row in self.rows:
+            out[row.classification] = out.get(row.classification, 0) + 1
+        return out
+
+    def table(self) -> str:
+        lines = [f"{'client':20s} {'class':34s} v4lease v6addr v4flows v6flows"]
+        for r in self.rows:
+            lines.append(
+                f"{r.name:20s} {r.classification.value:34s} "
+                f"{str(r.has_v4_lease):7s} {str(r.has_v6_address):6s} "
+                f"{str(r.sent_v4_flows):7s} {str(r.sent_v6_flows):7s}"
+            )
+        lines.append(
+            f"naive v6-only count: {self.naive_ipv6_only_count()}   "
+            f"accurate v6-only count: {self.accurate_ipv6_only_count()}"
+        )
+        return "\n".join(lines)

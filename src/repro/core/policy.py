@@ -1,0 +1,102 @@
+"""Intervention policy: which clients receive the poisoned resolver.
+
+Two deployment models from the paper (§IV):
+
+- **SCinet SC24v6**: the whole SSID gets option 108 + the poisoned
+  resolver — the network's very purpose is the intervention;
+- **Argonne-Auth**: AAA places devices into RFC 8925-enabled segments,
+  but "service accounts will be created and tightly controlled for
+  devices which must retain IPv4-only support" — a per-device exemption
+  list.
+
+:class:`PolicyDhcpServer` applies a policy at the DHCP server, deciding
+per client MAC whether to (a) offer option 108, (b) hand out the
+poisoned or the healthy resolver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.dhcp.message import DhcpMessage
+from repro.dhcp.options import DhcpOptionCode, pack_addresses
+from repro.dhcp.server import DhcpServer
+
+__all__ = ["PolicyDecision", "InterventionPolicy", "PolicyDhcpServer"]
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """What one client gets from the network."""
+
+    offer_option_108: bool
+    dns_servers: Sequence[IPv4Address]
+    reason: str
+
+
+@dataclass
+class InterventionPolicy:
+    """The decision table.
+
+    ``service_accounts`` — MACs exempted from the intervention (they
+    receive the healthy resolver and no option 108), the Argonne-Auth
+    carve-out.  ``intervention_enabled`` is the global switch the
+    rollback playbook flips.
+    """
+
+    poisoned_dns: Sequence[IPv4Address]
+    healthy_dns: Sequence[IPv4Address]
+    intervention_enabled: bool = True
+    offer_option_108: bool = True
+    service_accounts: Set[MacAddress] = field(default_factory=set)
+    decisions_made: int = 0
+
+    def exempt(self, mac: MacAddress) -> None:
+        self.service_accounts.add(mac)
+
+    def unexempt(self, mac: MacAddress) -> None:
+        self.service_accounts.discard(mac)
+
+    def decide(self, mac: MacAddress) -> PolicyDecision:
+        self.decisions_made += 1
+        if mac in self.service_accounts:
+            return PolicyDecision(
+                offer_option_108=False,
+                dns_servers=tuple(self.healthy_dns),
+                reason="service-account exemption (IPv4-only retained)",
+            )
+        if not self.intervention_enabled:
+            return PolicyDecision(
+                offer_option_108=self.offer_option_108,
+                dns_servers=tuple(self.healthy_dns),
+                reason="intervention disabled",
+            )
+        return PolicyDecision(
+            offer_option_108=self.offer_option_108,
+            dns_servers=tuple(self.poisoned_dns),
+            reason="intervention active",
+        )
+
+
+class PolicyDhcpServer(DhcpServer):
+    """A DHCP server that consults an :class:`InterventionPolicy` per
+    client before answering."""
+
+    def __init__(self, policy: InterventionPolicy, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.policy = policy
+
+    def _grants_v6only(self, message: DhcpMessage) -> bool:
+        decision = self.policy.decide(message.chaddr)
+        if not decision.offer_option_108:
+            return False
+        return super()._grants_v6only(message)
+
+    def _common_options(self, message: DhcpMessage, v6only: bool = False) -> Dict[int, bytes]:
+        options = super()._common_options(message, v6only)
+        decision = self.policy.decide(message.chaddr)
+        if decision.dns_servers:
+            options[DhcpOptionCode.DNS_SERVERS] = pack_addresses(list(decision.dns_servers))
+        return options

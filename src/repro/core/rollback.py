@@ -1,0 +1,105 @@
+"""Reversible deployment playbooks (the paper's Ansible equivalent).
+
+"The SCinet SC24 DevOps Team intends on ... an Ansible playbook to
+remove the IPv4 DNS interventions should major issues be reported."
+(paper §VII)
+
+A :class:`Playbook` is an ordered list of :class:`Task` objects, each a
+named apply/revert pair over live testbed objects.  ``run()`` applies
+in order and stops (auto-reverting what already ran) on failure;
+``rollback()`` reverts a completed run in reverse order.  Prebuilt
+playbooks for deploying and removing the intervention live in
+:mod:`repro.core.testbed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["Task", "PlaybookRun", "Playbook", "PlaybookError"]
+
+
+class PlaybookError(Exception):
+    """A task failed to apply; partial work has been reverted."""
+
+
+@dataclass
+class Task:
+    """One reversible configuration change."""
+
+    name: str
+    apply: Callable[[], None]
+    revert: Callable[[], None]
+    check: Optional[Callable[[], bool]] = None  # post-apply verification
+
+
+@dataclass
+class PlaybookRun:
+    """The record of one execution, the unit rollback() operates on."""
+
+    applied: List[Task] = field(default_factory=list)
+    failed_task: Optional[str] = None
+    rolled_back: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.failed_task is None
+
+
+class Playbook:
+    """An ordered, reversible change set."""
+
+    def __init__(self, name: str, tasks: Optional[List[Task]] = None) -> None:
+        self.name = name
+        self.tasks: List[Task] = tasks or []
+        self.runs: List[PlaybookRun] = []
+
+    def add(
+        self,
+        name: str,
+        apply: Callable[[], None],
+        revert: Callable[[], None],
+        check: Optional[Callable[[], bool]] = None,
+    ) -> "Playbook":
+        self.tasks.append(Task(name, apply, revert, check))
+        return self
+
+    def run(self) -> PlaybookRun:
+        """Apply all tasks; on any failure, revert the ones that ran."""
+        record = PlaybookRun()
+        self.runs.append(record)
+        for task in self.tasks:
+            applied = False
+            try:
+                task.apply()
+                applied = True
+                if task.check is not None and not task.check():
+                    raise PlaybookError(f"post-check failed for task {task.name!r}")
+            except Exception as exc:
+                record.failed_task = task.name
+                if applied:
+                    # The apply completed but verification failed: the
+                    # change is live and must be backed out too.
+                    task.revert()
+                self._revert(record)
+                raise PlaybookError(
+                    f"playbook {self.name!r} failed at {task.name!r}: {exc}"
+                ) from exc
+            record.applied.append(task)
+        return record
+
+    def rollback(self, run: Optional[PlaybookRun] = None) -> None:
+        """Revert a successful run (default: the most recent)."""
+        record = run or (self.runs[-1] if self.runs else None)
+        if record is None:
+            raise PlaybookError("nothing to roll back")
+        if record.rolled_back:
+            raise PlaybookError("run already rolled back")
+        self._revert(record)
+
+    def _revert(self, record: PlaybookRun) -> None:
+        for task in reversed(record.applied):
+            task.revert()
+        record.applied.clear()
+        record.rolled_back = True

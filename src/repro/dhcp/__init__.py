@@ -1,0 +1,33 @@
+"""DHCPv4 (RFC 2131/2132) with the RFC 8925 IPv6-Only-Preferred option.
+
+Option 108 is the paper's headline mechanism: a client that includes it
+in its Parameter Request List and receives it back disables its IPv4
+stack for ``V6ONLY_WAIT`` seconds and relies on IPv6 (+CLAT) instead.
+The 5G gateway's non-disableable, option-108-ignorant DHCP pool is
+blocked at the switch by :mod:`repro.dhcp.snooping`, exactly as the
+testbed did.
+"""
+
+from repro.dhcp.options import DhcpOptionCode, DhcpMessageType, V6ONLY_WAIT_DEFAULT, MIN_V6ONLY_WAIT
+from repro.dhcp.message import DhcpMessage, DHCP_CLIENT_PORT, DHCP_SERVER_PORT
+from repro.dhcp.server import DhcpServer, DhcpPool, Lease
+from repro.dhcp.client import DhcpClient, DhcpClientState, DhcpClientResult
+from repro.dhcp.snooping import DhcpSnooper, SnoopAction
+
+__all__ = [
+    "DhcpOptionCode",
+    "DhcpMessageType",
+    "V6ONLY_WAIT_DEFAULT",
+    "MIN_V6ONLY_WAIT",
+    "DhcpMessage",
+    "DHCP_CLIENT_PORT",
+    "DHCP_SERVER_PORT",
+    "DhcpServer",
+    "DhcpPool",
+    "Lease",
+    "DhcpClient",
+    "DhcpClientState",
+    "DhcpClientResult",
+    "DhcpSnooper",
+    "SnoopAction",
+]

@@ -1,0 +1,150 @@
+"""The DHCPv4 client state machine, including RFC 8925 behaviour.
+
+A client that supports option 108 lists it in its Parameter Request
+List; when the ACK carries it back, the client records the granted
+``V6ONLY_WAIT``, declines to configure IPv4 and signals the host stack
+to run IPv6-only (activating CLAT where available) — the mechanism the
+paper deployed to "allow clients to disable their IPv4 protocol stack
+while retaining legacy IP connectivity".
+
+The client is transport-agnostic: it produces wire bytes to broadcast
+and consumes reply bytes, so it runs identically against the simulator
+or directly against a :class:`repro.dhcp.server.DhcpServer` in tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.dhcp.message import DhcpMessage
+from repro.dhcp.options import DhcpMessageType
+
+__all__ = ["DhcpClientState", "DhcpClientResult", "DhcpClient"]
+
+
+class DhcpClientState(enum.Enum):
+    """The client state machine's externally visible states."""
+
+    INIT = "init"
+    SELECTING = "selecting"
+    REQUESTING = "requesting"
+    BOUND = "bound"
+    V6ONLY = "v6only"  # RFC 8925: IPv4 disabled for V6ONLY_WAIT
+    FAILED = "failed"
+
+
+@dataclass
+class DhcpClientResult:
+    """The configuration a completed DORA exchange yielded."""
+
+    state: DhcpClientState
+    address: Optional[IPv4Address] = None
+    netmask: Optional[IPv4Address] = None
+    routers: List[IPv4Address] = field(default_factory=list)
+    dns_servers: List[IPv4Address] = field(default_factory=list)
+    domain_name: Optional[str] = None
+    lease_time: Optional[int] = None
+    v6only_wait: Optional[int] = None
+    server_id: Optional[IPv4Address] = None
+
+    @property
+    def ipv4_configured(self) -> bool:
+        return self.state is DhcpClientState.BOUND and self.address is not None
+
+    @property
+    def ipv6_only(self) -> bool:
+        return self.state is DhcpClientState.V6ONLY
+
+
+class DhcpClient:
+    """Drives one DORA exchange through a caller-supplied broadcaster.
+
+    ``broadcast`` sends client-port-68→server-port-67 bytes onto the link
+    and returns the replies observed within the timeout (there may be
+    several — the testbed race between the Pi server and the gateway's
+    blocked pool is decided here and by the snooper).
+    """
+
+    def __init__(
+        self,
+        mac: MacAddress,
+        supports_option_108: bool,
+        xid_source: Callable[[], int],
+        name: str = "dhcp-client",
+    ) -> None:
+        self.mac = mac
+        self.supports_option_108 = supports_option_108
+        self._xid_source = xid_source
+        self.name = name
+        self.state = DhcpClientState.INIT
+        self.exchanges = 0
+
+    def run_exchange(
+        self, broadcast: Callable[[bytes], List[bytes]]
+    ) -> DhcpClientResult:
+        """Perform DISCOVER→OFFER→REQUEST→ACK and interpret the result."""
+        self.exchanges += 1
+        self.state = DhcpClientState.SELECTING
+        xid = self._xid_source() & 0xFFFFFFFF
+        discover = DhcpMessage.discover(
+            xid, self.mac, request_option_108=self.supports_option_108
+        )
+        offers = self._collect(broadcast(discover.encode()), xid, DhcpMessageType.OFFER)
+        if not offers:
+            self.state = DhcpClientState.FAILED
+            return DhcpClientResult(DhcpClientState.FAILED)
+        offer = offers[0]  # first responder wins, as on real networks
+
+        # RFC 8925 §3.2: an offer carrying option 108 short-circuits — the
+        # client still completes the REQUEST to confirm, then disables v4.
+        self.state = DhcpClientState.REQUESTING
+        request = DhcpMessage.request(
+            xid,
+            self.mac,
+            offer.yiaddr,
+            offer.server_identifier or offer.siaddr,
+            request_option_108=self.supports_option_108,
+        )
+        acks = self._collect(broadcast(request.encode()), xid, DhcpMessageType.ACK)
+        if not acks:
+            self.state = DhcpClientState.FAILED
+            return DhcpClientResult(DhcpClientState.FAILED)
+        ack = acks[0]
+
+        v6only = ack.v6only_wait if self.supports_option_108 else None
+        if v6only is not None:
+            self.state = DhcpClientState.V6ONLY
+            return DhcpClientResult(
+                DhcpClientState.V6ONLY,
+                v6only_wait=v6only,
+                dns_servers=ack.dns_servers,
+                domain_name=ack.domain_name,
+                server_id=ack.server_identifier,
+            )
+        self.state = DhcpClientState.BOUND
+        return DhcpClientResult(
+            DhcpClientState.BOUND,
+            address=ack.yiaddr,
+            netmask=ack.subnet_mask,
+            routers=ack.routers,
+            dns_servers=ack.dns_servers,
+            domain_name=ack.domain_name,
+            lease_time=ack.lease_time,
+            server_id=ack.server_identifier,
+        )
+
+    def _collect(
+        self, replies: List[bytes], xid: int, wanted: DhcpMessageType
+    ) -> List[DhcpMessage]:
+        out = []
+        for raw in replies:
+            try:
+                message = DhcpMessage.decode(raw)
+            except ValueError:
+                continue
+            if message.op == 2 and message.xid == xid and message.message_type == wanted:
+                out.append(message)
+        return out

@@ -1,0 +1,125 @@
+"""DHCPv4 option codes and typed option codecs (RFC 2132, RFC 8925).
+
+Options are held as a mapping ``code -> bytes`` plus typed helpers for
+the ones the testbed uses.  Option 108 ("IPv6-Only Preferred",
+RFC 8925 §3.4) carries a 32-bit ``V6ONLY_WAIT`` in seconds.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import Dict, List, Sequence, Tuple
+
+from repro.net.addresses import IPv4Address
+
+__all__ = [
+    "DhcpOptionCode",
+    "DhcpMessageType",
+    "V6ONLY_WAIT_DEFAULT",
+    "MIN_V6ONLY_WAIT",
+    "encode_options",
+    "decode_options",
+    "pack_addresses",
+    "unpack_addresses",
+]
+
+#: RFC 8925 §3.4: default V6ONLY_WAIT is 1800 seconds.
+V6ONLY_WAIT_DEFAULT = 1800
+#: RFC 8925 §3.2: a client MUST use at least 300 seconds.
+MIN_V6ONLY_WAIT = 300
+
+
+class DhcpOptionCode(enum.IntEnum):
+    """DHCPv4 option codes the testbed exchanges (RFC 2132, RFC 8925)."""
+
+    PAD = 0
+    SUBNET_MASK = 1
+    ROUTER = 3
+    DNS_SERVERS = 6
+    HOSTNAME = 12
+    DOMAIN_NAME = 15
+    BROADCAST_ADDRESS = 28
+    REQUESTED_IP = 50
+    LEASE_TIME = 51
+    MESSAGE_TYPE = 53
+    SERVER_IDENTIFIER = 54
+    PARAMETER_REQUEST_LIST = 55
+    MESSAGE = 56
+    RENEWAL_TIME = 58
+    REBINDING_TIME = 59
+    CLIENT_IDENTIFIER = 61
+    DOMAIN_SEARCH = 119
+    IPV6_ONLY_PREFERRED = 108  # RFC 8925
+    END = 255
+
+
+class DhcpMessageType(enum.IntEnum):
+    """DHCP message types (RFC 2132 §9.6)."""
+
+    DISCOVER = 1
+    OFFER = 2
+    REQUEST = 3
+    DECLINE = 4
+    ACK = 5
+    NAK = 6
+    RELEASE = 7
+    INFORM = 8
+
+
+def encode_options(options: Sequence[Tuple[int, bytes]]) -> bytes:
+    """Serialize (code, value) pairs, appending the END option."""
+    out = bytearray()
+    for code, value in options:
+        if code in (DhcpOptionCode.PAD, DhcpOptionCode.END):
+            raise ValueError("PAD/END are emitted automatically")
+        if len(value) > 255:
+            raise ValueError(f"option {code} too long: {len(value)} bytes")
+        out += bytes([code, len(value)]) + value
+    out.append(DhcpOptionCode.END)
+    return bytes(out)
+
+
+def decode_options(data: bytes) -> Dict[int, bytes]:
+    """Parse the options field.  Later occurrences of a code win (real
+    clients concatenate, but no testbed option needs that)."""
+    options: Dict[int, bytes] = {}
+    off = 0
+    while off < len(data):
+        code = data[off]
+        if code == DhcpOptionCode.PAD:
+            off += 1
+            continue
+        if code == DhcpOptionCode.END:
+            break
+        if off + 1 >= len(data):
+            raise ValueError("truncated DHCP option header")
+        length = data[off + 1]
+        if off + 2 + length > len(data):
+            raise ValueError(f"truncated DHCP option {code}")
+        options[code] = bytes(data[off + 2 : off + 2 + length])
+        off += 2 + length
+    return options
+
+
+def pack_addresses(addresses: Sequence[IPv4Address]) -> bytes:
+    return b"".join(a.packed for a in addresses)
+
+
+def unpack_addresses(data: bytes) -> List[IPv4Address]:
+    if len(data) % 4:
+        raise ValueError("address list length not a multiple of 4")
+    return [IPv4Address(data[i : i + 4]) for i in range(0, len(data), 4)]
+
+
+def pack_v6only_wait(seconds: int) -> bytes:
+    """Encode the option-108 value (server side)."""
+    return struct.pack("!I", seconds)
+
+
+def unpack_v6only_wait(data: bytes) -> int:
+    """Decode option 108 and apply the RFC 8925 §3.2 client-side floor."""
+    if len(data) != 4:
+        raise ValueError("option 108 must carry exactly 4 bytes")
+    (value,) = struct.unpack("!I", data)
+    return max(value, MIN_V6ONLY_WAIT) if value else V6ONLY_WAIT_DEFAULT

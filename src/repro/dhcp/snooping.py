@@ -1,0 +1,76 @@
+"""DHCPv4 snooping, as configured on the testbed's managed switch.
+
+The 5G gateway's built-in DHCP pool "was not capable of defining option
+108, and could not be disabled.  To work around these DHCPv4
+limitations, DHCPv4 snooping was configured on the managed switch to
+block the 5G mobile Internet gateway's DHCPv4 pool" (paper §IV.A).
+
+The snooper inspects Ethernet frames: server-to-client DHCP (UDP source
+port 67) arriving on an *untrusted* port is dropped; everything else is
+forwarded.  The switch consults it per ingress port.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.net.ethernet import EtherType, EthernetFrame
+from repro.net.ipv4 import IPProto, IPv4Packet
+from repro.net.udp import UdpDatagram
+from repro.dhcp.message import DHCP_SERVER_PORT
+
+__all__ = ["SnoopAction", "DhcpSnooper"]
+
+
+class SnoopAction(enum.Enum):
+    """Verdict of the snooper for one frame."""
+
+    FORWARD = "forward"
+    DROP = "drop"
+
+
+@dataclass
+class DhcpSnooper:
+    """Per-port DHCP snooping policy.
+
+    Ports in ``trusted_ports`` may source DHCP server messages (the Pi
+    server's port); all other ports have server-sourced DHCP dropped.
+    When ``enabled`` is False every frame forwards — the pre-workaround
+    configuration, used by the figure-3 experiment to show the gateway
+    pool winning.
+    """
+
+    trusted_ports: Set[str] = field(default_factory=set)
+    enabled: bool = True
+    dropped: int = 0
+    inspected: int = 0
+
+    def trust(self, port: str) -> None:
+        self.trusted_ports.add(port)
+
+    def untrust(self, port: str) -> None:
+        self.trusted_ports.discard(port)
+
+    def inspect(self, ingress_port: str, frame: EthernetFrame) -> SnoopAction:
+        """Decide the fate of ``frame`` received on ``ingress_port``."""
+        if not self.enabled or ingress_port in self.trusted_ports:
+            return SnoopAction.FORWARD
+        if frame.ethertype != EtherType.IPV4:
+            return SnoopAction.FORWARD
+        try:
+            packet = IPv4Packet.decode(frame.payload)
+        except ValueError:
+            return SnoopAction.FORWARD
+        if packet.proto != IPProto.UDP:
+            return SnoopAction.FORWARD
+        try:
+            datagram = UdpDatagram.decode(packet.payload, packet.src, packet.dst)
+        except ValueError:
+            return SnoopAction.FORWARD
+        self.inspected += 1
+        if datagram.src_port == DHCP_SERVER_PORT:
+            self.dropped += 1
+            return SnoopAction.DROP
+        return SnoopAction.FORWARD

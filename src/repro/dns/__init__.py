@@ -1,0 +1,66 @@
+"""A complete DNS implementation: names with compression, messages,
+record data, authoritative zones, caching and a suffix-search-list-aware
+stub resolver.
+
+This is the substrate the paper's contribution manipulates: the healthy
+DNS64 (:class:`repro.xlat.dns64.DNS64Resolver`), the dnsmasq-style
+poisoned server (:class:`repro.core.intervention.PoisonedDNSServer`) and
+the RPZ alternative (:class:`repro.core.rpz.RPZPolicyServer`) all speak
+the wire format defined here.
+"""
+
+from repro.dns.name import DnsName
+from repro.dns.rdata import (
+    RRType,
+    RRClass,
+    RCode,
+    A,
+    AAAA,
+    CNAME,
+    NS,
+    PTR,
+    SOA,
+    MX,
+    TXT,
+    SRV,
+    OpaqueRData,
+)
+from repro.dns.message import DnsHeader, DnsQuestion, ResourceRecord, DnsMessage
+from repro.dns.zone import Zone, ZoneError
+from repro.dns.cache import DnsCache
+from repro.dns.resolver import StubResolver, ResolverConfig, ResolutionResult, DnsTransportError
+from repro.dns.server import DnsServer, ForwardingDnsServer
+from repro.dns.zonefile import ZoneFileError, parse_zone_text, zone_to_text
+
+__all__ = [
+    "DnsName",
+    "RRType",
+    "RRClass",
+    "RCode",
+    "A",
+    "AAAA",
+    "CNAME",
+    "NS",
+    "PTR",
+    "SOA",
+    "MX",
+    "TXT",
+    "SRV",
+    "OpaqueRData",
+    "DnsHeader",
+    "DnsQuestion",
+    "ResourceRecord",
+    "DnsMessage",
+    "Zone",
+    "ZoneError",
+    "DnsCache",
+    "StubResolver",
+    "ResolverConfig",
+    "ResolutionResult",
+    "DnsTransportError",
+    "DnsServer",
+    "ForwardingDnsServer",
+    "ZoneFileError",
+    "parse_zone_text",
+    "zone_to_text",
+]

@@ -1,0 +1,84 @@
+"""A TTL-honouring DNS cache keyed by (name, type).
+
+Both the stub resolvers in client stacks and the forwarding servers use
+this cache; it stores positive answers and negative (NXDOMAIN / NODATA)
+results with the SOA-minimum TTL, per RFC 2308.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dns.name import DnsName
+from repro.dns.message import ResourceRecord
+from repro.dns.rdata import RCode
+
+__all__ = ["DnsCache", "CacheEntry"]
+
+
+@dataclass
+class CacheEntry:
+    rcode: int
+    records: List[ResourceRecord]
+    expires_at: float
+
+    def is_fresh(self, now: float) -> bool:
+        return now < self.expires_at
+
+
+class DnsCache:
+    """A bounded (name, rrtype) → answer cache.
+
+    ``clock`` is any zero-argument callable returning seconds; in the
+    simulation it is the event engine's clock, so TTLs age with simulated
+    time, deterministically.
+    """
+
+    def __init__(self, clock, max_entries: int = 4096, negative_ttl: int = 60) -> None:
+        self._clock = clock
+        self._max = max_entries
+        self._negative_ttl = negative_ttl
+        self._entries: Dict[Tuple[DnsName, int], CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, name, rrtype: int) -> Optional[CacheEntry]:
+        key = (DnsName(name), rrtype)
+        entry = self._entries.get(key)
+        if entry is None or not entry.is_fresh(self._clock()):
+            if entry is not None:
+                del self._entries[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put_positive(self, name, rrtype: int, records: List[ResourceRecord]) -> None:
+        ttl = min((rr.ttl for rr in records), default=self._negative_ttl)
+        self._store(name, rrtype, CacheEntry(RCode.NOERROR, list(records), self._clock() + ttl))
+
+    def put_negative(self, name, rrtype: int, rcode: int, ttl: Optional[int] = None) -> None:
+        ttl = self._negative_ttl if ttl is None else ttl
+        self._store(name, rrtype, CacheEntry(rcode, [], self._clock() + ttl))
+
+    def _store(self, name, rrtype: int, entry: CacheEntry) -> None:
+        if len(self._entries) >= self._max:
+            self._evict()
+        self._entries[(DnsName(name), rrtype)] = entry
+
+    def _evict(self) -> None:
+        now = self._clock()
+        stale = [k for k, v in self._entries.items() if not v.is_fresh(now)]
+        for k in stale:
+            del self._entries[k]
+        while len(self._entries) >= self._max:
+            # Evict the soonest-to-expire entry.
+            victim = min(self._entries.items(), key=lambda kv: kv[1].expires_at)[0]
+            del self._entries[victim]
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

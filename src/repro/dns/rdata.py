@@ -1,0 +1,287 @@
+"""DNS record data (RDATA) types and the numeric registries.
+
+Each RDATA class knows how to encode itself and decode from a message
+buffer (names inside RDATA may use compression, hence decode receives the
+whole message plus an offset).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.dns.name import DnsName, NameCompressor
+
+__all__ = [
+    "RRType",
+    "RRClass",
+    "RCode",
+    "A",
+    "AAAA",
+    "CNAME",
+    "NS",
+    "PTR",
+    "SOA",
+    "MX",
+    "TXT",
+    "SRV",
+    "OpaqueRData",
+    "decode_rdata",
+]
+
+
+class RRType(enum.IntEnum):
+    """DNS resource-record type codes."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    SRV = 33
+    ANY = 255
+
+
+class RRClass(enum.IntEnum):
+    """DNS class codes (IN is all anyone uses)."""
+
+    IN = 1
+    ANY = 255
+
+
+class RCode(enum.IntEnum):
+    """DNS response codes (RFC 1035 §4.1.1)."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+
+@dataclass(frozen=True)
+class A:
+    """IPv4 address record — the record type the paper poisons."""
+
+    address: IPv4Address
+
+    rrtype = RRType.A
+
+    def encode(self, compressor: Optional[NameCompressor] = None) -> bytes:
+        del compressor
+        return self.address.packed
+
+    @classmethod
+    def decode(cls, message: bytes, offset: int, rdlength: int) -> "A":
+        if rdlength != 4:
+            raise ValueError(f"A RDATA must be 4 bytes, got {rdlength}")
+        return cls(IPv4Address(message[offset : offset + 4]))
+
+    def __str__(self) -> str:
+        return str(self.address)
+
+
+@dataclass(frozen=True)
+class AAAA:
+    """IPv6 address record — forwarded untouched by the poisoned server."""
+
+    address: IPv6Address
+
+    rrtype = RRType.AAAA
+
+    def encode(self, compressor: Optional[NameCompressor] = None) -> bytes:
+        del compressor
+        return self.address.packed
+
+    @classmethod
+    def decode(cls, message: bytes, offset: int, rdlength: int) -> "AAAA":
+        if rdlength != 16:
+            raise ValueError(f"AAAA RDATA must be 16 bytes, got {rdlength}")
+        return cls(IPv6Address(message[offset : offset + 16]))
+
+    def __str__(self) -> str:
+        return str(self.address)
+
+
+@dataclass(frozen=True)
+class _SingleName:
+    target: DnsName
+
+    def encode(self, compressor: Optional[NameCompressor] = None) -> bytes:
+        # RFC 3597 discourages compression inside newer RDATA, but CNAME/NS/PTR
+        # are compressible legacy types. We encode uncompressed for simplicity
+        # and decode either form.
+        del compressor
+        return self.target.encode()
+
+    @classmethod
+    def decode(cls, message: bytes, offset: int, rdlength: int):
+        del rdlength
+        name, _ = DnsName.decode(message, offset)
+        return cls(name)
+
+    def __str__(self) -> str:
+        return str(self.target)
+
+
+@dataclass(frozen=True)
+class CNAME(_SingleName):
+    rrtype = RRType.CNAME
+
+
+@dataclass(frozen=True)
+class NS(_SingleName):
+    rrtype = RRType.NS
+
+
+@dataclass(frozen=True)
+class PTR(_SingleName):
+    rrtype = RRType.PTR
+
+
+@dataclass(frozen=True)
+class SOA:
+    mname: DnsName
+    rname: DnsName
+    serial: int
+    refresh: int = 7200
+    retry: int = 900
+    expire: int = 1209600
+    minimum: int = 300
+
+    rrtype = RRType.SOA
+
+    def encode(self, compressor: Optional[NameCompressor] = None) -> bytes:
+        del compressor
+        return (
+            self.mname.encode()
+            + self.rname.encode()
+            + struct.pack(
+                "!IIIII", self.serial, self.refresh, self.retry, self.expire, self.minimum
+            )
+        )
+
+    @classmethod
+    def decode(cls, message: bytes, offset: int, rdlength: int) -> "SOA":
+        del rdlength
+        mname, offset = DnsName.decode(message, offset)
+        rname, offset = DnsName.decode(message, offset)
+        serial, refresh, retry, expire, minimum = struct.unpack(
+            "!IIIII", message[offset : offset + 20]
+        )
+        return cls(mname, rname, serial, refresh, retry, expire, minimum)
+
+
+@dataclass(frozen=True)
+class MX:
+    preference: int
+    exchange: DnsName
+
+    rrtype = RRType.MX
+
+    def encode(self, compressor: Optional[NameCompressor] = None) -> bytes:
+        del compressor
+        return struct.pack("!H", self.preference) + self.exchange.encode()
+
+    @classmethod
+    def decode(cls, message: bytes, offset: int, rdlength: int) -> "MX":
+        del rdlength
+        (preference,) = struct.unpack("!H", message[offset : offset + 2])
+        exchange, _ = DnsName.decode(message, offset + 2)
+        return cls(preference, exchange)
+
+
+@dataclass(frozen=True)
+class TXT:
+    strings: Tuple[bytes, ...]
+
+    rrtype = RRType.TXT
+
+    @classmethod
+    def from_text(cls, *texts: str) -> "TXT":
+        return cls(tuple(t.encode("utf-8") for t in texts))
+
+    def encode(self, compressor: Optional[NameCompressor] = None) -> bytes:
+        del compressor
+        out = bytearray()
+        for s in self.strings:
+            if len(s) > 255:
+                raise ValueError("TXT character-string longer than 255 bytes")
+            out.append(len(s))
+            out += s
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, message: bytes, offset: int, rdlength: int) -> "TXT":
+        strings = []
+        end = offset + rdlength
+        while offset < end:
+            length = message[offset]
+            strings.append(bytes(message[offset + 1 : offset + 1 + length]))
+            offset += 1 + length
+        return cls(tuple(strings))
+
+
+@dataclass(frozen=True)
+class SRV:
+    priority: int
+    weight: int
+    port: int
+    target: DnsName
+
+    rrtype = RRType.SRV
+
+    def encode(self, compressor: Optional[NameCompressor] = None) -> bytes:
+        del compressor
+        return struct.pack("!HHH", self.priority, self.weight, self.port) + self.target.encode()
+
+    @classmethod
+    def decode(cls, message: bytes, offset: int, rdlength: int) -> "SRV":
+        del rdlength
+        priority, weight, port = struct.unpack("!HHH", message[offset : offset + 6])
+        target, _ = DnsName.decode(message, offset + 6)
+        return cls(priority, weight, port, target)
+
+
+@dataclass(frozen=True)
+class OpaqueRData:
+    """RDATA of a type we don't model, carried verbatim (RFC 3597)."""
+
+    rrtype_value: int
+    data: bytes
+
+    @property
+    def rrtype(self) -> int:
+        return self.rrtype_value
+
+    def encode(self, compressor: Optional[NameCompressor] = None) -> bytes:
+        del compressor
+        return self.data
+
+
+_RDATA_CLASSES = {
+    RRType.A: A,
+    RRType.AAAA: AAAA,
+    RRType.CNAME: CNAME,
+    RRType.NS: NS,
+    RRType.PTR: PTR,
+    RRType.SOA: SOA,
+    RRType.MX: MX,
+    RRType.TXT: TXT,
+    RRType.SRV: SRV,
+}
+
+
+def decode_rdata(rrtype: int, message: bytes, offset: int, rdlength: int):
+    """Decode RDATA for ``rrtype`` from ``message`` at ``offset``."""
+    cls = _RDATA_CLASSES.get(rrtype)
+    if cls is None:
+        return OpaqueRData(rrtype, bytes(message[offset : offset + rdlength]))
+    return cls.decode(message, offset, rdlength)

@@ -1,0 +1,146 @@
+"""DNS server engines.
+
+:class:`DnsServer` answers from authoritative :class:`~repro.dns.zone.Zone`
+data — it plays the "healthy" resolver role (and, subclassed in
+:mod:`repro.xlat.dns64`, the DNS64 role).  :class:`ForwardingDnsServer`
+relays to an upstream, the building block dnsmasq-style configurations
+are made of.
+
+Servers consume and produce *wire bytes*; the simulator binds them to
+UDP port 53 on a simulated host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.dns.message import DnsMessage, ResourceRecord
+from repro.dns.name import DnsName
+from repro.dns.rdata import RCode, RRClass, RRType
+from repro.dns.zone import Zone
+
+__all__ = ["DnsServer", "ForwardingDnsServer", "QueryLogEntry"]
+
+
+@dataclass
+class QueryLogEntry:
+    """One served query — the raw material for the paper's client counting."""
+
+    name: DnsName
+    rrtype: int
+    rcode: int
+    answered_from: str  # "zone", "forwarded", "poison", "rpz", "refused"
+    client: Optional[object] = None
+
+
+class DnsServer:
+    """An authoritative DNS server over a set of zones.
+
+    ``handle_query(wire) -> wire`` is the entire interface; everything
+    else is bookkeeping.  Unknown names inside served zones yield
+    NXDOMAIN with the zone SOA in the authority section; names outside
+    every zone are REFUSED (this server does not recurse).
+    """
+
+    def __init__(self, zones: Sequence[Zone] = (), name: str = "dns") -> None:
+        self.name = name
+        self._zones: List[Zone] = list(zones)
+        self.query_log: List[QueryLogEntry] = []
+
+    def add_zone(self, zone: Zone) -> None:
+        self._zones.append(zone)
+
+    def zone_for(self, name) -> Optional[Zone]:
+        """The most specific zone covering ``name``."""
+        dname = DnsName(name)
+        best: Optional[Zone] = None
+        for zone in self._zones:
+            if zone.covers(dname):
+                if best is None or zone.origin.label_count > best.origin.label_count:
+                    best = zone
+        return best
+
+    # -- the wire interface ------------------------------------------------
+
+    def handle_query(self, wire: bytes, client: Optional[object] = None) -> Optional[bytes]:
+        """Process one query datagram; returns the response datagram.
+
+        Malformed queries are dropped (``None``), mirroring real servers.
+        """
+        try:
+            query = DnsMessage.decode(wire)
+        except ValueError:
+            return None
+        if query.header.is_response or not query.questions:
+            return None
+        response = self.respond(query, client)
+        return response.encode()
+
+    def respond(self, query: DnsMessage, client: Optional[object] = None) -> DnsMessage:
+        """Typed-message counterpart of :meth:`handle_query`."""
+        question = query.question
+        if question.rrclass not in (RRClass.IN, RRClass.ANY):
+            return query.response(rcode=RCode.REFUSED, recursion_available=False)
+        zone = self.zone_for(question.name)
+        if zone is None:
+            self._log(question, RCode.REFUSED, "refused", client)
+            return query.response(rcode=RCode.REFUSED, recursion_available=False)
+        result = zone.lookup(question.name, question.rrtype)
+        authorities: List[ResourceRecord] = []
+        if not result.answers or result.rcode == RCode.NXDOMAIN:
+            authorities = [zone.negative_soa()]
+        self._log(question, result.rcode, "zone", client)
+        return query.response(
+            answers=result.answers,
+            rcode=result.rcode,
+            authoritative=True,
+            authorities=authorities,
+            recursion_available=False,
+        )
+
+    def _log(self, question, rcode: int, source: str, client) -> None:
+        self.query_log.append(
+            QueryLogEntry(question.name, question.rrtype, rcode, source, client)
+        )
+
+
+class ForwardingDnsServer(DnsServer):
+    """A server that forwards queries it is not authoritative for.
+
+    ``upstream`` is a callable ``(wire) -> Optional[wire]`` — typically
+    another server's :meth:`DnsServer.handle_query` or a simulated
+    network exchange.  This is dnsmasq's ``server=...`` behaviour, the
+    second of the paper's two configuration lines.
+    """
+
+    def __init__(
+        self,
+        upstream: Callable[[bytes], Optional[bytes]],
+        zones: Sequence[Zone] = (),
+        name: str = "forwarder",
+    ) -> None:
+        super().__init__(zones, name)
+        self._upstream = upstream
+        self.forwarded = 0
+
+    def respond(self, query: DnsMessage, client: Optional[object] = None) -> DnsMessage:
+        question = query.question
+        if self.zone_for(question.name) is not None:
+            return super().respond(query, client)
+        raw = self._upstream(query.encode())
+        self.forwarded += 1
+        if raw is None:
+            self._log(question, RCode.SERVFAIL, "forwarded", client)
+            return query.response(rcode=RCode.SERVFAIL)
+        try:
+            upstream_response = DnsMessage.decode(raw)
+        except ValueError:
+            self._log(question, RCode.SERVFAIL, "forwarded", client)
+            return query.response(rcode=RCode.SERVFAIL)
+        self._log(question, upstream_response.rcode, "forwarded", client)
+        return query.response(
+            answers=upstream_response.answers,
+            rcode=upstream_response.rcode,
+            authorities=upstream_response.authorities,
+        )

@@ -1,0 +1,166 @@
+"""BIND-style zone file text: parse and dump :class:`~repro.dns.zone.Zone`.
+
+Supports the master-file subset real deployments of this testbed would
+keep under version control: ``$ORIGIN``, ``$TTL``, comments, relative
+and absolute owner names, ``@``, and the record types this library
+models (SOA, NS, A, AAAA, CNAME, PTR, MX, TXT, SRV).  Good enough to
+round-trip every zone the simulated internet uses.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import List, Optional
+
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.dns.name import DnsName
+from repro.dns.rdata import A, AAAA, CNAME, MX, NS, PTR, RRType, SOA, SRV, TXT
+from repro.dns.zone import Zone, ZoneError
+
+__all__ = ["parse_zone_text", "zone_to_text", "ZoneFileError"]
+
+
+class ZoneFileError(Exception):
+    """A line could not be parsed."""
+
+
+_TYPE_NAMES = {"SOA", "NS", "A", "AAAA", "CNAME", "PTR", "MX", "TXT", "SRV"}
+
+
+def _qualify(name: str, origin: DnsName) -> DnsName:
+    if name == "@":
+        return origin
+    if name.endswith("."):
+        return DnsName(name)
+    return DnsName(name).concatenate(origin)
+
+
+def parse_zone_text(text: str, origin: Optional[str] = None) -> Zone:
+    """Parse master-file text into a :class:`Zone`.
+
+    ``origin`` seeds ``$ORIGIN`` when the file does not declare one.
+    The zone apex is the origin; a SOA line replaces the default SOA.
+    """
+    current_origin = DnsName(origin) if origin else None
+    default_ttl = 300
+    zone: Optional[Zone] = None
+    last_owner: Optional[DnsName] = None
+    pending: List[tuple] = []
+
+    for lineno, raw_line in enumerate(text.splitlines(), 1):
+        line = raw_line.split(";", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        starts_with_space = line[0] in " \t"
+        try:
+            tokens = shlex.split(line)
+        except ValueError as exc:
+            raise ZoneFileError(f"line {lineno}: {exc}") from exc
+        if not tokens:
+            continue
+        if tokens[0] == "$ORIGIN":
+            current_origin = DnsName(tokens[1])
+            continue
+        if tokens[0] == "$TTL":
+            default_ttl = int(tokens[1])
+            continue
+        if current_origin is None:
+            raise ZoneFileError(f"line {lineno}: no $ORIGIN established")
+        if zone is None:
+            zone = Zone(current_origin)
+            zone.remove(current_origin, RRType.SOA)  # replaced below or left implicit
+
+        # Owner handling: leading whitespace means "same owner as before".
+        if starts_with_space:
+            if last_owner is None:
+                raise ZoneFileError(f"line {lineno}: no previous owner to inherit")
+            owner = last_owner
+        else:
+            owner = _qualify(tokens[0], current_origin)
+            tokens = tokens[1:]
+        last_owner = owner
+
+        # Optional TTL and class tokens before the type.
+        ttl = default_ttl
+        while tokens and tokens[0].upper() not in _TYPE_NAMES:
+            token = tokens.pop(0)
+            if token.upper() == "IN":
+                continue
+            try:
+                ttl = int(token)
+            except ValueError as exc:
+                raise ZoneFileError(f"line {lineno}: unexpected token {token!r}") from exc
+        if not tokens:
+            raise ZoneFileError(f"line {lineno}: missing record type")
+        rrtype = tokens.pop(0).upper()
+        try:
+            _add_record(zone, owner, rrtype, ttl, tokens, current_origin)
+        except (ValueError, ZoneError, IndexError) as exc:
+            raise ZoneFileError(f"line {lineno}: {exc}") from exc
+
+    if zone is None:
+        raise ZoneFileError("empty zone file")
+    if not zone.lookup(zone.origin, RRType.SOA).records:
+        zone.add(zone.origin, RRType.SOA, zone.soa, ttl=3600)
+    return zone
+
+
+def _add_record(zone: Zone, owner: DnsName, rrtype: str, ttl: int, args: List[str], origin: DnsName) -> None:
+    if rrtype == "A":
+        zone.add(owner, RRType.A, A(IPv4Address(args[0])), ttl)
+    elif rrtype == "AAAA":
+        zone.add(owner, RRType.AAAA, AAAA(IPv6Address(args[0])), ttl)
+    elif rrtype == "CNAME":
+        zone.add(owner, RRType.CNAME, CNAME(_qualify(args[0], origin)), ttl)
+    elif rrtype == "NS":
+        zone.add(owner, RRType.NS, NS(_qualify(args[0], origin)), ttl)
+    elif rrtype == "PTR":
+        zone.add(owner, RRType.PTR, PTR(_qualify(args[0], origin)), ttl)
+    elif rrtype == "MX":
+        zone.add(owner, RRType.MX, MX(int(args[0]), _qualify(args[1], origin)), ttl)
+    elif rrtype == "TXT":
+        zone.add(owner, RRType.TXT, TXT(tuple(a.encode() for a in args)), ttl)
+    elif rrtype == "SRV":
+        zone.add(
+            owner,
+            RRType.SRV,
+            SRV(int(args[0]), int(args[1]), int(args[2]), _qualify(args[3], origin)),
+            ttl,
+        )
+    elif rrtype == "SOA":
+        mname = _qualify(args[0], origin)
+        rname = _qualify(args[1], origin)
+        serial, refresh, retry, expire, minimum = (int(a) for a in args[2:7])
+        zone.soa = SOA(mname, rname, serial, refresh, retry, expire, minimum)
+        zone.remove(zone.origin, RRType.SOA)
+        zone.add(zone.origin, RRType.SOA, zone.soa, ttl)
+    else:
+        raise ValueError(f"unsupported record type {rrtype}")
+
+
+def zone_to_text(zone: Zone) -> str:
+    """Dump a zone as master-file text (round-trips through
+    :func:`parse_zone_text`)."""
+    lines = [f"$ORIGIN {zone.origin}.", "$TTL 300"]
+    soa = zone.soa
+    lines.append(
+        f"@ 3600 IN SOA {soa.mname}. {soa.rname}. "
+        f"{soa.serial} {soa.refresh} {soa.retry} {soa.expire} {soa.minimum}"
+    )
+    for rr in sorted(zone.iter_records(), key=lambda r: (str(r.name), r.rrtype)):
+        if rr.rrtype == RRType.SOA:
+            continue
+        owner = "@" if rr.name == zone.origin else str(rr.name) + "."
+        type_name = RRType(rr.rrtype).name
+        if rr.rrtype == RRType.TXT:
+            rdata = " ".join(f'"{s.decode()}"' for s in rr.rdata.strings)
+        elif rr.rrtype in (RRType.CNAME, RRType.NS, RRType.PTR):
+            rdata = f"{rr.rdata.target}."
+        elif rr.rrtype == RRType.MX:
+            rdata = f"{rr.rdata.preference} {rr.rdata.exchange}."
+        elif rr.rrtype == RRType.SRV:
+            rdata = f"{rr.rdata.priority} {rr.rdata.weight} {rr.rdata.port} {rr.rdata.target}."
+        else:
+            rdata = str(rr.rdata)
+        lines.append(f"{owner} {rr.ttl} IN {type_name} {rdata}")
+    return "\n".join(lines) + "\n"

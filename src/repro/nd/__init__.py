@@ -1,0 +1,34 @@
+"""IPv6 host configuration: Router Advertisement processing, SLAAC and
+RFC 6724 source/destination address selection.
+
+This package is why the intervention is safe for dual-stack clients:
+RFC 6724's policy table prefers native IPv6 destinations over IPv4, so
+"AAAA record answers will be preferred by modern operating systems with
+IPv6 connectivity, [and] the only clients relying on the A records
+should be clients with IPv4-only connectivity" (paper §IV.A).
+"""
+
+from repro.nd.ra import RaDaemonConfig, RaDaemon
+from repro.nd.slaac import SlaacState, LearnedPrefix, LearnedRouter
+from repro.nd.addrsel import (
+    PolicyEntry,
+    DEFAULT_POLICY_TABLE,
+    precedence_and_label,
+    select_source_address,
+    order_destinations,
+    CandidateAddress,
+)
+
+__all__ = [
+    "RaDaemonConfig",
+    "RaDaemon",
+    "SlaacState",
+    "LearnedPrefix",
+    "LearnedRouter",
+    "PolicyEntry",
+    "DEFAULT_POLICY_TABLE",
+    "precedence_and_label",
+    "select_source_address",
+    "order_destinations",
+    "CandidateAddress",
+]

@@ -1,0 +1,195 @@
+"""RFC 6724 default address selection.
+
+Two algorithms live here:
+
+- **source address selection** (§5): given a destination and the host's
+  candidate source addresses, pick the source a conformant stack would
+  use;
+- **destination address ordering** (§6): given the A/AAAA answer set,
+  order destinations — this is the rule that makes "AAAA record answers
+  ... preferred by modern operating systems with IPv6 connectivity"
+  (paper §IV.A), the property the whole intervention leans on.
+
+IPv4 addresses participate as IPv4-mapped IPv6 addresses, exactly as the
+RFC specifies.  The default policy table of §2.1 is used; hosts with a
+NAT64-learned prefix may extend it (RFC 8305-adjacent behaviour is out
+of scope — CLAT handles the v4-literal case instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.net.addresses import (
+    IPv4Address,
+    IPv6Address,
+    IPv6Network,
+    ipv4_scope,
+    ipv6_scope,
+)
+
+__all__ = [
+    "PolicyEntry",
+    "DEFAULT_POLICY_TABLE",
+    "precedence_and_label",
+    "CandidateAddress",
+    "select_source_address",
+    "order_destinations",
+]
+
+AnyAddress = Union[IPv4Address, IPv6Address]
+
+
+@dataclass(frozen=True)
+class PolicyEntry:
+    prefix: IPv6Network
+    precedence: int
+    label: int
+
+
+#: RFC 6724 §2.1 default policy table.
+DEFAULT_POLICY_TABLE: Tuple[PolicyEntry, ...] = (
+    PolicyEntry(IPv6Network("::1/128"), 50, 0),
+    PolicyEntry(IPv6Network("::/0"), 40, 1),
+    PolicyEntry(IPv6Network("::ffff:0:0/96"), 35, 4),
+    PolicyEntry(IPv6Network("2002::/16"), 30, 2),
+    PolicyEntry(IPv6Network("2001::/32"), 5, 5),
+    PolicyEntry(IPv6Network("fc00::/7"), 3, 13),
+    PolicyEntry(IPv6Network("::/96"), 1, 3),
+    PolicyEntry(IPv6Network("fec0::/10"), 1, 11),
+    PolicyEntry(IPv6Network("3ffe::/16"), 1, 12),
+)
+
+
+def _as_v6(addr: AnyAddress) -> IPv6Address:
+    if isinstance(addr, IPv4Address):
+        return IPv6Address(int(IPv6Address("::ffff:0:0")) | int(addr))
+    return addr
+
+
+def precedence_and_label(
+    addr: AnyAddress, table: Sequence[PolicyEntry] = DEFAULT_POLICY_TABLE
+) -> Tuple[int, int]:
+    """Longest-prefix-match lookup in the policy table."""
+    v6 = _as_v6(addr)
+    best: Optional[PolicyEntry] = None
+    for entry in table:
+        if v6 in entry.prefix:
+            if best is None or entry.prefix.prefixlen > best.prefix.prefixlen:
+                best = entry
+    if best is None:  # ::/0 always matches; defensive
+        return (40, 1)
+    return (best.precedence, best.label)
+
+
+def _scope(addr: AnyAddress) -> int:
+    if isinstance(addr, IPv4Address):
+        return ipv4_scope(addr)
+    return ipv6_scope(addr)
+
+
+def _common_prefix_len(a: IPv6Address, b: IPv6Address) -> int:
+    """Length of the common prefix, capped at 64 bits per RFC 6724 §5."""
+    x = int(a) ^ int(b)
+    if x == 0:
+        return 64
+    leading = 128 - x.bit_length()
+    return min(leading, 64)
+
+
+def select_source_address(
+    destination: AnyAddress, candidates: Sequence[AnyAddress]
+) -> Optional[AnyAddress]:
+    """RFC 6724 §5 source selection (rules 1, 2, 5.5-adjacent, 6, 8).
+
+    Candidates must be the same address family as the destination (the
+    stack never sources an IPv4 packet from an IPv6 address).  Returns
+    ``None`` when no candidate exists — the "no source address" failure
+    an IPv4-only app hits on an IPv6-only host.
+    """
+    same_family = [
+        c
+        for c in candidates
+        if isinstance(c, IPv4Address) == isinstance(destination, IPv4Address)
+    ]
+    if not same_family:
+        return None
+    dst6 = _as_v6(destination)
+    dst_scope = _scope(destination)
+    _dst_prec, dst_label = precedence_and_label(destination)
+
+    def sort_key(candidate: AnyAddress):
+        # Rule 1: prefer same address (exact match to destination).
+        rule1 = 0 if candidate == destination else 1
+        # Rule 2: prefer appropriate (>=) scope; among insufficient scopes
+        # prefer the larger one.
+        cand_scope = _scope(candidate)
+        if cand_scope >= dst_scope:
+            rule2 = (0, cand_scope)
+        else:
+            rule2 = (1, -cand_scope)
+        # Rule 6: prefer matching label.
+        _prec, label = precedence_and_label(candidate)
+        rule6 = 0 if label == dst_label else 1
+        # Rule 8: longest matching prefix wins.
+        rule8 = -_common_prefix_len(_as_v6(candidate), dst6)
+        return (rule1, rule2, rule6, rule8, int(_as_v6(candidate)))
+
+    return min(same_family, key=sort_key)
+
+
+@dataclass(frozen=True)
+class CandidateAddress:
+    """A destination candidate plus what the host knows about reaching it."""
+
+    address: AnyAddress
+    reachable: bool = True  # rule 1: do we have a route + source for it?
+
+
+def order_destinations(
+    candidates: Sequence[CandidateAddress],
+    source_addresses: Sequence[AnyAddress],
+) -> List[AnyAddress]:
+    """RFC 6724 §6 destination ordering (rules 1, 2, 5, 6, 8).
+
+    ``source_addresses`` are every address the host owns (both
+    families); rule 5 compares each destination against the source that
+    would be selected for it.  The returned list is best-first: a
+    dual-stack host with global IPv6 puts AAAA targets ahead of A
+    targets, which is precisely why the poisoned A records do not
+    affect it.
+    """
+
+    def source_for(dest: AnyAddress) -> Optional[AnyAddress]:
+        return select_source_address(dest, source_addresses)
+
+    def sort_key(item: Tuple[int, CandidateAddress]):
+        index, candidate = item
+        dest = candidate.address
+        src = source_for(dest)
+        # Rule 1: avoid unusable destinations (no source, marked unreachable).
+        rule1 = 0 if (candidate.reachable and src is not None) else 1
+        # Rule 2: prefer matching scope between destination and its source.
+        rule2 = 1
+        if src is not None and _scope(dest) == _scope(src):
+            rule2 = 0
+        # Rule 5: prefer matching label between destination and its source.
+        rule5 = 1
+        if src is not None:
+            _sp, s_label = precedence_and_label(src)
+            _dp, d_label = precedence_and_label(dest)
+            if s_label == d_label:
+                rule5 = 0
+        # Rule 6: higher precedence first.
+        precedence, _label = precedence_and_label(dest)
+        rule6 = -precedence
+        # Rule 8: longer common prefix with the chosen source first.
+        rule8 = 0
+        if src is not None:
+            rule8 = -_common_prefix_len(_as_v6(dest), _as_v6(src))
+        # Rule 10: otherwise leave order unchanged (stable by index).
+        return (rule1, rule2, rule5, rule6, rule8, index)
+
+    ordered = sorted(enumerate(candidates), key=sort_key)
+    return [c.address for _i, c in ordered]

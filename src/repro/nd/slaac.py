@@ -1,0 +1,142 @@
+"""Client-side RA processing and SLAAC (stateless address
+autoconfiguration, RFC 4862 flavour).
+
+:class:`SlaacState` accumulates what a host learns from RAs on one
+interface: on-link prefixes (and the EUI-64 addresses formed from
+them), default routers ranked by RFC 4191 preference, RDNSS resolvers
+and DNSSL search domains.  The figure-3 condition — a default route
+from the gateway but *dead* RDNSS addresses — falls out naturally: the
+state faithfully records whatever the RA said, and liveness is decided
+by actually querying through the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addresses import (
+    IPv6Address,
+    IPv6Network,
+    MacAddress,
+    link_local_from_mac,
+    slaac_address,
+)
+from repro.net.icmpv6 import RouterAdvertisement, RouterPreference
+
+__all__ = ["LearnedPrefix", "LearnedRouter", "SlaacState"]
+
+#: Order routers best-first by RFC 4191 preference.
+_PREFERENCE_RANK = {
+    RouterPreference.HIGH: 0,
+    RouterPreference.MEDIUM: 1,
+    RouterPreference.LOW: 2,
+}
+
+
+@dataclass
+class LearnedPrefix:
+    prefix: IPv6Network
+    address: Optional[IPv6Address]  # SLAAC address formed, if autonomous
+    valid_until: float
+    preferred_until: float
+    learned_from: IPv6Address  # router link-local that advertised it
+
+
+@dataclass
+class LearnedRouter:
+    address: IPv6Address  # router link-local source of the RA
+    lladdr: Optional[MacAddress]
+    preference: RouterPreference
+    lifetime_until: float
+
+    def rank(self) -> Tuple[int, int]:
+        return (_PREFERENCE_RANK[self.preference], int(self.address))
+
+
+class SlaacState:
+    """Per-interface IPv6 autoconfiguration state."""
+
+    def __init__(self, mac: MacAddress, clock) -> None:
+        self.mac = mac
+        self._clock = clock
+        self.link_local = link_local_from_mac(mac)
+        self.prefixes: Dict[IPv6Network, LearnedPrefix] = {}
+        self.routers: Dict[IPv6Address, LearnedRouter] = {}
+        self.rdnss: List[IPv6Address] = []
+        self.search_domains: List[str] = []
+        self.ras_processed = 0
+
+    # -- RA intake ----------------------------------------------------------
+
+    def process_ra(self, ra: RouterAdvertisement, router_source: IPv6Address) -> None:
+        """Apply one received RA from ``router_source`` (its link-local)."""
+        now = self._clock()
+        self.ras_processed += 1
+        if ra.router_lifetime > 0:
+            self.routers[router_source] = LearnedRouter(
+                address=router_source,
+                lladdr=ra.source_lladdr,
+                preference=ra.preference,
+                lifetime_until=now + ra.router_lifetime,
+            )
+        else:
+            self.routers.pop(router_source, None)
+        for pio in ra.prefixes:
+            address = None
+            if pio.autonomous and pio.prefix.prefixlen == 64:
+                address = slaac_address(pio.prefix, self.mac)
+            if pio.valid_lifetime == 0:
+                self.prefixes.pop(pio.prefix, None)
+                continue
+            self.prefixes[pio.prefix] = LearnedPrefix(
+                prefix=pio.prefix,
+                address=address,
+                valid_until=now + pio.valid_lifetime,
+                preferred_until=now + pio.preferred_lifetime,
+                learned_from=router_source,
+            )
+        for server in ra.rdnss_servers:
+            if server not in self.rdnss:
+                self.rdnss.append(server)
+        for domain in ra.search_domains:
+            if domain not in self.search_domains:
+                self.search_domains.append(domain)
+
+    # -- queries --------------------------------------------------------------
+
+    def addresses(self, include_link_local: bool = True) -> List[IPv6Address]:
+        """All configured unicast addresses, valid prefixes only."""
+        now = self._clock()
+        out: List[IPv6Address] = []
+        if include_link_local:
+            out.append(self.link_local)
+        for learned in self.prefixes.values():
+            if learned.address is not None and learned.valid_until > now:
+                out.append(learned.address)
+        return out
+
+    def global_addresses(self) -> List[IPv6Address]:
+        return [a for a in self.addresses(include_link_local=False)]
+
+    def default_router(self) -> Optional[LearnedRouter]:
+        """The best live default router (RFC 4191 preference order)."""
+        now = self._clock()
+        live = [r for r in self.routers.values() if r.lifetime_until > now]
+        if not live:
+            return None
+        return min(live, key=LearnedRouter.rank)
+
+    def on_link(self, destination: IPv6Address) -> bool:
+        now = self._clock()
+        if destination.is_link_local:
+            return True
+        return any(
+            destination in learned.prefix
+            for learned in self.prefixes.values()
+            if learned.valid_until > now
+        )
+
+    @property
+    def has_global_connectivity(self) -> bool:
+        return bool(self.global_addresses()) and self.default_router() is not None

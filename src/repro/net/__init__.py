@@ -1,0 +1,93 @@
+"""Packet substrate: addresses, checksums and byte-accurate protocol codecs.
+
+Everything in this package encodes to and decodes from real wire bytes.
+The simulator (:mod:`repro.sim`) moves these bytes between nodes, so a
+packet capture from the simulation is a genuine protocol trace.
+"""
+
+from repro.net.addresses import (
+    MacAddress,
+    IPv4Address,
+    IPv6Address,
+    IPv4Network,
+    IPv6Network,
+    WELL_KNOWN_NAT64_PREFIX,
+    eui64_interface_id,
+    link_local_from_mac,
+    slaac_address,
+    embed_ipv4_in_nat64,
+    extract_ipv4_from_nat64,
+    solicited_node_multicast,
+    multicast_mac_for_ipv6,
+)
+from repro.net.checksum import ones_complement_sum, internet_checksum, pseudo_header_v4, pseudo_header_v6
+from repro.net.ethernet import EtherType, EthernetFrame, MAC_BROADCAST
+from repro.net.arp import ArpOp, ArpPacket
+from repro.net.ipv4 import IPProto, IPv4Packet
+from repro.net.ipv6 import IPv6Packet
+from repro.net.udp import UdpDatagram
+from repro.net.tcp import TcpSegment, TcpFlags
+from repro.net.icmp import IcmpMessage, IcmpType
+from repro.net.icmpv6 import (
+    Icmpv6Type,
+    Icmpv6Message,
+    NdOption,
+    NdOptionType,
+    PrefixInformation,
+    RdnssOption,
+    DnsslOption,
+    MtuOption,
+    LinkLayerAddressOption,
+    RouterAdvertisement,
+    RouterSolicitation,
+    NeighborSolicitation,
+    NeighborAdvertisement,
+    RouterPreference,
+)
+
+__all__ = [
+    "MacAddress",
+    "IPv4Address",
+    "IPv6Address",
+    "IPv4Network",
+    "IPv6Network",
+    "WELL_KNOWN_NAT64_PREFIX",
+    "eui64_interface_id",
+    "link_local_from_mac",
+    "slaac_address",
+    "embed_ipv4_in_nat64",
+    "extract_ipv4_from_nat64",
+    "solicited_node_multicast",
+    "multicast_mac_for_ipv6",
+    "ones_complement_sum",
+    "internet_checksum",
+    "pseudo_header_v4",
+    "pseudo_header_v6",
+    "EtherType",
+    "EthernetFrame",
+    "MAC_BROADCAST",
+    "ArpOp",
+    "ArpPacket",
+    "IPProto",
+    "IPv4Packet",
+    "IPv6Packet",
+    "UdpDatagram",
+    "TcpSegment",
+    "TcpFlags",
+    "IcmpMessage",
+    "IcmpType",
+    "Icmpv6Type",
+    "Icmpv6Message",
+    "NdOption",
+    "NdOptionType",
+    "PrefixInformation",
+    "RdnssOption",
+    "DnsslOption",
+    "MtuOption",
+    "LinkLayerAddressOption",
+    "RouterAdvertisement",
+    "RouterSolicitation",
+    "NeighborSolicitation",
+    "NeighborAdvertisement",
+    "RouterPreference",
+]

@@ -1,0 +1,76 @@
+"""ARP (RFC 826) for IPv4-over-Ethernet resolution.
+
+IPv4-only and dual-stack clients in the testbed resolve their default
+gateway and DNS servers with ARP before any DHCP-assigned traffic flows.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.net.addresses import IPv4Address, MacAddress
+
+__all__ = ["ArpOp", "ArpPacket"]
+
+
+class ArpOp(enum.IntEnum):
+    """ARP operation codes (RFC 826)."""
+
+    REQUEST = 1
+    REPLY = 2
+
+
+@dataclass(frozen=True)
+class ArpPacket:
+    """An Ethernet/IPv4 ARP packet (htype=1, ptype=0x0800, hlen=6, plen=4)."""
+
+    op: ArpOp
+    sender_mac: MacAddress
+    sender_ip: IPv4Address
+    target_mac: MacAddress
+    target_ip: IPv4Address
+
+    WIRE_LEN = 28
+
+    def encode(self) -> bytes:
+        return (
+            struct.pack("!HHBBH", 1, 0x0800, 6, 4, int(self.op))
+            + self.sender_mac.to_bytes()
+            + self.sender_ip.packed
+            + self.target_mac.to_bytes()
+            + self.target_ip.packed
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ArpPacket":
+        if len(data) < cls.WIRE_LEN:
+            raise ValueError(f"ARP packet too short: {len(data)} bytes")
+        htype, ptype, hlen, plen, op = struct.unpack("!HHBBH", data[:8])
+        if (htype, ptype, hlen, plen) != (1, 0x0800, 6, 4):
+            raise ValueError(
+                f"unsupported ARP hardware/protocol: {htype}/{ptype:#x}/{hlen}/{plen}"
+            )
+        return cls(
+            op=ArpOp(op),
+            sender_mac=MacAddress.from_bytes(data[8:14]),
+            sender_ip=IPv4Address(data[14:18]),
+            target_mac=MacAddress.from_bytes(data[18:24]),
+            target_ip=IPv4Address(data[24:28]),
+        )
+
+    @classmethod
+    def request(cls, sender_mac: MacAddress, sender_ip: IPv4Address, target_ip: IPv4Address) -> "ArpPacket":
+        """A who-has request for ``target_ip``."""
+        return cls(ArpOp.REQUEST, sender_mac, sender_ip, MacAddress(0), target_ip)
+
+    def reply_from(self, responder_mac: MacAddress) -> "ArpPacket":
+        """Build the is-at reply a node owning ``target_ip`` would send."""
+        return ArpPacket(
+            ArpOp.REPLY,
+            sender_mac=responder_mac,
+            sender_ip=self.target_ip,
+            target_mac=self.sender_mac,
+            target_ip=self.sender_ip,
+        )

@@ -1,0 +1,71 @@
+"""Ethernet II framing.
+
+The simulator's links carry :class:`EthernetFrame` bytes; switches learn
+source MACs from them and the paper's DHCP-snooping filter inspects the
+payloads (see :mod:`repro.dhcp.snooping`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.net.addresses import MacAddress, MAC_BROADCAST
+
+__all__ = ["EtherType", "EthernetFrame", "MAC_BROADCAST"]
+
+
+class EtherType(enum.IntEnum):
+    """EtherType values used by the testbed."""
+
+    IPV4 = 0x0800
+    ARP = 0x0806
+    IPV6 = 0x86DD
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """An Ethernet II frame (no FCS — links are assumed error-free).
+
+    Attributes mirror the wire layout: destination MAC, source MAC,
+    EtherType, payload.
+    """
+
+    dst: MacAddress
+    src: MacAddress
+    ethertype: int
+    payload: bytes
+
+    HEADER_LEN = 14
+
+    def encode(self) -> bytes:
+        """Serialize to wire bytes."""
+        return (
+            self.dst.to_bytes()
+            + self.src.to_bytes()
+            + self.ethertype.to_bytes(2, "big")
+            + self.payload
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "EthernetFrame":
+        """Parse wire bytes. Raises :class:`ValueError` on truncation."""
+        if len(data) < cls.HEADER_LEN:
+            raise ValueError(f"Ethernet frame too short: {len(data)} bytes")
+        return cls(
+            dst=MacAddress.from_bytes(data[0:6]),
+            src=MacAddress.from_bytes(data[6:12]),
+            ethertype=int.from_bytes(data[12:14], "big"),
+            payload=bytes(data[14:]),
+        )
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst.is_broadcast
+
+    @property
+    def is_multicast(self) -> bool:
+        return self.dst.is_multicast
+
+    def __len__(self) -> int:
+        return self.HEADER_LEN + len(self.payload)

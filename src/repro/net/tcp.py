@@ -1,0 +1,118 @@
+"""TCP segment codec (RFC 9293 header format).
+
+The segment format is byte-exact; the *state machine* lives in
+:mod:`repro.sim.stack` and is a deliberately small subset (3-way
+handshake, in-order data, FIN teardown, RST) — enough for the HTTP-lite
+fetches, the test-ipv6.com probes and NAT64 session tracking the paper
+exercises, and honest about what it is not.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Union
+
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.net.checksum import (
+    internet_checksum,
+    ones_complement_sum,
+    pseudo_header_v4,
+    pseudo_header_v6,
+)
+
+__all__ = ["TcpFlags", "TcpSegment"]
+
+Address = Union[IPv4Address, IPv6Address]
+
+
+class TcpFlags(enum.IntFlag):
+    """TCP header flag bits (RFC 9293 §3.1)."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+    ECE = 0x40
+    CWR = 0x80
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    """A TCP segment with the standard 20-byte header (no options)."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: TcpFlags
+    window: int = 65535
+    payload: bytes = b""
+
+    HEADER_LEN = 20
+
+    def __post_init__(self) -> None:
+        for name, val, hi in (
+            ("src_port", self.src_port, 0xFFFF),
+            ("dst_port", self.dst_port, 0xFFFF),
+            ("seq", self.seq, 0xFFFFFFFF),
+            ("ack", self.ack, 0xFFFFFFFF),
+            ("window", self.window, 0xFFFF),
+        ):
+            if not 0 <= val <= hi:
+                raise ValueError(f"{name} out of range: {val}")
+
+    def encode(self, src_ip: Address, dst_ip: Address) -> bytes:
+        data_offset = (self.HEADER_LEN // 4) << 4
+        header = struct.pack(
+            "!HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            data_offset,
+            int(self.flags),
+            self.window,
+            0,
+            0,
+        )
+        length = len(header) + len(self.payload)
+        pseudo = _pseudo(src_ip, dst_ip, 6, length)
+        csum = internet_checksum(header + self.payload, ones_complement_sum(pseudo))
+        header = header[:16] + csum.to_bytes(2, "big") + header[18:]
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, src_ip: Address, dst_ip: Address, verify: bool = True) -> "TcpSegment":
+        if len(data) < cls.HEADER_LEN:
+            raise ValueError(f"TCP segment too short: {len(data)} bytes")
+        src_port, dst_port, seq, ack, off_byte, flags, window, _csum, _urg = struct.unpack(
+            "!HHIIBBHHH", data[:20]
+        )
+        header_len = (off_byte >> 4) * 4
+        if header_len < cls.HEADER_LEN or header_len > len(data):
+            raise ValueError(f"bad TCP data offset: {off_byte >> 4}")
+        if verify:
+            pseudo = _pseudo(src_ip, dst_ip, 6, len(data))
+            if internet_checksum(data, ones_complement_sum(pseudo)) != 0:
+                raise ValueError("TCP checksum mismatch")
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=TcpFlags(flags),
+            window=window,
+            payload=bytes(data[header_len:]),
+        )
+
+
+def _pseudo(src_ip: Address, dst_ip: Address, proto: int, length: int) -> bytes:
+    if isinstance(src_ip, IPv4Address):
+        assert isinstance(dst_ip, IPv4Address)
+        return pseudo_header_v4(src_ip, dst_ip, proto, length)
+    assert isinstance(dst_ip, IPv6Address)
+    return pseudo_header_v6(src_ip, dst_ip, proto, length)

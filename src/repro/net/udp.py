@@ -1,0 +1,75 @@
+"""UDP (RFC 768) with pseudo-header checksums for both IP versions.
+
+DNS and DHCP — the protocols at the heart of the paper's intervention —
+both ride on these datagrams in the simulation.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Union
+
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.net.checksum import (
+    internet_checksum,
+    ones_complement_sum,
+    pseudo_header_v4,
+    pseudo_header_v6,
+)
+
+__all__ = ["UdpDatagram"]
+
+Address = Union[IPv4Address, IPv6Address]
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """A UDP datagram. Checksum is computed at encode time from the
+    enclosing IP addresses (pass them to :meth:`encode`/:meth:`decode`)."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+    HEADER_LEN = 8
+
+    def __post_init__(self) -> None:
+        for name, port in (("src_port", self.src_port), ("dst_port", self.dst_port)):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"{name} out of range: {port}")
+
+    @property
+    def length(self) -> int:
+        return self.HEADER_LEN + len(self.payload)
+
+    def encode(self, src_ip: Address, dst_ip: Address) -> bytes:
+        header = struct.pack("!HHHH", self.src_port, self.dst_port, self.length, 0)
+        pseudo = _pseudo(src_ip, dst_ip, 17, self.length)
+        csum = internet_checksum(header + self.payload, ones_complement_sum(pseudo))
+        if csum == 0:
+            csum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
+        return struct.pack("!HHHH", self.src_port, self.dst_port, self.length, csum) + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, src_ip: Address, dst_ip: Address, verify: bool = True) -> "UdpDatagram":
+        if len(data) < cls.HEADER_LEN:
+            raise ValueError(f"UDP datagram too short: {len(data)} bytes")
+        src_port, dst_port, length, csum = struct.unpack("!HHHH", data[:8])
+        if length < cls.HEADER_LEN or length > len(data):
+            raise ValueError(f"bad UDP length: {length}")
+        if verify and csum != 0:
+            pseudo = _pseudo(src_ip, dst_ip, 17, length)
+            if internet_checksum(data[:length], ones_complement_sum(pseudo)) != 0:
+                raise ValueError("UDP checksum mismatch")
+        elif verify and csum == 0 and isinstance(src_ip, IPv6Address):
+            raise ValueError("UDP over IPv6 requires a checksum (RFC 8200 §8.1)")
+        return cls(src_port=src_port, dst_port=dst_port, payload=bytes(data[8:length]))
+
+
+def _pseudo(src_ip: Address, dst_ip: Address, proto: int, length: int) -> bytes:
+    if isinstance(src_ip, IPv4Address):
+        assert isinstance(dst_ip, IPv4Address)
+        return pseudo_header_v4(src_ip, dst_ip, proto, length)
+    assert isinstance(dst_ip, IPv6Address)
+    return pseudo_header_v6(src_ip, dst_ip, proto, length)

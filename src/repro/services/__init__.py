@@ -1,0 +1,24 @@
+"""The simulated internet's application layer: HTTP-lite, generic web
+services, ip6.me, the test-ipv6.com mirror and OS captive-portal probes.
+"""
+
+from repro.services.http import HttpRequest, HttpResponse, serve_http, http_get
+from repro.services.web import WebService
+from repro.services.ip6me import Ip6MeService
+from repro.services.testipv6 import TestIpv6Mirror, SubtestResult, TestReport, run_test_ipv6
+from repro.services.captive import connectivity_probe, ProbeOutcome
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "serve_http",
+    "http_get",
+    "WebService",
+    "Ip6MeService",
+    "TestIpv6Mirror",
+    "SubtestResult",
+    "TestReport",
+    "run_test_ipv6",
+    "connectivity_probe",
+    "ProbeOutcome",
+]

@@ -1,0 +1,55 @@
+"""OS connectivity probing (captive-portal detection).
+
+Operating systems decide whether a network "has internet" by fetching a
+well-known URL at startup (Microsoft NCSI, Apple captive.apple.com,
+Android generate_204).  On the paper's testbed an IPv4-only Nintendo
+Switch "reported no internet connectivity" (figure 6) because its probe
+was redirected by the poisoned DNS — the probe's body no longer matched
+what the OS expected.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ProbeOutcome", "ProbeResult", "connectivity_probe", "PROBE_HOST", "PROBE_BODY"]
+
+PROBE_HOST = "connectivitycheck.example.net"
+PROBE_PATH = "/generate_status"
+PROBE_BODY = b"connectivity-ok"
+
+
+class ProbeOutcome(enum.Enum):
+    """What the OS concludes from its connectivity probe."""
+
+    ONLINE = "online"  # expected content came back
+    PORTAL = "portal"  # *something* answered, but not the expected content
+    OFFLINE = "offline"  # nothing answered at all
+
+
+@dataclass
+class ProbeResult:
+    outcome: ProbeOutcome
+    detail: str = ""
+    landed_on: Optional[str] = None
+
+
+def connectivity_probe(client) -> ProbeResult:
+    """Run the OS's startup probe from ``client`` (a ClientDevice).
+
+    The probe host is dual-stacked on the simulated internet; the
+    testbed builder registers it (see :mod:`repro.core.testbed`).
+    """
+    outcome = client.fetch(PROBE_HOST, path=PROBE_PATH)
+    if outcome.response is None:
+        return ProbeResult(ProbeOutcome.OFFLINE, detail=outcome.detail)
+    served_by = outcome.response.headers.get("x-served-by", "")
+    if outcome.response.status == 200 and outcome.response.body == PROBE_BODY:
+        return ProbeResult(ProbeOutcome.ONLINE, landed_on=served_by)
+    return ProbeResult(
+        ProbeOutcome.PORTAL,
+        detail=f"unexpected content from {served_by or 'unknown host'}",
+        landed_on=served_by or None,
+    )

@@ -1,0 +1,166 @@
+"""HTTP-lite over the simulated TCP stack.
+
+A deliberately small but real HTTP/1.1 subset: request line, headers
+(Host matters — virtual hosting is how one ServerHost serves several
+sites), fixed Content-Length bodies, one request per connection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Union
+
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.sim.stack import HostStack, TcpConnection
+
+__all__ = ["HttpRequest", "HttpResponse", "serve_http", "http_get"]
+
+AnyAddress = Union[IPv4Address, IPv6Address]
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    client_addr: Optional[AnyAddress] = None
+
+    @property
+    def host(self) -> str:
+        return self.headers.get("host", "")
+
+    def encode(self) -> bytes:
+        lines = [f"{self.method} {self.path} HTTP/1.1"]
+        headers = dict(self.headers)
+        if self.body and "content-length" not in headers:
+            headers["content-length"] = str(len(self.body))
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + self.body
+
+    @classmethod
+    def parse(cls, raw: bytes) -> Optional["HttpRequest"]:
+        head, _sep, body = raw.partition(b"\r\n\r\n")
+        try:
+            lines = head.decode("ascii").split("\r\n")
+            method, path, _version = lines[0].split(" ", 2)
+        except (UnicodeDecodeError, ValueError):
+            return None
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            key, _sep2, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+        return cls(method=method, path=path, headers=headers, body=body)
+
+
+@dataclass
+class HttpResponse:
+    status: int = 200
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def reason(self) -> str:
+        return {200: "OK", 302: "Found", 404: "Not Found", 500: "Internal Server Error"}.get(
+            self.status, "Unknown"
+        )
+
+    def encode(self) -> bytes:
+        headers = dict(self.headers)
+        headers.setdefault("content-length", str(len(self.body)))
+        lines = [f"HTTP/1.1 {self.status} {self.reason}"]
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + self.body
+
+    @classmethod
+    def parse(cls, raw: bytes) -> Optional["HttpResponse"]:
+        head, _sep, body = raw.partition(b"\r\n\r\n")
+        try:
+            lines = head.decode("ascii").split("\r\n")
+            parts = lines[0].split(" ", 2)
+            status = int(parts[1])
+        except (UnicodeDecodeError, ValueError, IndexError):
+            return None
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            key, _sep2, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+        return cls(status=status, headers=headers, body=body)
+
+    @property
+    def complete(self) -> bool:
+        expected = int(self.headers.get("content-length", "0"))
+        return len(self.body) >= expected
+
+
+Handler = Callable[[HttpRequest], HttpResponse]
+
+
+def serve_http(stack: HostStack, port: int, handler: Handler) -> None:
+    """Register an HTTP handler on a stack's TCP port."""
+
+    def on_establish(conn: TcpConnection) -> None:
+        buffer = bytearray()
+
+        def on_data(c: TcpConnection) -> None:
+            buffer.extend(c.read())
+            if b"\r\n\r\n" not in buffer:
+                return
+            request = HttpRequest.parse(bytes(buffer))
+            if request is None:
+                c.close()
+                return
+            expected = int(request.headers.get("content-length", "0"))
+            if len(request.body) < expected:
+                return  # wait for the rest of the body
+            request.client_addr = c.remote_addr
+            response = handler(request)
+            if c.is_open:
+                c.send(response.encode())
+                c.close()
+
+        conn.on_data = on_data
+
+    stack.tcp_listen(port, on_establish)
+
+
+def http_get(
+    stack: HostStack,
+    address: AnyAddress,
+    host: str,
+    path: str = "/",
+    port: int = 80,
+    timeout: float = 3.0,
+    headers: Optional[Dict[str, str]] = None,
+) -> Optional[HttpResponse]:
+    """Driver-style GET: connect, request, pump until the response
+    completes (the server closes after one response)."""
+    conn = stack.tcp_connect(address, port, timeout=timeout)
+    if conn is None:
+        return None
+    return http_get_over(stack, conn, host, path, timeout=timeout, headers=headers)
+
+
+def http_get_over(
+    stack: HostStack,
+    conn,
+    host: str,
+    path: str = "/",
+    timeout: float = 3.0,
+    headers: Optional[Dict[str, str]] = None,
+) -> Optional[HttpResponse]:
+    """GET over an already-established connection (the Happy-Eyeballs
+    winner, typically)."""
+    request_headers = {"host": host, "user-agent": "v6shift/1.0"}
+    if headers:
+        request_headers.update(headers)
+    request = HttpRequest("GET", path, request_headers)
+    conn.send(request.encode())
+    deadline = stack.engine.now + timeout
+    stack.engine.run_until(lambda: conn.remote_closed, deadline=deadline)
+    raw = bytes(conn.recv_buffer)
+    if conn.is_open:
+        conn.close()
+    if not raw:
+        return None
+    return HttpResponse.parse(raw)

@@ -1,0 +1,71 @@
+"""The ip6.me "what is my IP address?" service.
+
+The landing page of the paper's intervention: "the poisoned DNS64
+server configuration was changed to redirect all A record queries
+towards ip6.me, where a more straightforward message about the device
+only supporting IPv4 is displayed" (§V, figure 6).
+
+The page body states which protocol family the client connected with,
+exactly like the real site — that statement is what the experiments
+assert on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.sim.engine import EventEngine
+from repro.services.http import HttpRequest, HttpResponse
+from repro.services.web import WebService
+
+__all__ = ["Ip6MeService", "IP6ME_V4", "IP6ME_V6"]
+
+#: The real addresses from the paper (figure 7's ping shows
+#: ``2001:4810:0:3::71``; the dnsmasq line names ``23.153.8.71``).
+IP6ME_V4 = IPv4Address("23.153.8.71")
+IP6ME_V6 = IPv6Address("2001:4810:0:3::71")
+
+
+class Ip6MeService(WebService):
+    """ip6.me, answering on its published v4 and v6 addresses."""
+
+    def __init__(self, engine: EventEngine, hostname: str = "ip6.me") -> None:
+        super().__init__(engine, "ip6me", ipv4=IP6ME_V4, ipv6=IP6ME_V6)
+        self.hostname = hostname
+        self.v4_visitors = 0
+        self.v6_visitors = 0
+        self.add_site(hostname, self._page)
+        self.default_site = hostname
+
+    def _page(self, request: HttpRequest) -> HttpResponse:
+        addr = request.client_addr
+        if isinstance(addr, IPv6Address):
+            family = "IPv6"
+            self.v6_visitors += 1
+            note = ""
+        else:
+            family = "IPv4"
+            self.v4_visitors += 1
+            note = (
+                "<p>Your device connected using only legacy IPv4. "
+                "If you expected internet access on an IPv6-only network, "
+                "your device or its configuration does not support the "
+                "current version of the Internet Protocol. Please visit "
+                "the helpdesk for assistance.</p>"
+            )
+        body = (
+            "<html><body><h1>What is my IP Address?</h1>"
+            f"<p>You are connecting with an {family} Address of</p>"
+            f"<pre>{addr}</pre>{note}</body></html>"
+        ).encode()
+        return HttpResponse(
+            200,
+            {
+                "x-served-by": self.hostname,
+                "x-client-family": family.lower(),
+                "x-client-address": str(addr),
+                "content-type": "text/html",
+            },
+            body,
+        )

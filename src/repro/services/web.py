@@ -1,0 +1,77 @@
+"""Generic web services on the simulated internet.
+
+A :class:`WebService` is a :class:`~repro.sim.host.ServerHost` carrying
+one or more virtual-hosted sites on port 80.  Every response includes an
+``x-served-by`` header naming the site — the marker experiment code uses
+to verify *where* a fetch actually landed (the poisoned DNS sends
+browsers somewhere other than the requested Host).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, IPv6Network
+from repro.sim.engine import EventEngine
+from repro.sim.host import ServerHost
+from repro.services.http import HttpRequest, HttpResponse, serve_http
+
+__all__ = ["WebService"]
+
+AnyAddress = Union[IPv4Address, IPv6Address]
+
+SiteHandler = Callable[[HttpRequest], HttpResponse]
+
+
+class WebService(ServerHost):
+    """A public web server hosting named sites.
+
+    ``default_site`` answers requests whose Host header matches no
+    registered site (real servers serve *something* on a bare IP fetch —
+    which is exactly what a poisoned-DNS redirect produces).
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        name: str,
+        ipv4: Optional[IPv4Address] = None,
+        ipv6: Optional[IPv6Address] = None,
+        default_site: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            engine,
+            name,
+            ipv4=ipv4,
+            ipv6=ipv6,
+            on_link_everything=True,
+        )
+        self._sites: Dict[str, SiteHandler] = {}
+        self.default_site = default_site
+        self.requests_served = 0
+        serve_http(self, 80, self._dispatch)
+
+    def add_site(self, hostname: str, handler: Optional[SiteHandler] = None) -> None:
+        """Register a site; the default handler serves a marker page."""
+        hostname = hostname.lower().rstrip(".")
+        if handler is None:
+            def handler(request: HttpRequest, _site=hostname) -> HttpResponse:
+                return HttpResponse(
+                    200,
+                    {"x-served-by": _site, "content-type": "text/html"},
+                    f"<html><body>Welcome to {_site}</body></html>".encode(),
+                )
+
+        self._sites[hostname] = handler
+        if self.default_site is None:
+            self.default_site = hostname
+
+    def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        self.requests_served += 1
+        site = request.host.lower().rstrip(".").split(":")[0]
+        handler = self._sites.get(site)
+        if handler is None and self.default_site is not None:
+            handler = self._sites.get(self.default_site)
+        if handler is None:
+            return HttpResponse(404, {"x-served-by": self.name}, b"no such site")
+        return handler(request)

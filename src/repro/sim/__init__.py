@@ -1,0 +1,41 @@
+"""A deterministic discrete-event network simulator.
+
+Nodes exchange real wire bytes over links with configurable latency;
+the engine never consults the wall clock, so every experiment replays
+byte-for-byte from its seed.
+
+Server-side components (DNS/DHCP servers, switches, routers, the NAT64
+gateway) are event-driven: they react to frame-arrival callbacks.
+Client-side operations (a DHCP exchange, a DNS lookup, an HTTP fetch)
+are written as synchronous drivers that inject packets and pump the
+engine until a reply lands or a simulated timeout passes — the style
+the experiment scripts and benchmarks use.
+"""
+
+from repro.sim.engine import EventEngine
+from repro.sim.trace import PacketTrace, TraceEntry
+from repro.sim.link import Link
+from repro.sim.node import Node, Port
+from repro.sim.switch import ManagedSwitch
+from repro.sim.router import Router
+from repro.sim.gateway5g import MobileGateway5G, Gateway5GConfig
+from repro.sim.stack import HostStack, Ipv4Config, StackConfig
+from repro.sim.host import Host, ServerHost
+
+__all__ = [
+    "EventEngine",
+    "PacketTrace",
+    "TraceEntry",
+    "Link",
+    "Node",
+    "Port",
+    "ManagedSwitch",
+    "Router",
+    "MobileGateway5G",
+    "Gateway5GConfig",
+    "HostStack",
+    "Ipv4Config",
+    "StackConfig",
+    "Host",
+    "ServerHost",
+]

@@ -1,0 +1,113 @@
+"""The discrete-event engine.
+
+A heapq of ``(time, sequence, callback)``; ties break by insertion
+order, so runs are fully deterministic.  The engine owns the simulation
+clock and a seeded RNG that every component draws from.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventEngine"]
+
+
+class EventEngine:
+    """Deterministic event scheduler and simulated clock."""
+
+    def __init__(self, seed: int = 2024) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._now = 0.0
+        self.rng = random.Random(seed)
+        self.events_run = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    def clock(self) -> float:
+        """The clock as a callable (handed to caches, leases, sessions)."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from now (0 is allowed)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past: {delay}")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, callback))
+
+    def schedule_every(
+        self, interval: float, callback: Callable[[], None], jitter: float = 0.0
+    ) -> Callable[[], None]:
+        """Run ``callback`` periodically.  Returns a canceller."""
+        cancelled = False
+
+        def cancel() -> None:
+            nonlocal cancelled
+            cancelled = True
+
+        def tick() -> None:
+            if cancelled:
+                return
+            callback()
+            delay = interval
+            if jitter:
+                delay += self.rng.uniform(-jitter, jitter)
+            self.schedule(max(delay, 1e-6), tick)
+
+        self.schedule(0.0, tick)
+        return cancel
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        when, _seq, callback = heapq.heappop(self._queue)
+        self._now = when
+        self.events_run += 1
+        callback()
+        return True
+
+    def run_until(
+        self,
+        condition: Optional[Callable[[], bool]] = None,
+        deadline: Optional[float] = None,
+        max_events: int = 1_000_000,
+    ) -> bool:
+        """Pump events until ``condition()`` is true (returns True), the
+        ``deadline`` (absolute simulated time) passes, or the queue
+        drains (both return False unless the condition already holds).
+        """
+        for _ in range(max_events):
+            if condition is not None and condition():
+                return True
+            if not self._queue:
+                return condition is not None and condition()
+            next_time = self._queue[0][0]
+            if deadline is not None and next_time > deadline:
+                self._now = deadline
+                return condition is not None and condition()
+            self.step()
+        raise RuntimeError(f"run_until exceeded {max_events} events (livelock?)")
+
+    def run_for(self, duration: float, max_events: int = 1_000_000) -> None:
+        """Advance simulated time by ``duration`` seconds."""
+        self.run_until(condition=None, deadline=self._now + duration, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        """Drain every queued event (periodic tasks make this unbounded —
+        use :meth:`run_for` when RA daemons or lease timers are active)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise RuntimeError(f"run_until_idle exceeded {max_events} events")
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

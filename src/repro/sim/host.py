@@ -1,0 +1,97 @@
+"""Host wrappers: a client :class:`Host` and a statically-addressed
+:class:`ServerHost` for the simulated internet and the Raspberry Pis.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, List, Optional, Union
+
+from repro.net.addresses import (
+    IPv4Address,
+    IPv4Network,
+    IPv6Address,
+    IPv6Network,
+    MacAddress,
+)
+from repro.sim.engine import EventEngine
+from repro.sim.stack import HostStack, Ipv4Config, StackConfig
+
+__all__ = ["Host", "ServerHost"]
+
+AnyAddress = Union[IPv4Address, IPv6Address]
+
+
+class Host(HostStack):
+    """A client machine — a :class:`HostStack` plus convenience wiring.
+
+    OS behaviour differences (resolver preference, option 108 support,
+    suffix handling, CLAT capability) come from the profile layer in
+    :mod:`repro.clients.profiles`; the Host itself is OS-neutral.
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        name: str,
+        mac: Optional[MacAddress] = None,
+        config: Optional[StackConfig] = None,
+    ) -> None:
+        mac = mac or MacAddress(0x02_0A_00_00_00_00 + (zlib.crc32(name.encode()) & 0xFFFFFF))
+        super().__init__(engine, name, mac, config)
+
+
+class ServerHost(HostStack):
+    """An always-on, statically-configured machine (public web services,
+    the Raspberry Pi DNS/DHCP boxes, the carrier resolver).
+
+    ``on_link_everything=True`` puts it on the flat "internet exchange"
+    cloud where every public destination resolves by ARP/NS directly —
+    the substitution for global routing documented in DESIGN.md.
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        name: str,
+        mac: Optional[MacAddress] = None,
+        ipv4: Optional[AnyAddress] = None,
+        ipv4_network: Optional[IPv4Network] = None,
+        ipv4_gateway: Optional[IPv4Address] = None,
+        ipv6: Optional[IPv6Address] = None,
+        ipv6_network: Optional[IPv6Network] = None,
+        ipv6_gateway: Optional[IPv6Address] = None,
+        on_link_everything: bool = False,
+    ) -> None:
+        mac = mac or MacAddress(0x02_0B_00_00_00_00 + (zlib.crc32(name.encode()) & 0xFFFFFF))
+        super().__init__(engine, name, mac, StackConfig(accept_ras=False))
+        self.iface.on_link_everything = on_link_everything
+        if ipv4 is not None:
+            network = ipv4_network or IPv4Network(f"{ipv4}/24", strict=False)
+            self.configure_ipv4(
+                Ipv4Config(
+                    address=ipv4,
+                    network=network,
+                    routers=[ipv4_gateway] if ipv4_gateway else [],
+                )
+            )
+        if ipv6 is not None:
+            self.add_static_ipv6(ipv6, ipv6_network)
+            if ipv6_gateway is not None:
+                self.static_v6_default = ipv6_gateway
+
+    def add_static_ipv6(
+        self, address: IPv6Address, network: Optional[IPv6Network] = None
+    ) -> None:
+        network = network or IPv6Network(f"{address}/64", strict=False)
+        self.iface.add_ipv6(address, network)
+        # Register in the SLAAC state too so source selection sees it.
+        from repro.nd.slaac import LearnedPrefix
+
+        self.slaac.prefixes[network] = LearnedPrefix(
+            prefix=network,
+            address=address,
+            valid_until=float("inf"),
+            preferred_until=float("inf"),
+            learned_from=address,
+        )

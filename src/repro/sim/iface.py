@@ -1,0 +1,332 @@
+"""The L2/L3 interface machinery shared by every IP-speaking node.
+
+:class:`L2Interface` owns a port's MAC, the node's addresses on that
+link, the ARP and NDP neighbor caches and the pending-packet queues
+used while resolution is in flight.  Hosts, routers and the 5G gateway
+all embed one per port, so neighbor behaviour (gleaning, solicited
+replies, queue flush on resolution) is identical everywhere — as it is
+across real stacks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
+
+from repro.net.addresses import (
+    IPv4Address,
+    IPv4Network,
+    IPv6Address,
+    IPv6Network,
+    MacAddress,
+    MAC_BROADCAST,
+    link_local_from_mac,
+    multicast_mac_for_ipv6,
+    solicited_node_multicast,
+)
+from repro.net.arp import ArpOp, ArpPacket
+from repro.net.ethernet import EtherType, EthernetFrame
+from repro.net.icmpv6 import (
+    NeighborAdvertisement,
+    NeighborSolicitation,
+    RouterAdvertisement,
+    RouterSolicitation,
+    decode_icmpv6,
+    encode_icmpv6,
+)
+from repro.net.ipv4 import IPProto, IPv4Packet
+from repro.net.ipv6 import IPv6Packet
+from repro.sim.engine import EventEngine
+from repro.sim.node import Port
+
+__all__ = ["L2Interface"]
+
+IPV4_BROADCAST = IPv4Address("255.255.255.255")
+ALL_NODES_V6 = IPv6Address("ff02::1")
+ALL_ROUTERS_V6 = IPv6Address("ff02::2")
+UNSPECIFIED_V4 = IPv4Address("0.0.0.0")
+UNSPECIFIED_V6 = IPv6Address("::")
+
+#: How long to keep a packet queued awaiting neighbor resolution.
+RESOLUTION_TIMEOUT = 3.0
+
+
+class L2Interface:
+    """One attachment of a node to a link, with full neighbor handling.
+
+    The owner registers callbacks:
+
+    - ``on_ipv4(packet)`` / ``on_ipv6(packet)`` — a unicast/broadcast IP
+      packet addressed *through* this interface arrived (the owner
+      decides local-delivery vs forwarding);
+    - ``on_ra(ra, source)`` — a Router Advertisement arrived (hosts feed
+      SLAAC; routers ignore).
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        port: Port,
+        mac: MacAddress,
+        is_router: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.port = port
+        self.mac = mac
+        self.is_router = is_router
+        self.link_local = link_local_from_mac(mac)
+        self.ipv4_addresses: Set[IPv4Address] = set()
+        self.ipv6_addresses: Set[IPv6Address] = {self.link_local}
+        self.ipv4_prefixes: List[IPv4Network] = []
+        self.ipv6_prefixes: List[IPv6Network] = []
+        #: When True, any destination is treated as on-link — how we model
+        #: the flat "internet exchange" cloud the public services sit on.
+        self.on_link_everything = False
+        #: Prefixes this interface answers NDP/ARP for on behalf of nodes
+        #: behind it (the 5G gateway proxies its LAN prefix on the WAN).
+        self.proxy_nd_prefixes: List[IPv6Network] = []
+        self.proxy_arp_networks: List[IPv4Network] = []
+        self.v4_neighbors: Dict[IPv4Address, MacAddress] = {}
+        self.v6_neighbors: Dict[IPv6Address, MacAddress] = {}
+        self._pending_v4: Dict[IPv4Address, List[bytes]] = {}
+        self._pending_v6: Dict[IPv6Address, List[bytes]] = {}
+        self.on_ipv4: Optional[Callable[[IPv4Packet], None]] = None
+        self.on_ipv6: Optional[Callable[[IPv6Packet], None]] = None
+        self.on_ra: Optional[Callable[[RouterAdvertisement, IPv6Address], None]] = None
+        self.on_rs: Optional[Callable[[RouterSolicitation, IPv6Address], None]] = None
+        self.arp_requests_sent = 0
+        self.ns_sent = 0
+        #: Unicast data-plane counters (broadcast/multicast excluded), the
+        #: evidence base for the client census in :mod:`repro.core.metrics`.
+        self.tx_ipv4_unicast = 0
+        self.tx_ipv6_unicast = 0
+
+    # -- address management ----------------------------------------------------
+
+    def add_ipv4(self, address: IPv4Address, prefix: IPv4Network) -> None:
+        self.ipv4_addresses.add(address)
+        if prefix not in self.ipv4_prefixes:
+            self.ipv4_prefixes.append(prefix)
+
+    def remove_ipv4(self, address: IPv4Address) -> None:
+        self.ipv4_addresses.discard(address)
+
+    def clear_ipv4(self) -> None:
+        self.ipv4_addresses.clear()
+        self.ipv4_prefixes.clear()
+
+    def add_ipv6(self, address: IPv6Address, prefix: Optional[IPv6Network] = None) -> None:
+        self.ipv6_addresses.add(address)
+        if prefix is not None and prefix not in self.ipv6_prefixes:
+            self.ipv6_prefixes.append(prefix)
+
+    def primary_ipv4(self) -> Optional[IPv4Address]:
+        return next(iter(sorted(self.ipv4_addresses, key=int)), None)
+
+    # -- frame intake -------------------------------------------------------------
+
+    def accepts(self, frame: EthernetFrame) -> bool:
+        return (
+            frame.dst == self.mac
+            or frame.dst.is_broadcast
+            or frame.dst.is_multicast
+        )
+
+    def handle_frame(self, raw: bytes) -> None:
+        try:
+            frame = EthernetFrame.decode(raw)
+        except ValueError:
+            return
+        if not self.accepts(frame):
+            return
+        if frame.ethertype == EtherType.ARP:
+            self._handle_arp(frame)
+        elif frame.ethertype == EtherType.IPV4:
+            self._handle_ipv4(frame)
+        elif frame.ethertype == EtherType.IPV6:
+            self._handle_ipv6(frame)
+
+    def _handle_arp(self, frame: EthernetFrame) -> None:
+        try:
+            arp = ArpPacket.decode(frame.payload)
+        except ValueError:
+            return
+        if arp.sender_ip != UNSPECIFIED_V4:
+            self._learn_v4(arp.sender_ip, arp.sender_mac)
+        proxied = any(arp.target_ip in net for net in self.proxy_arp_networks)
+        if arp.op == ArpOp.REQUEST and (arp.target_ip in self.ipv4_addresses or proxied):
+            reply = arp.reply_from(self.mac)
+            self._send_frame(arp.sender_mac, EtherType.ARP, reply.encode())
+
+    def _handle_ipv4(self, frame: EthernetFrame) -> None:
+        try:
+            packet = IPv4Packet.decode(frame.payload)
+        except ValueError:
+            return
+        if packet.src != UNSPECIFIED_V4 and not frame.src.is_multicast:
+            self._learn_v4(packet.src, frame.src)
+        if self.on_ipv4 is not None:
+            self.on_ipv4(packet)
+
+    def _handle_ipv6(self, frame: EthernetFrame) -> None:
+        try:
+            packet = IPv6Packet.decode(frame.payload)
+        except ValueError:
+            return
+        if packet.next_header == IPProto.ICMPV6 and self._handle_ndp(frame, packet):
+            return
+        if packet.src != UNSPECIFIED_V6:
+            self._learn_v6(packet.src, frame.src)
+        if self.on_ipv6 is not None:
+            self.on_ipv6(packet)
+
+    def _handle_ndp(self, frame: EthernetFrame, packet: IPv6Packet) -> bool:
+        """Returns True when the message was NDP and fully consumed."""
+        try:
+            message = decode_icmpv6(packet.payload, packet.src, packet.dst)
+        except ValueError:
+            return True
+        if isinstance(message, NeighborSolicitation):
+            if message.source_lladdr is not None and packet.src != UNSPECIFIED_V6:
+                self._learn_v6(packet.src, message.source_lladdr)
+            proxied = any(message.target in p for p in self.proxy_nd_prefixes)
+            if message.target in self.ipv6_addresses or proxied:
+                self._send_na(message.target, packet.src)
+            return True
+        if isinstance(message, NeighborAdvertisement):
+            if message.target_lladdr is not None:
+                self._learn_v6(message.target, message.target_lladdr)
+            return True
+        if isinstance(message, RouterAdvertisement):
+            if message.source_lladdr is not None:
+                self._learn_v6(packet.src, message.source_lladdr)
+            if self.on_ra is not None:
+                self.on_ra(message, packet.src)
+            return True
+        if isinstance(message, RouterSolicitation):
+            if message.source_lladdr is not None and packet.src != UNSPECIFIED_V6:
+                self._learn_v6(packet.src, message.source_lladdr)
+            if self.on_rs is not None:
+                self.on_rs(message, packet.src)
+            return True
+        return False  # echo & errors flow up to the owner
+
+    # -- learning and queue flush ----------------------------------------------
+
+    def _learn_v4(self, address: IPv4Address, mac: MacAddress) -> None:
+        self.v4_neighbors[address] = mac
+        pending = self._pending_v4.pop(address, None)
+        if pending:
+            for raw in pending:
+                self._send_frame(mac, EtherType.IPV4, raw)
+
+    def _learn_v6(self, address: IPv6Address, mac: MacAddress) -> None:
+        self.v6_neighbors[address] = mac
+        pending = self._pending_v6.pop(address, None)
+        if pending:
+            for raw in pending:
+                self._send_frame(mac, EtherType.IPV6, raw)
+
+    # -- sending -----------------------------------------------------------------
+
+    def _send_frame(self, dst: MacAddress, ethertype: int, payload: bytes) -> None:
+        frame = EthernetFrame(dst=dst, src=self.mac, ethertype=ethertype, payload=payload)
+        self.port.transmit(frame.encode())
+
+    def on_link_v4(self, destination: IPv4Address) -> bool:
+        if self.on_link_everything:
+            return True
+        return any(destination in prefix for prefix in self.ipv4_prefixes)
+
+    def on_link_v6(self, destination: IPv6Address) -> bool:
+        if destination.is_link_local or self.on_link_everything:
+            return True
+        return any(destination in prefix for prefix in self.ipv6_prefixes)
+
+    def send_ipv4(self, packet: IPv4Packet, next_hop: Optional[IPv4Address] = None) -> None:
+        """Transmit an IPv4 packet, resolving the next-hop MAC via ARP."""
+        raw = packet.encode()
+        if packet.dst == IPV4_BROADCAST or self._is_subnet_broadcast(packet.dst):
+            self._send_frame(MAC_BROADCAST, EtherType.IPV4, raw)
+            return
+        self.tx_ipv4_unicast += 1
+        hop = next_hop or packet.dst
+        mac = self.v4_neighbors.get(hop)
+        if mac is not None:
+            self._send_frame(mac, EtherType.IPV4, raw)
+            return
+        self._pending_v4.setdefault(hop, []).append(raw)
+        self._arp_request(hop)
+        self.engine.schedule(RESOLUTION_TIMEOUT, lambda: self._expire_pending_v4(hop))
+
+    def send_ipv6(self, packet: IPv6Packet, next_hop: Optional[IPv6Address] = None) -> None:
+        """Transmit an IPv6 packet, resolving the next-hop MAC via NDP."""
+        raw = packet.encode()
+        if packet.dst.is_multicast:
+            self._send_frame(multicast_mac_for_ipv6(packet.dst), EtherType.IPV6, raw)
+            return
+        self.tx_ipv6_unicast += 1
+        hop = next_hop or packet.dst
+        mac = self.v6_neighbors.get(hop)
+        if mac is not None:
+            self._send_frame(mac, EtherType.IPV6, raw)
+            return
+        self._pending_v6.setdefault(hop, []).append(raw)
+        self._neighbor_solicit(hop)
+        self.engine.schedule(RESOLUTION_TIMEOUT, lambda: self._expire_pending_v6(hop))
+
+    def _is_subnet_broadcast(self, address: IPv4Address) -> bool:
+        return any(address == p.broadcast_address for p in self.ipv4_prefixes)
+
+    def _arp_request(self, target: IPv4Address) -> None:
+        sender_ip = self.primary_ipv4() or UNSPECIFIED_V4
+        request = ArpPacket.request(self.mac, sender_ip, target)
+        self.arp_requests_sent += 1
+        self._send_frame(MAC_BROADCAST, EtherType.ARP, request.encode())
+
+    def _neighbor_solicit(self, target: IPv6Address) -> None:
+        group = solicited_node_multicast(target)
+        ns = NeighborSolicitation(target=target, source_lladdr=self.mac)
+        payload = encode_icmpv6(ns, self.link_local, group)
+        packet = IPv6Packet(
+            src=self.link_local,
+            dst=group,
+            next_header=IPProto.ICMPV6,
+            payload=payload,
+            hop_limit=255,
+        )
+        self.ns_sent += 1
+        self._send_frame(multicast_mac_for_ipv6(group), EtherType.IPV6, packet.encode())
+
+    def _send_na(self, target: IPv6Address, requester: IPv6Address) -> None:
+        na = NeighborAdvertisement(
+            target=target, router=self.is_router, target_lladdr=self.mac
+        )
+        dst = requester if requester != UNSPECIFIED_V6 else ALL_NODES_V6
+        payload = encode_icmpv6(na, target, dst)
+        packet = IPv6Packet(
+            src=target, dst=dst, next_header=IPProto.ICMPV6, payload=payload, hop_limit=255
+        )
+        self.send_ipv6(packet)
+
+    def _expire_pending_v4(self, hop: IPv4Address) -> None:
+        if hop not in self.v4_neighbors:
+            self._pending_v4.pop(hop, None)
+
+    def _expire_pending_v6(self, hop: IPv6Address) -> None:
+        if hop not in self.v6_neighbors:
+            self._pending_v6.pop(hop, None)
+
+    def send_router_solicitation(self) -> None:
+        """Hosts send an RS on link-up to trigger immediate RAs."""
+        rs = RouterSolicitation(source_lladdr=self.mac)
+        payload = encode_icmpv6(rs, self.link_local, ALL_ROUTERS_V6)
+        packet = IPv6Packet(
+            src=self.link_local,
+            dst=ALL_ROUTERS_V6,
+            next_header=IPProto.ICMPV6,
+            payload=payload,
+            hop_limit=255,
+        )
+        self._send_frame(
+            multicast_mac_for_ipv6(ALL_ROUTERS_V6), EtherType.IPV6, packet.encode()
+        )

@@ -1,0 +1,54 @@
+"""Point-to-point links between ports.
+
+A link delivers each transmitted frame to the far side after its
+latency, via the event engine — in order, losslessly (the testbed is a
+single switch fabric; loss behaviour is exercised explicitly by the
+failure-injection tests instead).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import EventEngine
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A full-duplex cable between exactly two ports."""
+
+    def __init__(self, engine: EventEngine, latency: float = 0.0005, name: str = "link") -> None:
+        self.engine = engine
+        self.latency = latency
+        self.name = name
+        self._a = None
+        self._b = None
+        self.frames_carried = 0
+        self.up = True
+
+    def attach(self, port) -> None:
+        if self._a is None:
+            self._a = port
+        elif self._b is None:
+            self._b = port
+        else:
+            raise RuntimeError(f"link {self.name} already has two endpoints")
+        port._link = self
+
+    def transmit(self, sender, frame: bytes) -> None:
+        """Called by a port; schedules delivery at the far end."""
+        if not self.up:
+            return
+        peer = self._b if sender is self._a else self._a
+        if peer is None:
+            return  # unplugged cable
+        self.frames_carried += 1
+        self.engine.schedule(self.latency, lambda: peer.deliver(frame))
+
+    def disconnect(self) -> None:
+        """Administratively down the link (cable pull)."""
+        self.up = False
+
+    def reconnect(self) -> None:
+        self.up = True

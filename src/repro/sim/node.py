@@ -1,0 +1,84 @@
+"""Nodes and ports: the simulator's device plumbing.
+
+A :class:`Node` owns named :class:`Port` objects; a port transmits
+frames onto its link and hands received frames to the node's
+``on_frame(port, bytes)``.  Ports can mirror traffic into a
+:class:`~repro.sim.trace.PacketTrace`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.engine import EventEngine
+from repro.sim.link import Link
+from repro.sim.trace import PacketTrace
+
+__all__ = ["Port", "Node"]
+
+
+class Port:
+    """One network interface attachment point."""
+
+    def __init__(self, node: "Node", name: str) -> None:
+        self.node = node
+        self.name = name
+        self._link: Optional[Link] = None
+        self.trace: Optional[PacketTrace] = None
+        self.tx_frames = 0
+        self.rx_frames = 0
+
+    @property
+    def connected(self) -> bool:
+        return self._link is not None and self._link.up
+
+    def transmit(self, frame: bytes) -> None:
+        self.tx_frames += 1
+        if self.trace is not None:
+            self.trace.record(self.node.name, self.name, "tx", frame)
+        if self._link is not None:
+            self._link.transmit(self, frame)
+
+    def deliver(self, frame: bytes) -> None:
+        """Called by the link when a frame arrives."""
+        self.rx_frames += 1
+        if self.trace is not None:
+            self.trace.record(self.node.name, self.name, "rx", frame)
+        self.node.on_frame(self, frame)
+
+
+class Node:
+    """Base class for every simulated device."""
+
+    def __init__(self, engine: EventEngine, name: str) -> None:
+        self.engine = engine
+        self.name = name
+        self.ports: Dict[str, Port] = {}
+
+    def add_port(self, name: str = "eth0") -> Port:
+        if name in self.ports:
+            raise ValueError(f"{self.name} already has port {name}")
+        port = Port(self, name)
+        self.ports[name] = port
+        return port
+
+    def port(self, name: str = "eth0") -> Port:
+        return self.ports[name]
+
+    def attach_trace(self, trace: PacketTrace) -> None:
+        for port in self.ports.values():
+            port.trace = trace
+
+    def on_frame(self, port: Port, frame: bytes) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+def connect(engine: EventEngine, a: Port, b: Port, latency: float = 0.0005) -> Link:
+    """Wire two ports together with a new link."""
+    link = Link(engine, latency, name=f"{a.node.name}:{a.name}--{b.node.name}:{b.name}")
+    link.attach(a)
+    link.attach(b)
+    return link

@@ -1,0 +1,139 @@
+"""The managed switch: MAC learning, flooding, DHCP snooping and the
+low-priority RA daemon — the two workarounds the paper's testbed needed
+against the 5G gateway's limitations (§IV.A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.net.addresses import (
+    IPv6Address,
+    MacAddress,
+    link_local_from_mac,
+    MAC_BROADCAST,
+    multicast_mac_for_ipv6,
+)
+from repro.net.ethernet import EtherType, EthernetFrame
+from repro.net.icmpv6 import encode_icmpv6
+from repro.net.ipv4 import IPProto
+from repro.net.ipv6 import IPv6Packet
+from repro.nd.ra import RaDaemon, RaDaemonConfig
+from repro.dhcp.snooping import DhcpSnooper, SnoopAction
+from repro.sim.engine import EventEngine
+from repro.sim.node import Node, Port
+
+__all__ = ["ManagedSwitch"]
+
+ALL_NODES = IPv6Address("ff02::1")
+
+
+class ManagedSwitch(Node):
+    """An L2 learning switch with two managed-plane features:
+
+    - :attr:`snooper` — per-port DHCPv4 snooping (block the gateway's
+      un-disableable DHCP pool);
+    - :meth:`enable_ra_daemon` — emit RAs from the switch itself (the
+      ``fd00:976a::/64`` low-priority advertisement that resurrects the
+      dead ULA resolver addresses).
+    """
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        name: str = "switch",
+        mac: Optional[MacAddress] = None,
+    ) -> None:
+        super().__init__(engine, name)
+        self.mac_table: Dict[MacAddress, str] = {}
+        self.snooper = DhcpSnooper(enabled=False)
+        self.mac = mac or MacAddress(0x02_00_00_00_00_01)
+        self.link_local = link_local_from_mac(self.mac)
+        self._ra_daemon: Optional[RaDaemon] = None
+        self._ra_cancel = None
+        self.flooded = 0
+        self.forwarded = 0
+
+    # -- forwarding --------------------------------------------------------------
+
+    def on_frame(self, port: Port, frame_bytes: bytes) -> None:
+        try:
+            frame = EthernetFrame.decode(frame_bytes)
+        except ValueError:
+            return
+        self.mac_table[frame.src] = port.name
+        if self.snooper.inspect(port.name, frame) is SnoopAction.DROP:
+            return
+        # The switch's RA daemon answers Router Solicitations promptly,
+        # like any radvd/gateway would (the frame still floods below so
+        # real routers on other ports see the RS too).
+        if self._ra_daemon is not None and self._is_router_solicitation(frame):
+            self.engine.schedule(0.0, self._emit_ra)
+        if frame.dst == self.mac:
+            return  # addressed to the switch management plane itself
+        if not frame.is_broadcast and not frame.is_multicast:
+            out_port = self.mac_table.get(frame.dst)
+            if out_port is not None and out_port != port.name:
+                self.forwarded += 1
+                self.ports[out_port].transmit(frame_bytes)
+                return
+        # Flood: broadcast, multicast and unknown unicast.
+        self.flooded += 1
+        for name, out in self.ports.items():
+            if name != port.name:
+                out.transmit(frame_bytes)
+
+    # -- the RA workaround ----------------------------------------------------
+
+    def enable_ra_daemon(self, config: RaDaemonConfig) -> RaDaemon:
+        """Start advertising ``config`` from the switch's own MAC.
+
+        RAs are flooded to all ports immediately and then every
+        ``config.interval`` seconds.
+        """
+        self.disable_ra_daemon()
+        self._ra_daemon = RaDaemon(config, self.mac)
+        self._ra_cancel = self.engine.schedule_every(config.interval, self._emit_ra)
+        return self._ra_daemon
+
+    def disable_ra_daemon(self) -> None:
+        if self._ra_cancel is not None:
+            self._ra_cancel()
+            self._ra_cancel = None
+        self._ra_daemon = None
+
+    def _emit_ra(self) -> None:
+        if self._ra_daemon is None:
+            return
+        ra = self._ra_daemon.build_ra()
+        payload = encode_icmpv6(ra, self.link_local, ALL_NODES)
+        packet = IPv6Packet(
+            src=self.link_local,
+            dst=ALL_NODES,
+            next_header=IPProto.ICMPV6,
+            payload=payload,
+            hop_limit=255,
+        )
+        frame = EthernetFrame(
+            dst=multicast_mac_for_ipv6(ALL_NODES),
+            src=self.mac,
+            ethertype=EtherType.IPV6,
+            payload=packet.encode(),
+        )
+        raw = frame.encode()
+        for port in self.ports.values():
+            port.transmit(raw)
+
+    @staticmethod
+    def _is_router_solicitation(frame: EthernetFrame) -> bool:
+        if frame.ethertype != EtherType.IPV6:
+            return False
+        try:
+            packet = IPv6Packet.decode(frame.payload)
+        except ValueError:
+            return False
+        return packet.next_header == IPProto.ICMPV6 and bool(packet.payload) and packet.payload[0] == 133
+
+    @property
+    def ra_daemon(self) -> Optional[RaDaemon]:
+        return self._ra_daemon

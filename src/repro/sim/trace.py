@@ -1,0 +1,151 @@
+"""Packet capture for the simulated network.
+
+Every port can mirror its traffic into a :class:`PacketTrace`; entries
+carry the raw frame bytes plus a parsed one-line summary, giving the
+experiments a pcap-equivalent to assert against (e.g. "no poisoned A
+answer ever reached the Windows 10 client").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.net.ethernet import EtherType, EthernetFrame
+from repro.net.ipv4 import IPProto, IPv4Packet
+from repro.net.ipv6 import IPv6Packet
+from repro.net.udp import UdpDatagram
+
+__all__ = ["TraceEntry", "PacketTrace"]
+
+
+@dataclass
+class TraceEntry:
+    time: float
+    node: str
+    port: str
+    direction: str  # "tx" | "rx"
+    frame: bytes
+    summary: str
+
+    def __str__(self) -> str:
+        return f"{self.time:10.6f} {self.node}/{self.port} {self.direction} {self.summary}"
+
+
+def summarize_frame(raw: bytes) -> str:
+    """A best-effort one-line decode of an Ethernet frame."""
+    try:
+        frame = EthernetFrame.decode(raw)
+    except ValueError:
+        return f"<malformed frame, {len(raw)} bytes>"
+    if frame.ethertype == EtherType.ARP:
+        return f"ARP {frame.src} -> {frame.dst}"
+    if frame.ethertype == EtherType.IPV4:
+        try:
+            packet = IPv4Packet.decode(frame.payload, verify=False)
+        except ValueError:
+            return "IPv4 <malformed>"
+        extra = ""
+        if packet.proto == IPProto.UDP:
+            try:
+                d = UdpDatagram.decode(packet.payload, packet.src, packet.dst, verify=False)
+                extra = f" udp {d.src_port}->{d.dst_port}"
+            except ValueError:
+                pass
+        return f"IPv4 {packet.src} -> {packet.dst} proto={packet.proto}{extra}"
+    if frame.ethertype == EtherType.IPV6:
+        try:
+            packet = IPv6Packet.decode(frame.payload)
+        except ValueError:
+            return "IPv6 <malformed>"
+        extra = ""
+        if packet.next_header == IPProto.UDP:
+            try:
+                d = UdpDatagram.decode(packet.payload, packet.src, packet.dst, verify=False)
+                extra = f" udp {d.src_port}->{d.dst_port}"
+            except ValueError:
+                pass
+        return f"IPv6 {packet.src} -> {packet.dst} nh={packet.next_header}{extra}"
+    return f"ethertype={frame.ethertype:#06x} {len(raw)} bytes"
+
+
+class PacketTrace:
+    """An append-only capture buffer shared by any number of ports."""
+
+    def __init__(self, clock: Callable[[], float], capacity: int = 100_000) -> None:
+        self._clock = clock
+        self._capacity = capacity
+        self.entries: List[TraceEntry] = []
+
+    def record(self, node: str, port: str, direction: str, frame: bytes) -> None:
+        if len(self.entries) >= self._capacity:
+            return
+        self.entries.append(
+            TraceEntry(self._clock(), node, port, direction, frame, summarize_frame(frame))
+        )
+
+    def filter(
+        self,
+        node: Optional[str] = None,
+        direction: Optional[str] = None,
+        contains: Optional[str] = None,
+    ) -> List[TraceEntry]:
+        out = self.entries
+        if node is not None:
+            out = [e for e in out if e.node == node]
+        if direction is not None:
+            out = [e for e in out if e.direction == direction]
+        if contains is not None:
+            out = [e for e in out if contains in e.summary]
+        return list(out)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def dump(self, limit: int = 50) -> str:
+        return "\n".join(str(e) for e in self.entries[-limit:])
+
+    # -- pcap export ----------------------------------------------------------
+
+    PCAP_MAGIC = 0xA1B2C3D4
+    LINKTYPE_ETHERNET = 1
+
+    def to_pcap(self, direction: Optional[str] = "rx") -> bytes:
+        """Serialize the capture as a classic libpcap file (readable by
+        Wireshark/tcpdump).
+
+        By default only ``rx`` entries are written so frames seen at
+        both ends of a link are not duplicated; pass ``None`` for
+        everything.  Timestamps are the simulation clock.
+        """
+        import struct as _struct
+
+        out = bytearray(
+            _struct.pack(
+                "!IHHiIII",
+                self.PCAP_MAGIC,
+                2,  # major
+                4,  # minor
+                0,  # thiszone
+                0,  # sigfigs
+                65535,  # snaplen
+                self.LINKTYPE_ETHERNET,
+            )
+        )
+        for entry in self.entries:
+            if direction is not None and entry.direction != direction:
+                continue
+            seconds = int(entry.time)
+            micros = int(round((entry.time - seconds) * 1_000_000))
+            out += _struct.pack(
+                "!IIII", seconds, micros, len(entry.frame), len(entry.frame)
+            )
+            out += entry.frame
+        return bytes(out)
+
+    def save_pcap(self, path, direction: Optional[str] = "rx") -> int:
+        """Write :meth:`to_pcap` output to ``path``; returns bytes written."""
+        data = self.to_pcap(direction)
+        with open(path, "wb") as fh:
+            fh.write(data)
+        return len(data)

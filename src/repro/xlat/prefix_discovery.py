@@ -1,0 +1,79 @@
+"""NAT64 prefix discovery via ``ipv4only.arpa`` (RFC 7050).
+
+A CLAT cannot assume the well-known ``64:ff9b::/96``: operators may
+deploy a network-specific prefix.  RFC 7050's heuristic: query AAAA for
+``ipv4only.arpa`` — a name that, by IANA fiat, has **only** the A
+records 192.0.0.170 and 192.0.0.171.  Any AAAA that comes back was
+synthesized by a DNS64, and the position of the well-known IPv4 bytes
+inside it reveals the translation prefix and its length.
+
+The paper's testbed clients (Apple/Android CLATs) perform exactly this
+discovery against the poisoned resolver — and it works, because the
+poisoner forwards AAAA queries untouched (§VI).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.net.addresses import (
+    IPv4Address,
+    IPv6Address,
+    IPv6Network,
+    RFC6052_PREFIX_LENGTHS,
+    extract_ipv4_from_nat64,
+)
+from repro.dns.rdata import RRType
+
+__all__ = [
+    "WELL_KNOWN_IPV4ONLY_NAME",
+    "WELL_KNOWN_IPV4ONLY_ADDRESSES",
+    "prefix_from_synthesized",
+    "discover_nat64_prefix",
+]
+
+WELL_KNOWN_IPV4ONLY_NAME = "ipv4only.arpa"
+WELL_KNOWN_IPV4ONLY_ADDRESSES = (
+    IPv4Address("192.0.0.170"),
+    IPv4Address("192.0.0.171"),
+)
+
+
+def prefix_from_synthesized(address: IPv6Address) -> Optional[IPv6Network]:
+    """Recover the NAT64 prefix from one synthesized AAAA answer.
+
+    Tries each RFC 6052 prefix length; a candidate is valid when the
+    extraction yields one of the well-known IPv4 addresses (RFC 7050
+    §3).  Longest prefix first so /96 (byte-aligned suffix) wins over
+    accidental shorter-length matches.
+    """
+    for plen in sorted(RFC6052_PREFIX_LENGTHS, reverse=True):
+        candidate = IPv6Network((address, plen), strict=False)
+        try:
+            extracted = extract_ipv4_from_nat64(address, candidate)
+        except ValueError:
+            continue
+        if extracted in WELL_KNOWN_IPV4ONLY_ADDRESSES:
+            return candidate
+    return None
+
+
+def discover_nat64_prefix(resolver) -> Optional[IPv6Network]:
+    """Run the RFC 7050 discovery through a stub resolver.
+
+    Returns the discovered prefix, or ``None`` when the network has no
+    DNS64 in the resolution path (no synthesis happens, so the AAAA
+    query yields nothing usable) — in which case a CLAT must not start.
+    """
+    from repro.dns.resolver import DnsTransportError
+
+    try:
+        result = resolver.resolve_exact(WELL_KNOWN_IPV4ONLY_NAME, RRType.AAAA)
+    except DnsTransportError:
+        return None
+    for answer in result.addresses():
+        if isinstance(answer, IPv6Address):
+            prefix = prefix_from_synthesized(answer)
+            if prefix is not None:
+                return prefix
+    return None

@@ -1,0 +1,59 @@
+"""The §V device-outcome matrix (experiment E12)."""
+
+import pytest
+
+from repro.clients.profiles import ALL_PROFILES
+from repro.analysis.matrix import matrix_table, run_device_matrix
+from repro.core.testbed import TestbedConfig
+from repro.services.captive import ProbeOutcome
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_device_matrix(TestbedConfig())
+
+
+class TestDeviceMatrix:
+    def test_one_row_per_profile(self, matrix):
+        assert len(matrix) == len(ALL_PROFILES)
+
+    def test_only_v4_only_devices_intervened(self, matrix):
+        for outcome in matrix:
+            expected = not outcome.has_ipv6
+            assert outcome.intervened == expected, outcome.row()
+
+    def test_rfc8925_devices_got_option_108_and_clat(self, matrix):
+        by_name = {o.profile: o for o in matrix}
+        for name in ("macOS", "iOS", "Android", "Windows 11 (RFC 8925 build)"):
+            outcome = by_name[name]
+            assert outcome.got_option_108
+            assert outcome.clat_active
+            assert not outcome.got_ipv4_lease
+
+    def test_dual_stack_devices_online_and_untouched(self, matrix):
+        by_name = {o.profile: o for o in matrix}
+        for name in ("Windows 10", "Windows 11", "Linux", "Windows XP"):
+            outcome = by_name[name]
+            assert outcome.probe is ProbeOutcome.ONLINE, outcome.row()
+            assert outcome.browse_landed_on == "sc24.supercomputing.org"
+
+    def test_v4_only_devices_portal(self, matrix):
+        by_name = {o.profile: o for o in matrix}
+        for name in ("Nintendo Switch", "Legacy IoT", "Windows 10 (IPv6 disabled)"):
+            outcome = by_name[name]
+            assert outcome.probe is ProbeOutcome.PORTAL
+            assert outcome.browse_landed_on == "ip6.me"
+
+    def test_all_browses_over_ipv6_where_possible(self, matrix):
+        for outcome in matrix:
+            if outcome.has_ipv6:
+                assert outcome.browse_family == "ipv6", outcome.row()
+
+    def test_table_renders(self, matrix):
+        table = matrix_table(matrix)
+        assert "Nintendo Switch" in table
+        assert table.count("\n") == len(matrix) - 1
+
+    def test_matrix_without_intervention_nobody_intervened(self):
+        clean = run_device_matrix(TestbedConfig(poisoned_dns=False))
+        assert not any(o.intervened for o in clean)

@@ -1,0 +1,100 @@
+"""Markdown report rendering and pcap export."""
+
+import struct
+
+import pytest
+
+from repro.net.addresses import IPv4Address
+from repro.net.ethernet import EthernetFrame
+from repro.analysis.matrix import run_device_matrix
+from repro.analysis.report import (
+    census_markdown,
+    device_matrix_markdown,
+    markdown_table,
+    score_markdown,
+)
+from repro.clients.profiles import MACOS, NINTENDO_SWITCH, WINDOWS_10
+from repro.core.scoring import score_rfc8925_aware, score_stock
+from repro.core.testbed import TestbedConfig, build_testbed
+from repro.services.testipv6 import run_test_ipv6
+
+
+class TestMarkdownReports:
+    def test_markdown_table_shape(self):
+        table = markdown_table(("a", "b"), [(1, 2), (3, 4)])
+        lines = table.split("\n")
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_device_matrix_markdown(self):
+        outcomes = run_device_matrix(TestbedConfig(), profiles=(MACOS, NINTENDO_SWITCH))
+        md = device_matrix_markdown(outcomes)
+        assert "macOS" in md and "Nintendo Switch" in md
+        assert "**yes**" in md  # the Switch's intervened flag is bolded
+
+    def test_census_markdown(self, testbed):
+        testbed.add_client(MACOS, "mac").fetch("ip6.me")
+        testbed.add_client(NINTENDO_SWITCH, "sw").fetch("ip6.me")
+        md = census_markdown(testbed.census())
+        assert "accurate (SC24) IPv6-only count: **1**" in md
+
+    def test_score_markdown(self, testbed):
+        entries = []
+        for profile, label in ((MACOS, "phone"), (WINDOWS_10, "laptop")):
+            client = testbed.add_client(profile, label)
+            rep = run_test_ipv6(client, testbed.mirror)
+            entries.append(
+                (label, rep, score_stock(rep), score_rfc8925_aware(rep, testbed.scoring_context()))
+            )
+        md = score_markdown(entries)
+        assert "10/10" in md and "9/10" in md
+
+
+class TestPcapExport:
+    @pytest.fixture
+    def captured(self):
+        testbed = build_testbed(TestbedConfig(capture_traffic=True))
+        client = testbed.add_client(NINTENDO_SWITCH, "sw")
+        client.fetch("sc24.supercomputing.org")
+        return testbed.trace
+
+    def test_global_header(self, captured):
+        data = captured.to_pcap()
+        magic, major, minor, _tz, _sig, snaplen, linktype = struct.unpack("!IHHiIII", data[:24])
+        assert magic == 0xA1B2C3D4
+        assert (major, minor) == (2, 4)
+        assert linktype == 1  # Ethernet
+
+    def test_records_parse_back_as_frames(self, captured):
+        data = captured.to_pcap()
+        offset = 24
+        frames = 0
+        while offset < len(data):
+            _ts, _us, incl, orig = struct.unpack("!IIII", data[offset : offset + 16])
+            assert incl == orig
+            frame = data[offset + 16 : offset + 16 + incl]
+            EthernetFrame.decode(frame)  # must be valid Ethernet
+            offset += 16 + incl
+            frames += 1
+        assert frames == len([e for e in captured.entries if e.direction == "rx"])
+
+    def test_direction_filter(self, captured):
+        everything = captured.to_pcap(direction=None)
+        rx_only = captured.to_pcap(direction="rx")
+        assert len(everything) > len(rx_only)
+
+    def test_save_pcap(self, captured, tmp_path):
+        path = tmp_path / "capture.pcap"
+        written = captured.save_pcap(path)
+        assert path.stat().st_size == written > 24
+
+    def test_timestamps_monotonic(self, captured):
+        data = captured.to_pcap()
+        offset = 24
+        last = (0, 0)
+        while offset < len(data):
+            ts, us, incl, _orig = struct.unpack("!IIII", data[offset : offset + 16])
+            assert (ts, us) >= last
+            last = (ts, us)
+            offset += 16 + incl

@@ -1,0 +1,153 @@
+"""Echolink-style IPv4-literal apps (figure 2) and VPN behaviour
+(figures 8 and 11)."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.clients.apps import EcholinkApp
+from repro.clients.profiles import MACOS, NINTENDO_SWITCH, WINDOWS_10
+from repro.clients.vpn import SplitTunnelVPN, VpnAwareClient, VpnMode
+from repro.core.testbed import (
+    CARRIER_DNS_V4,
+    CONCENTRATOR_V4,
+    SC24_WEB_V4,
+    VTC_V4,
+)
+
+
+@pytest.fixture
+def echolink_world(testbed):
+    # The "radio" endpoint listens on an IPv4 literal, like figure 2.
+    testbed.sc24_web.tcp_listen(5200, lambda conn: conn.close())
+    return testbed, EcholinkApp([SC24_WEB_V4], port=5200)
+
+
+class TestEcholink:
+    def test_dual_stack_uses_native_v4(self, echolink_world):
+        testbed, app = echolink_world
+        client = testbed.add_client(WINDOWS_10, "w10")
+        result = app.connect(client)
+        assert result.connected
+        assert result.family == "ipv4"
+
+    def test_rfc8925_client_uses_clat(self, echolink_world):
+        testbed, app = echolink_world
+        client = testbed.add_client(MACOS, "mac")
+        result = app.connect(client)
+        assert result.connected
+        assert result.family == "ipv4-via-clat"
+
+    def test_v4_only_device_still_works(self, echolink_world):
+        """The DNS intervention cannot touch literal traffic — the
+        scope limit the paper accepts (§VI)."""
+        testbed, app = echolink_world
+        client = testbed.add_client(NINTENDO_SWITCH, "switch")
+        assert app.connect(client).connected
+
+    def test_requires_a_server(self):
+        with pytest.raises(ValueError):
+            EcholinkApp([])
+
+    def test_fallback_across_literals(self, echolink_world):
+        testbed, app = echolink_world
+        client = testbed.add_client(WINDOWS_10, "w10")
+        multi = EcholinkApp([IPv4Address("203.0.113.199"), SC24_WEB_V4], port=5200)
+        result = multi.connect(client)
+        assert result.connected
+        assert result.used_literal == SC24_WEB_V4
+
+
+class TestVpn:
+    def _vpn(self, testbed, client, **kw):
+        return SplitTunnelVPN(
+            client,
+            testbed.concentrator,
+            CONCENTRATOR_V4,
+            corporate_dns=CARRIER_DNS_V4,
+            **kw,
+        )
+
+    def test_tunnel_establishes_over_native_v4(self, testbed):
+        client = testbed.add_client(WINDOWS_10, "w10")
+        vpn = self._vpn(testbed, client)
+        assert vpn.connect()
+
+    def test_tunnel_establishes_via_clat_on_rfc8925(self, testbed):
+        client = testbed.add_client(MACOS, "mac")
+        vpn = self._vpn(testbed, client)
+        assert vpn.connect()  # the literal rides CLAT+NAT64
+
+    def test_split_literal_goes_direct(self, testbed):
+        client = testbed.add_client(WINDOWS_10, "w10")
+        vpn = self._vpn(testbed, client, mode=VpnMode.SPLIT_TUNNEL, split_literals=[VTC_V4])
+        vpn.connect()
+        outcome = vpn.fetch_literal(VTC_V4, "vtc.example.com")
+        assert outcome.ok
+        assert vpn.direct_fetches == 1
+        assert vpn.tunnel_fetches == 0
+
+    def test_split_breaks_when_ipv4_blocked_figure8(self, testbed):
+        """Figure 8: blocking native IPv4 breaks the split-tunnel VTC."""
+        client = testbed.add_client(WINDOWS_10, "w10")
+        vpn = self._vpn(testbed, client, mode=VpnMode.SPLIT_TUNNEL, split_literals=[VTC_V4])
+        vpn.connect()
+        # The operator "further restricts IPv4 internet": kill NAT44.
+        from repro.xlat.siit import TranslationError
+
+        class BlockedNat:
+            def translate_out(self, p):
+                raise TranslationError("ACL: IPv4 internet blocked")
+
+            def translate_in(self, p):
+                raise TranslationError("ACL: IPv4 internet blocked")
+
+        testbed.gateway.nat44 = BlockedNat()
+        outcome = vpn.fetch_literal(VTC_V4, "vtc.example.com")
+        assert not outcome.ok
+
+    def test_full_tunnel_v6_unreachable(self, testbed):
+        client = testbed.add_client(WINDOWS_10, "w10")
+        vpn = self._vpn(testbed, client)
+        vpn.connect()
+        outcome = vpn.fetch_literal(IPv6Address("2001:470:1:18::115"), "test-ipv6.com")
+        assert not outcome.ok
+        assert "IPv4-only tunnel" in outcome.detail
+
+    def test_tunnel_down_fails(self, testbed):
+        client = testbed.add_client(WINDOWS_10, "w10")
+        vpn = self._vpn(testbed, client)
+        outcome = vpn.fetch("sc24.supercomputing.org")
+        assert not outcome.ok
+        assert "down" in outcome.detail
+
+    def test_fetch_by_name_through_tunnel(self, testbed):
+        client = testbed.add_client(WINDOWS_10, "w10")
+        vpn = self._vpn(testbed, client)
+        vpn.connect()
+        outcome = vpn.fetch("sc24.supercomputing.org")
+        assert outcome.ok
+        assert outcome.landed_on == "sc24.supercomputing.org"
+        assert isinstance(outcome.address, IPv4Address)
+
+    def test_egress_policy_blocks_non_corporate(self, testbed):
+        client = testbed.add_client(WINDOWS_10, "w10")
+        vpn = self._vpn(testbed, client, allowed_tunnel_destinations=[])
+        vpn.connect()
+        outcome = vpn.fetch("sc24.supercomputing.org")
+        assert not outcome.ok
+        assert "egress policy" in outcome.detail
+
+    def test_disconnect(self, testbed):
+        client = testbed.add_client(WINDOWS_10, "w10")
+        vpn = self._vpn(testbed, client)
+        vpn.connect()
+        vpn.disconnect()
+        assert not vpn.fetch("sc24.supercomputing.org").ok
+
+    def test_vpn_aware_client_facade(self, testbed):
+        client = testbed.add_client(WINDOWS_10, "w10")
+        vpn = self._vpn(testbed, client)
+        vpn.connect()
+        facade = VpnAwareClient(vpn)
+        assert facade.name.endswith("+vpn")
+        assert facade.fetch("sc24.supercomputing.org").ok

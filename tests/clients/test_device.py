@@ -1,0 +1,143 @@
+"""ClientDevice bring-up, resolver assembly and browsing against the
+full testbed."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.dhcp.client import DhcpClientState
+from repro.dns.rdata import RCode, RRType
+from repro.clients.profiles import (
+    ALL_PROFILES,
+    ANDROID,
+    DnsOrder,
+    IOS,
+    LINUX,
+    MACOS,
+    NINTENDO_SWITCH,
+    WINDOWS_10,
+    WINDOWS_10_V6_DISABLED,
+    WINDOWS_11,
+    WINDOWS_11_RFC8925,
+    WINDOWS_XP,
+)
+from repro.core.testbed import PI_HEALTHY_V4, PI_HEALTHY_V6, PI_POISON_V4
+
+
+class TestBringUp:
+    def test_rfc8925_client_goes_v6only_with_clat(self, testbed):
+        client = testbed.add_client(MACOS, "mac")
+        assert client.dhcp_result.state is DhcpClientState.V6ONLY
+        assert client.host.ipv4_config is None
+        assert client.host.clat is not None and client.host.clat.enabled
+        assert client.is_ipv6_only
+
+    def test_plain_client_binds_ipv4(self, testbed):
+        client = testbed.add_client(WINDOWS_10, "w10")
+        assert client.dhcp_result.state is DhcpClientState.BOUND
+        assert client.host.ipv4_config is not None
+        assert client.host.ipv6_global_addresses()
+
+    def test_v4_only_device(self, testbed):
+        client = testbed.add_client(NINTENDO_SWITCH, "switch")
+        assert client.dhcp_result.state is DhcpClientState.BOUND
+        assert not client.host.ipv6_global_addresses()
+
+    def test_clients_get_both_ula_and_gua(self, testbed):
+        client = testbed.add_client(LINUX, "lin")
+        addresses = client.host.ipv6_global_addresses()
+        from repro.net.addresses import is_gua, is_ula
+
+        assert any(is_ula(a) for a in addresses)
+        assert any(is_gua(a) for a in addresses)
+
+
+class TestResolverAssembly:
+    def test_rdnss_first(self, testbed):
+        client = testbed.add_client(WINDOWS_10, "w10")
+        order = client.dns_server_order()
+        assert order[0] == PI_HEALTHY_V6  # fd00:976a::9 (alive thanks to switch RA)
+        assert PI_POISON_V4 in order  # DHCP resolver last
+
+    def test_dhcp_first(self, testbed):
+        client = testbed.add_client(WINDOWS_11, "w11")
+        order = client.dns_server_order()
+        assert order[0] == PI_POISON_V4
+
+    def test_dhcp_only_xp(self, testbed):
+        client = testbed.add_client(WINDOWS_XP, "xp")
+        order = client.dns_server_order()
+        assert order == [PI_POISON_V4]
+
+    def test_rdnss_only_rfc8925(self, testbed):
+        client = testbed.add_client(WINDOWS_11_RFC8925, "w11-new")
+        order = client.dns_server_order()
+        assert all(isinstance(a, IPv6Address) for a in order)
+
+    def test_manual_dns_override(self, testbed):
+        client = testbed.add_client(NINTENDO_SWITCH, "switch")
+        client.set_manual_dns([PI_HEALTHY_V4])
+        assert client.dns_server_order() == [PI_HEALTHY_V4]
+
+    def test_search_domain_from_dhcp(self, testbed):
+        client = testbed.add_client(WINDOWS_11, "w11")
+        assert "rfc8925.com" in client.search_domains()
+
+
+class TestBrowsing:
+    def test_dual_stack_browse_uses_v6(self, testbed):
+        client = testbed.add_client(WINDOWS_10, "w10")
+        outcome = client.fetch("sc24.supercomputing.org")
+        assert outcome.ok
+        assert outcome.landed_on == "sc24.supercomputing.org"
+        assert outcome.family == "ipv6"  # DNS64-synthesized AAAA preferred
+
+    def test_v4_only_browse_intervened(self, testbed):
+        client = testbed.add_client(NINTENDO_SWITCH, "switch")
+        outcome = client.fetch("sc24.supercomputing.org")
+        assert outcome.ok
+        assert outcome.landed_on == "ip6.me"  # the intervention
+
+    def test_fetch_literal_bypasses_dns(self, testbed):
+        client = testbed.add_client(NINTENDO_SWITCH, "switch")
+        from repro.core.testbed import SC24_WEB_V4
+
+        outcome = client.fetch_literal(SC24_WEB_V4, "sc24.supercomputing.org")
+        assert outcome.ok
+        assert outcome.landed_on == "sc24.supercomputing.org"
+
+    def test_ping_name(self, testbed):
+        client = testbed.add_client(WINDOWS_10, "w10")
+        assert client.ping_name("sc24.supercomputing.org") is not None
+
+    def test_unresolvable_name(self, testbed_clean):
+        client = testbed_clean.add_client(WINDOWS_10, "w10")
+        outcome = client.fetch("no-such-host.supercomputing.org")
+        assert not outcome.ok
+        assert "resolution" in outcome.detail
+
+
+class TestNslookup:
+    def test_suffix_first_behaviour(self, testbed):
+        """Figure 9: nslookup appends the DHCP search domain eagerly."""
+        client = testbed.add_client(WINDOWS_11, "w11")
+        result = client.nslookup("vpn.anl.gov")
+        assert str(result.queried_name) == "vpn.anl.gov.rfc8925.com"
+        assert result.records  # the poison answered a nonexistent name
+
+    def test_nslookup_config_restored(self, testbed):
+        client = testbed.add_client(WINDOWS_11, "w11")
+        before = client.resolver.config
+        client.nslookup("vpn.anl.gov")
+        assert client.resolver.config == before
+
+
+class TestAllProfilesBringUp:
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_every_profile_comes_up(self, testbed, profile):
+        client = testbed.add_client(profile, f"dev-{profile.name}")
+        if profile.ipv4_enabled and not profile.supports_option_108:
+            assert client.host.ipv4_config is not None
+        if profile.supports_option_108:
+            assert client.host.v6only_wait is not None
+        if profile.ipv6_enabled:
+            assert client.host.ipv6_global_addresses()

@@ -1,0 +1,31 @@
+"""Client lifecycle: polite disconnect with DHCPRELEASE."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address
+from repro.clients.profiles import MACOS, NINTENDO_SWITCH
+
+
+class TestDisconnect:
+    def test_release_frees_the_pool_address(self, testbed):
+        client = testbed.add_client(NINTENDO_SWITCH, "leaver")
+        address = client.host.ipv4_config.address
+        assert testbed.dhcp_server.active_lease_count == 1
+        client.disconnect()
+        assert testbed.dhcp_server.active_lease_count == 0
+        # The very next client can take the same address.
+        newcomer = testbed.add_client(NINTENDO_SWITCH, "newcomer")
+        assert newcomer.host.ipv4_config.address == address
+
+    def test_disconnect_unplugs_the_link(self, testbed):
+        client = testbed.add_client(NINTENDO_SWITCH, "leaver")
+        client.disconnect()
+        assert not client.host.port("eth0").connected
+        assert client.host.ipv4_config is None
+
+    def test_v6only_client_disconnects_without_release(self, testbed):
+        client = testbed.add_client(MACOS, "phone")
+        leases_before = testbed.dhcp_server.active_lease_count
+        client.disconnect()  # no IPv4 config: nothing to release
+        assert testbed.dhcp_server.active_lease_count == leases_before
+        assert not client.host.port("eth0").connected

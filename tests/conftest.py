@@ -1,0 +1,42 @@
+"""Shared fixtures for the v6shift test suite."""
+
+import pytest
+
+from repro.sim.engine import EventEngine
+from repro.core.testbed import TestbedConfig, build_testbed
+
+
+@pytest.fixture
+def engine():
+    return EventEngine(seed=42)
+
+
+@pytest.fixture
+def testbed():
+    """The default figure-4 testbed: intervention on, target ip6.me."""
+    return build_testbed(TestbedConfig())
+
+
+@pytest.fixture
+def testbed_clean():
+    """The testbed with the intervention disabled (healthy resolver)."""
+    return build_testbed(TestbedConfig(poisoned_dns=False))
+
+
+@pytest.fixture
+def testbed_fig5():
+    """The first-iteration testbed: poison pointed at the mirror itself."""
+    return build_testbed(TestbedConfig(poisoned_dns=True, poison_target="test-ipv6.com"))
+
+
+@pytest.fixture
+def testbed_raw():
+    """No workarounds: gateway quirks fully exposed (pre-figure-4 state)."""
+    return build_testbed(
+        TestbedConfig(
+            poisoned_dns=False,
+            dhcp_snooping=False,
+            switch_ra=False,
+            option_108=False,
+        )
+    )

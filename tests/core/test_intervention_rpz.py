@@ -1,0 +1,158 @@
+"""The poisoned DNS server (dnsmasq-style) and its RPZ replacement,
+tested standalone against an in-process healthy DNS64 upstream."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.dns.message import DnsMessage
+from repro.dns.rdata import RCode, RRType
+from repro.dns.zone import Zone
+from repro.xlat.dns64 import DNS64Resolver
+from repro.core.intervention import InterventionConfig, PoisonedDNSServer
+from repro.core.rpz import RpzConfig, RPZPolicyServer
+
+POISON = IPv4Address("23.153.8.71")
+
+
+def make_upstream():
+    zone = Zone("supercomputing.org")
+    zone.add_a("sc24.supercomputing.org", "190.92.158.4")
+    zone2 = Zone("ip6.me")
+    zone2.add_a("ip6.me", str(POISON))
+    zone2.add_aaaa("ip6.me", "2001:4810:0:3::71")
+    return DNS64Resolver([zone, zone2])
+
+
+def ask(server, name, rrtype):
+    raw = server.handle_query(DnsMessage.query(name, rrtype, ident=42).encode())
+    return DnsMessage.decode(raw)
+
+
+@pytest.fixture
+def poisoned():
+    upstream = make_upstream()
+    return PoisonedDNSServer(
+        InterventionConfig(poison_address=POISON), upstream.handle_query
+    ), upstream
+
+
+@pytest.fixture
+def rpz():
+    upstream = make_upstream()
+    return RPZPolicyServer(
+        RpzConfig(poison_address=POISON), upstream.handle_query
+    ), upstream
+
+
+class TestPoisonedServer:
+    def test_every_a_query_poisoned(self, poisoned):
+        server, _ = poisoned
+        response = ask(server, "sc24.supercomputing.org", RRType.A)
+        assert response.answers_of_type(RRType.A)[0].rdata.address == POISON
+        assert server.poison_answers == 1
+
+    def test_nonexistent_name_also_poisoned_figure9(self, poisoned):
+        """The dnsmasq flaw: A answers even for names that don't exist."""
+        server, _ = poisoned
+        response = ask(server, "vpn.anl.gov.rfc8925.com", RRType.A)
+        assert response.rcode == RCode.NOERROR
+        assert response.answers_of_type(RRType.A)[0].rdata.address == POISON
+
+    def test_aaaa_forwarded_to_healthy_dns64(self, poisoned):
+        server, upstream = poisoned
+        response = ask(server, "sc24.supercomputing.org", RRType.AAAA)
+        aaaa = response.answers_of_type(RRType.AAAA)
+        assert aaaa[0].rdata.address == IPv6Address("64:ff9b::be5c:9e04")
+        assert server.forwarded == 1
+        assert upstream.synthesized == 1
+
+    def test_aaaa_nxdomain_preserved(self, poisoned):
+        server, _ = poisoned
+        response = ask(server, "nothere.ip6.me", RRType.AAAA)
+        assert response.rcode == RCode.NXDOMAIN
+
+    def test_exempt_domains_pass_through(self):
+        upstream = make_upstream()
+        server = PoisonedDNSServer(
+            InterventionConfig(poison_address=POISON, exempt_domains=("ip6.me",)),
+            upstream.handle_query,
+        )
+        response = ask(server, "ip6.me", RRType.A)
+        assert response.answers_of_type(RRType.A)[0].rdata.address == POISON
+        # (ip6.me's real A *is* the poison address — check the counter
+        # instead to prove the answer came from upstream.)
+        assert server.poison_answers == 0
+
+    def test_dead_upstream_servfail_for_aaaa(self):
+        server = PoisonedDNSServer(
+            InterventionConfig(poison_address=POISON), lambda wire: None
+        )
+        response = ask(server, "x.example", RRType.AAAA)
+        assert response.rcode == RCode.SERVFAIL
+        # ...but A queries still get poisoned (dnsmasq's address= line
+        # does not need the upstream at all).
+        response = ask(server, "x.example", RRType.A)
+        assert response.rcode == RCode.NOERROR
+
+    def test_poison_ttl(self, poisoned):
+        server, _ = poisoned
+        response = ask(server, "anything.example", RRType.A)
+        assert response.answers[0].ttl == server.config.poison_ttl
+
+    def test_dnsmasq_config_lines(self):
+        config = InterventionConfig(poison_address=POISON, exempt_domains=("helpdesk.anl.gov",))
+        lines = config.dnsmasq_lines("192.168.12.251")
+        assert "address=/#/23.153.8.71" in lines
+        assert "server=192.168.12.251" in lines
+        assert "server=/helpdesk.anl.gov/192.168.12.251" in lines
+
+    def test_query_log_records_poison_source(self, poisoned):
+        server, _ = poisoned
+        ask(server, "a.example", RRType.A)
+        assert server.query_log[-1].answered_from == "poison"
+
+
+class TestRpzServer:
+    def test_existing_a_rewritten(self, rpz):
+        server, _ = rpz
+        response = ask(server, "sc24.supercomputing.org", RRType.A)
+        assert response.answers_of_type(RRType.A)[0].rdata.address == POISON
+        assert server.rewritten == 1
+
+    def test_nonexistent_name_stays_nxdomain(self, rpz):
+        """The fix for figure 9."""
+        server, _ = rpz
+        response = ask(server, "vpn.anl.gov.rfc8925.com", RRType.A)
+        assert response.rcode == RCode.REFUSED or response.rcode == RCode.NXDOMAIN
+        assert not response.answers
+        assert server.rewritten == 0
+
+    def test_aaaa_untouched(self, rpz):
+        server, _ = rpz
+        response = ask(server, "ip6.me", RRType.AAAA)
+        assert response.answers_of_type(RRType.AAAA)[0].rdata.address == IPv6Address(
+            "2001:4810:0:3::71"
+        )
+
+    def test_exempt_domain(self):
+        upstream = make_upstream()
+        server = RPZPolicyServer(
+            RpzConfig(poison_address=POISON, exempt_domains=("supercomputing.org",)),
+            upstream.handle_query,
+        )
+        response = ask(server, "sc24.supercomputing.org", RRType.A)
+        assert response.answers_of_type(RRType.A)[0].rdata.address == IPv4Address(
+            "190.92.158.4"
+        )
+        assert server.rewritten == 0
+
+    def test_dead_upstream(self):
+        server = RPZPolicyServer(RpzConfig(poison_address=POISON), lambda wire: None)
+        response = ask(server, "x.example", RRType.A)
+        assert response.rcode == RCode.SERVFAIL
+
+    def test_bind_zone_snippet(self):
+        config = RpzConfig(poison_address=POISON, exempt_domains=("anl.gov",))
+        snippet = config.bind_zone_snippet()
+        assert f"* A {POISON}" in snippet
+        assert "rpz-passthru" in snippet

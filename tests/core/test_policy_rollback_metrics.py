@@ -1,0 +1,195 @@
+"""Intervention policy, rollback playbooks and the client census."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address, IPv4Network, MacAddress
+from repro.dhcp.message import DhcpMessage
+from repro.dhcp.server import DhcpPool
+from repro.core.metrics import ClientCensus, ClientClass
+from repro.core.policy import InterventionPolicy, PolicyDhcpServer
+from repro.core.rollback import Playbook, PlaybookError
+
+POISONED = IPv4Address("192.168.12.252")
+HEALTHY = IPv4Address("192.168.12.251")
+MAC = MacAddress.parse("02:00:00:00:aa:01")
+EXEMPT_MAC = MacAddress.parse("02:00:00:00:aa:02")
+
+
+@pytest.fixture
+def policy():
+    policy = InterventionPolicy(
+        poisoned_dns=(POISONED,), healthy_dns=(HEALTHY,), intervention_enabled=True
+    )
+    policy.exempt(EXEMPT_MAC)
+    return policy
+
+
+class TestPolicy:
+    def test_default_client_gets_poison_and_108(self, policy):
+        decision = policy.decide(MAC)
+        assert decision.offer_option_108
+        assert decision.dns_servers == (POISONED,)
+
+    def test_service_account_exempt(self, policy):
+        decision = policy.decide(EXEMPT_MAC)
+        assert not decision.offer_option_108
+        assert decision.dns_servers == (HEALTHY,)
+        assert "service-account" in decision.reason
+
+    def test_disabled_intervention(self, policy):
+        policy.intervention_enabled = False
+        decision = policy.decide(MAC)
+        assert decision.dns_servers == (HEALTHY,)
+        assert decision.offer_option_108  # 108 stays on; only DNS reverts
+
+    def test_unexempt(self, policy):
+        policy.unexempt(EXEMPT_MAC)
+        assert policy.decide(EXEMPT_MAC).dns_servers == (POISONED,)
+
+
+class TestPolicyDhcpServer:
+    def _server(self, policy):
+        class Clock:
+            def __call__(self):
+                return 0.0
+
+        return PolicyDhcpServer(
+            policy,
+            pool=DhcpPool(
+                IPv4Network("192.168.12.0/24"),
+                IPv4Address("192.168.12.50"),
+                IPv4Address("192.168.12.99"),
+            ),
+            server_id=IPv4Address("192.168.12.250"),
+            clock=Clock(),
+            dns_servers=[HEALTHY],
+            v6only_wait=300,
+        )
+
+    def test_normal_client_poisoned_dns(self, policy):
+        server = self._server(policy)
+        offer = server.respond(DhcpMessage.discover(1, MAC))
+        assert offer.dns_servers == [POISONED]
+
+    def test_exempt_client_healthy_dns_no_108(self, policy):
+        server = self._server(policy)
+        offer = server.respond(DhcpMessage.discover(1, EXEMPT_MAC, request_option_108=True))
+        assert offer.dns_servers == [HEALTHY]
+        assert offer.v6only_wait is None  # exemption suppresses 108
+
+    def test_rfc8925_client_granted(self, policy):
+        server = self._server(policy)
+        offer = server.respond(DhcpMessage.discover(1, MAC, request_option_108=True))
+        assert offer.v6only_wait == 300
+
+
+class TestPlaybook:
+    def test_apply_and_rollback(self):
+        state = {"dns": "healthy"}
+        playbook = Playbook("test")
+        playbook.add(
+            "switch dns",
+            apply=lambda: state.update(dns="poisoned"),
+            revert=lambda: state.update(dns="healthy"),
+            check=lambda: state["dns"] == "poisoned",
+        )
+        run = playbook.run()
+        assert run.ok and state["dns"] == "poisoned"
+        playbook.rollback(run)
+        assert state["dns"] == "healthy"
+        assert run.rolled_back
+
+    def test_failure_auto_reverts_prior_tasks(self):
+        state = {"a": False, "b": False}
+        playbook = Playbook("fail")
+        playbook.add("a", lambda: state.update(a=True), lambda: state.update(a=False))
+
+        def boom():
+            raise RuntimeError("nope")
+
+        playbook.add("b", boom, lambda: state.update(b=False))
+        with pytest.raises(PlaybookError, match="nope"):
+            playbook.run()
+        assert state["a"] is False  # reverted
+        assert playbook.runs[0].failed_task == "b"
+
+    def test_check_failure_reverts(self):
+        state = {"x": 0}
+        playbook = Playbook("check")
+        playbook.add(
+            "set x", lambda: state.update(x=1), lambda: state.update(x=0), check=lambda: state["x"] == 2
+        )
+        with pytest.raises(PlaybookError, match="post-check"):
+            playbook.run()
+        assert state["x"] == 0
+
+    def test_double_rollback_rejected(self):
+        playbook = Playbook("dbl")
+        playbook.add("noop", lambda: None, lambda: None)
+        run = playbook.run()
+        playbook.rollback(run)
+        with pytest.raises(PlaybookError):
+            playbook.rollback(run)
+
+    def test_rollback_nothing(self):
+        with pytest.raises(PlaybookError):
+            Playbook("empty").rollback()
+
+    def test_rollback_order_reversed(self):
+        order = []
+        playbook = Playbook("order")
+        playbook.add("one", lambda: None, lambda: order.append("one"))
+        playbook.add("two", lambda: None, lambda: order.append("two"))
+        playbook.rollback(playbook.run())
+        assert order == ["two", "one"]
+
+
+class TestCensus:
+    def _mac(self, i):
+        return MacAddress(0x020000000000 + i)
+
+    def test_rfc8925_classification(self):
+        census = ClientCensus()
+        row = census.observe("mac", self._mac(1), has_v4_lease=False, granted_v6only=True,
+                             has_v6_address=True, sent_v4_flows=False, sent_v6_flows=True)
+        assert row.classification is ClientClass.IPV6_ONLY_RFC8925
+
+    def test_native_v6only(self):
+        census = ClientCensus()
+        row = census.observe("srv", self._mac(2), has_v4_lease=False, granted_v6only=False,
+                             has_v6_address=True, sent_v4_flows=False, sent_v6_flows=True)
+        assert row.classification is ClientClass.IPV6_ONLY_NATIVE
+
+    def test_dual_stack(self):
+        census = ClientCensus()
+        row = census.observe("w10", self._mac(3), has_v4_lease=True, granted_v6only=False,
+                             has_v6_address=True, sent_v4_flows=True, sent_v6_flows=True)
+        assert row.classification is ClientClass.DUAL_STACK
+
+    def test_ipv4_only(self):
+        census = ClientCensus()
+        row = census.observe("switch", self._mac(4), has_v4_lease=True, granted_v6only=False,
+                             has_v6_address=False, sent_v4_flows=True, sent_v6_flows=False)
+        assert row.classification is ClientClass.IPV4_ONLY
+
+    def test_echolink_laptop_figure2(self):
+        """Dual-stack laptop using only IPv4: counted as v6 by the naive
+        SC23 method, excluded by the accurate SC24 method."""
+        census = ClientCensus()
+        census.observe("echolink", self._mac(5), has_v4_lease=True, granted_v6only=False,
+                       has_v6_address=True, sent_v4_flows=True, sent_v6_flows=False)
+        assert census.naive_ipv6_only_count() == 1
+        assert census.accurate_ipv6_only_count() == 0
+
+    def test_counts_and_breakdown(self):
+        census = ClientCensus()
+        census.observe("a", self._mac(1), False, True, True, False, True)
+        census.observe("b", self._mac(2), True, False, True, True, True)
+        census.observe("c", self._mac(3), True, False, False, True, False)
+        assert census.naive_ipv6_only_count() == 2
+        assert census.accurate_ipv6_only_count() == 1
+        breakdown = census.breakdown()
+        assert breakdown[ClientClass.IPV6_ONLY_RFC8925] == 1
+        assert breakdown[ClientClass.DUAL_STACK] == 1
+        assert breakdown[ClientClass.IPV4_ONLY] == 1
+        assert "accurate v6-only count: 1" in census.table()

@@ -1,0 +1,114 @@
+"""Scoring: the stock logic, the RFC 8925-aware fix and classification."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address
+from repro.core.scoring import ScoringContext, score_rfc8925_aware, score_stock
+from repro.services.testipv6 import SCORED_SUBTESTS, SUBTEST_NAMES, SubtestResult, TestReport
+
+NAT64_EGRESS = IPv4Address("100.66.0.2")
+NATIVE_V4 = IPv4Address("100.66.0.1")  # the NAT44 public address
+
+
+def report_from(rows):
+    report = TestReport(client_name="t", mirror_domain="test-ipv6.com")
+    report.subtests = rows
+    return report
+
+
+def full_pass(family_map, observed_v4):
+    """All ten subtests pass; families and observed addresses as given."""
+    rows = []
+    for name in SUBTEST_NAMES:
+        family = family_map.get(name)
+        observed = observed_v4 if family == "ipv4" else (
+            IPv6Address("2607:fb90::1") if family == "ipv6" else None
+        )
+        rows.append(
+            SubtestResult(name, True, family_seen=family, server_observed_address=observed)
+        )
+    return report_from(rows)
+
+
+DUAL_FAMILIES = {
+    "a_record_fetch": "ipv4",
+    "aaaa_record_fetch": "ipv6",
+    "dualstack_fetch": "ipv6",
+    "v4_literal_fetch": "ipv4",
+    "v6_literal_fetch": "ipv6",
+    "v6_mtu": "ipv6",
+    "dualstack_prefers_v6": "ipv6",
+    "no_broken_fallback": "ipv6",
+}
+
+
+@pytest.fixture
+def context():
+    return ScoringContext(nat64_egress=(IPv4Network("100.66.0.2/32"),))
+
+
+class TestStockScore:
+    def test_all_pass_is_ten(self):
+        report = full_pass(DUAL_FAMILIES, NATIVE_V4)
+        assert score_stock(report).score == 10
+
+    def test_only_scored_subtests_count(self):
+        rows = [
+            SubtestResult(name, name in SCORED_SUBTESTS) for name in SUBTEST_NAMES
+        ]
+        # All diagnostics fail, all scored pass: still 10.
+        assert score_stock(report_from(rows)).score == 10
+
+    def test_total_failure_is_zero(self):
+        rows = [SubtestResult(name, False) for name in SUBTEST_NAMES]
+        assert score_stock(report_from(rows)).score == 0
+
+    def test_family_blindness_figure5(self):
+        """Everything passing over IPv4 still scores 10 — the bug."""
+        v4_everything = {name: "ipv4" for name in SUBTEST_NAMES}
+        report = full_pass(v4_everything, NATIVE_V4)
+        assert score_stock(report).score == 10
+
+
+class TestFixedScore:
+    def test_rfc8925_client_reaches_ten(self, context):
+        report = full_pass(DUAL_FAMILIES, NAT64_EGRESS)
+        breakdown = score_rfc8925_aware(report, context)
+        assert breakdown.score == 10
+        assert "rfc8925" in breakdown.classified_as
+
+    def test_dual_stack_capped_at_nine(self, context):
+        report = full_pass(DUAL_FAMILIES, NATIVE_V4)
+        breakdown = score_rfc8925_aware(report, context)
+        assert breakdown.score == 9
+        assert breakdown.classified_as == "dual-stack"
+        assert any("RFC 8925" in note for note in breakdown.notes)
+
+    def test_family_mismatch_not_counted(self, context):
+        """The figure-5 case under the fixed scorer: v6 subtests that ran
+        over v4 earn nothing."""
+        v4_everything = {name: "ipv4" for name in SUBTEST_NAMES}
+        report = full_pass(v4_everything, NATIVE_V4)
+        breakdown = score_rfc8925_aware(report, context)
+        assert breakdown.score < 10
+        assert any("not counted" in note for note in breakdown.notes)
+
+    def test_total_failure_classification(self, context):
+        rows = [SubtestResult(name, False) for name in SUBTEST_NAMES]
+        breakdown = score_rfc8925_aware(report_from(rows), context)
+        assert breakdown.score == 0
+        assert breakdown.classified_as == "no working configuration"
+
+    def test_v6_only_without_any_v4(self, context):
+        families = {k: ("ipv6" if v != "ipv4" else None) for k, v in DUAL_FAMILIES.items()}
+        rows = []
+        for name in SUBTEST_NAMES:
+            family = families.get(name)
+            passed = family == "ipv6"
+            rows.append(SubtestResult(name, passed, family_seen=family))
+        breakdown = score_rfc8925_aware(report_from(rows), context)
+        assert "ipv6-only" in breakdown.classified_as
+
+    def test_str_format(self, context):
+        report = full_pass(DUAL_FAMILIES, NAT64_EGRESS)
+        assert "10/10" in str(score_rfc8925_aware(report, context))

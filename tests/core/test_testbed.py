@@ -1,0 +1,112 @@
+"""The figure-4 testbed builder: topology, workarounds, playbooks."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.dns.rdata import RRType
+from repro.clients.profiles import LINUX, MACOS, NINTENDO_SWITCH, WINDOWS_10
+from repro.core.testbed import (
+    PI_HEALTHY_V4,
+    PI_HEALTHY_V6,
+    PI_POISON_V4,
+    Testbed,
+    TestbedConfig,
+    build_testbed,
+)
+
+
+class TestTopology:
+    def test_builds_deterministically(self):
+        a = build_testbed(TestbedConfig(seed=7))
+        b = build_testbed(TestbedConfig(seed=7))
+        ca = a.add_client(LINUX, "x")
+        cb = b.add_client(LINUX, "x")
+        assert ca.host.ipv6_global_addresses() == cb.host.ipv6_global_addresses()
+        assert ca.dns_server_order() == cb.dns_server_order()
+
+    def test_healthy_dns64_reachable_at_ula(self, testbed):
+        client = testbed.add_client(LINUX, "lin")
+        reply = client.host.udp_exchange(PI_HEALTHY_V6, 53, b"\x00" * 12, timeout=1.0)
+        # A 12-byte header with qdcount 0 is dropped by the server; use a
+        # real query instead to prove liveness:
+        from repro.dns.message import DnsMessage
+
+        query = DnsMessage.query("ip6.me", RRType.AAAA, ident=1)
+        reply = client.host.udp_exchange(PI_HEALTHY_V6, 53, query.encode(), timeout=1.0)
+        assert reply is not None
+
+    def test_snooping_blocks_gateway_pool(self, testbed):
+        """Clients must lease from the Pi (192.168.12.50-99), never the
+        gateway's built-in pool (.100-.199)."""
+        client = testbed.add_client(NINTENDO_SWITCH, "switch")
+        address = client.host.ipv4_config.address
+        assert IPv4Address("192.168.12.50") <= address <= IPv4Address("192.168.12.99")
+        assert testbed.switch.snooper.dropped > 0
+
+    def test_without_snooping_gateway_pool_wins_sometimes(self, testbed_raw):
+        client = testbed_raw.add_client(NINTENDO_SWITCH, "switch")
+        # Both servers answer; whichever OFFER arrives first wins.  The
+        # client must still get *an* address and internet access.
+        assert client.host.ipv4_config is not None
+
+    def test_dhcp_advertises_poisoned_dns_when_enabled(self, testbed):
+        client = testbed.add_client(NINTENDO_SWITCH, "switch")
+        assert client.host.dhcp_dns_servers == [PI_POISON_V4]
+
+    def test_dhcp_advertises_healthy_dns_when_disabled(self, testbed_clean):
+        client = testbed_clean.add_client(NINTENDO_SWITCH, "switch")
+        assert client.host.dhcp_dns_servers == [PI_HEALTHY_V4]
+
+    def test_option_108_from_pi(self, testbed):
+        client = testbed.add_client(MACOS, "mac")
+        assert client.host.v6only_wait == 300
+
+    def test_browse_helper(self, testbed):
+        client = testbed.add_client(WINDOWS_10, "w10")
+        outcome = testbed.browse(client, "http://sc24.supercomputing.org/")
+        assert outcome.ok
+
+    def test_capture_traffic(self):
+        testbed = build_testbed(TestbedConfig(capture_traffic=True))
+        client = testbed.add_client(WINDOWS_10, "w10")
+        client.fetch("ip6.me")
+        assert testbed.trace is not None
+        assert len(testbed.trace) > 0
+
+
+class TestPlaybooks:
+    def test_remove_and_restore_intervention(self, testbed):
+        before = testbed.add_client(NINTENDO_SWITCH, "before")
+        assert before.fetch("sc24.supercomputing.org").landed_on == "ip6.me"
+
+        playbook = testbed.remove_intervention_playbook()
+        run = playbook.run()
+        mid = testbed.add_client(NINTENDO_SWITCH, "mid")
+        assert mid.fetch("sc24.supercomputing.org").landed_on == "sc24.supercomputing.org"
+
+        playbook.rollback(run)
+        after = testbed.add_client(NINTENDO_SWITCH, "after")
+        assert after.fetch("sc24.supercomputing.org").landed_on == "ip6.me"
+
+    def test_deploy_playbook_on_clean_testbed(self, testbed_clean):
+        playbook = testbed_clean.deploy_intervention_playbook()
+        playbook.run()
+        client = testbed_clean.add_client(NINTENDO_SWITCH, "switch")
+        assert client.fetch("sc24.supercomputing.org").landed_on == "ip6.me"
+
+
+class TestCensusIntegration:
+    def test_mixed_population(self, testbed):
+        testbed.add_client(MACOS, "mac")          # RFC 8925 v6-only
+        testbed.add_client(WINDOWS_10, "w10")     # dual-stack
+        testbed.add_client(NINTENDO_SWITCH, "sw")  # v4-only
+        for client in testbed.clients:
+            client.fetch("sc24.supercomputing.org")
+        census = testbed.census()
+        assert census.accurate_ipv6_only_count() == 1
+        assert census.naive_ipv6_only_count() == 2  # mac + w10 have v6
+
+    def test_scoring_context_exposes_nat64_egress(self, testbed):
+        context = testbed.scoring_context()
+        assert context.is_nat64_egress(testbed.gateway.config.wan_ipv4_nat64)
+        assert not context.is_nat64_egress(testbed.gateway.config.wan_ipv4_nat44)

@@ -1,0 +1,121 @@
+"""Hypothesis property tests for the DHCP server's allocation invariants
+and the RFC 6724 selection algorithms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, MacAddress
+from repro.dhcp.message import DhcpMessage
+from repro.dhcp.options import DhcpMessageType
+from repro.dhcp.server import DhcpPool, DhcpServer
+from repro.nd.addrsel import CandidateAddress, order_destinations, select_source_address
+
+NET = IPv4Network("192.168.12.0/24")
+SERVER_ID = IPv4Address("192.168.12.250")
+
+macs = st.integers(min_value=1, max_value=(1 << 48) - 1).map(MacAddress)
+
+
+class Clock:
+    now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_server():
+    return DhcpServer(
+        pool=DhcpPool(NET, IPv4Address("192.168.12.50"), IPv4Address("192.168.12.99")),
+        server_id=SERVER_ID,
+        clock=Clock(),
+    )
+
+
+@given(mac_list=st.lists(macs, min_size=1, max_size=40, unique=True))
+@settings(max_examples=50)
+def test_no_two_clients_share_an_address(mac_list):
+    """INVARIANT: concurrent leases never collide."""
+    server = make_server()
+    allocated = {}
+    for i, mac in enumerate(mac_list):
+        offer = server.respond(DhcpMessage.discover(i, mac))
+        if offer is None:
+            break  # pool exhausted is acceptable
+        ack = server.respond(DhcpMessage.request(i, mac, offer.yiaddr, SERVER_ID))
+        assert ack.message_type == DhcpMessageType.ACK
+        assert ack.yiaddr not in allocated.values()
+        allocated[mac] = ack.yiaddr
+    # Every address is inside the configured pool.
+    for addr in allocated.values():
+        assert IPv4Address("192.168.12.50") <= addr <= IPv4Address("192.168.12.99")
+
+
+@given(mac=macs, repeats=st.integers(min_value=2, max_value=5))
+def test_renewal_is_stable(mac, repeats):
+    """INVARIANT: the same client always renews onto the same address."""
+    server = make_server()
+    addresses = set()
+    for i in range(repeats):
+        offer = server.respond(DhcpMessage.discover(i, mac))
+        ack = server.respond(DhcpMessage.request(i, mac, offer.yiaddr, SERVER_ID))
+        addresses.add(ack.yiaddr)
+    assert len(addresses) == 1
+
+
+@given(mac_list=st.lists(macs, min_size=1, max_size=20, unique=True),
+       requests_108=st.booleans())
+@settings(max_examples=30)
+def test_option_108_grants_never_consume_pool(mac_list, requests_108):
+    """INVARIANT: v6-only grants return 0.0.0.0 and leave the pool
+    untouched for legacy clients."""
+    server = DhcpServer(
+        pool=DhcpPool(NET, IPv4Address("192.168.12.50"), IPv4Address("192.168.12.52")),
+        server_id=SERVER_ID,
+        clock=Clock(),
+        v6only_wait=300,
+    )
+    for i, mac in enumerate(mac_list):
+        offer = server.respond(DhcpMessage.discover(i, mac, request_option_108=True))
+        assert offer is not None  # grants can't exhaust
+        assert offer.yiaddr == IPv4Address("0.0.0.0")
+        server.respond(
+            DhcpMessage.request(i, mac, offer.yiaddr, SERVER_ID, request_option_108=True)
+        )
+    # A legacy client can still lease from the tiny pool.
+    legacy = MacAddress((1 << 47) | 0xABCDEF)
+    offer = server.respond(DhcpMessage.discover(99, legacy))
+    assert offer is not None and offer.yiaddr != IPv4Address("0.0.0.0")
+
+
+# --------------------------------------------------------------------------
+# RFC 6724 properties
+# --------------------------------------------------------------------------
+
+v6_globals = st.integers(min_value=0x2000 << 112, max_value=(0x3FFF << 112) | ((1 << 112) - 1)).map(IPv6Address)
+v4_publics = st.integers(min_value=0x01000000, max_value=0xDFFFFFFF).map(IPv4Address)
+
+
+@given(dests6=st.lists(v6_globals, min_size=1, max_size=6, unique=True),
+       dests4=st.lists(v4_publics, min_size=1, max_size=6, unique=True))
+def test_dual_stack_always_orders_all_v6_before_v4(dests6, dests4):
+    """The §IV.A property, generalized: with global v6+v4 sources, every
+    native-v6 destination outranks every v4 destination."""
+    sources = [IPv6Address("2607:db8::1"), IPv4Address("192.168.12.50")]
+    candidates = [CandidateAddress(d) for d in dests4] + [CandidateAddress(d) for d in dests6]
+    ordered = order_destinations(candidates, sources)
+    kinds = ["v6" if isinstance(a, IPv6Address) else "v4" for a in ordered]
+    assert kinds == ["v6"] * len(dests6) + ["v4"] * len(dests4)
+
+
+@given(dests=st.lists(st.one_of(v6_globals, v4_publics), min_size=1, max_size=8, unique=True))
+def test_ordering_is_a_permutation(dests):
+    sources = [IPv6Address("2607:db8::1"), IPv4Address("192.168.12.50")]
+    ordered = order_destinations([CandidateAddress(d) for d in dests], sources)
+    assert sorted(map(str, ordered)) == sorted(map(str, dests))
+
+
+@given(dest=v6_globals, candidates=st.lists(v6_globals, min_size=1, max_size=8, unique=True))
+def test_source_selection_total(dest, candidates):
+    """Selection always returns one of the candidates (same family)."""
+    chosen = select_source_address(dest, candidates)
+    assert chosen in candidates

@@ -1,0 +1,188 @@
+"""DNS messages: header flags, sections, full-message round trips."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.dns.message import DnsHeader, DnsMessage, DnsQuestion, ResourceRecord
+from repro.dns.name import DnsName
+from repro.dns.rdata import (
+    A,
+    AAAA,
+    CNAME,
+    MX,
+    NS,
+    PTR,
+    RCode,
+    RRType,
+    SOA,
+    SRV,
+    TXT,
+    OpaqueRData,
+    decode_rdata,
+)
+
+
+class TestHeader:
+    def test_round_trip_all_flags(self):
+        header = DnsHeader(
+            ident=0x1234,
+            is_response=True,
+            opcode=2,
+            authoritative=True,
+            truncated=True,
+            recursion_desired=True,
+            recursion_available=True,
+            rcode=RCode.NXDOMAIN,
+            qdcount=1,
+            ancount=2,
+            nscount=3,
+            arcount=4,
+        )
+        assert DnsHeader.decode(header.encode()) == header
+
+    def test_wire_length(self):
+        assert len(DnsHeader(ident=1).encode()) == 12
+
+    def test_truncated_header(self):
+        with pytest.raises(ValueError):
+            DnsHeader.decode(b"\x00" * 11)
+
+
+class TestQuestionAndRecords:
+    def test_question_round_trip(self):
+        q = DnsQuestion(DnsName("ip6.me"), RRType.AAAA)
+        wire = q.encode()
+        decoded, offset = DnsQuestion.decode(wire, 0)
+        assert decoded == q and offset == len(wire)
+
+    def test_question_str(self):
+        assert str(DnsQuestion(DnsName("ip6.me"), RRType.AAAA)) == "ip6.me AAAA"
+
+    def test_rr_round_trip_a(self):
+        rr = ResourceRecord(DnsName("ip6.me"), RRType.A, 60, A(IPv4Address("23.153.8.71")))
+        wire = rr.encode()
+        decoded, offset = ResourceRecord.decode(wire, 0)
+        assert decoded == rr and offset == len(wire)
+
+    def test_rr_str(self):
+        rr = ResourceRecord(DnsName("ip6.me"), RRType.A, 60, A(IPv4Address("23.153.8.71")))
+        assert str(rr) == "ip6.me 60 A 23.153.8.71"
+
+
+class TestRdataTypes:
+    def _round_trip(self, rdata):
+        rr = ResourceRecord(DnsName("x.example"), rdata.rrtype, 300, rdata)
+        decoded, _ = ResourceRecord.decode(rr.encode(), 0)
+        return decoded.rdata
+
+    def test_aaaa(self):
+        rdata = AAAA(IPv6Address("64:ff9b::be5c:9e04"))
+        assert self._round_trip(rdata) == rdata
+
+    def test_cname_ns_ptr(self):
+        for cls in (CNAME, NS, PTR):
+            rdata = cls(DnsName("target.example"))
+            assert self._round_trip(rdata) == rdata
+
+    def test_soa(self):
+        rdata = SOA(DnsName("ns1.example"), DnsName("hostmaster.example"), 2024110100)
+        assert self._round_trip(rdata) == rdata
+
+    def test_mx(self):
+        rdata = MX(10, DnsName("mail.example"))
+        assert self._round_trip(rdata) == rdata
+
+    def test_txt_multiple_strings(self):
+        rdata = TXT.from_text("v=spf1 -all", "second string")
+        assert self._round_trip(rdata) == rdata
+
+    def test_txt_string_too_long(self):
+        with pytest.raises(ValueError):
+            TXT((b"x" * 256,)).encode()
+
+    def test_srv(self):
+        rdata = SRV(0, 5, 443, DnsName("svc.example"))
+        assert self._round_trip(rdata) == rdata
+
+    def test_unknown_type_opaque(self):
+        blob = b"\x01\x02\x03\x04"
+        rdata = decode_rdata(99, blob, 0, 4)
+        assert isinstance(rdata, OpaqueRData)
+        assert rdata.data == blob
+        assert rdata.encode() == blob
+
+    def test_a_wrong_length(self):
+        with pytest.raises(ValueError):
+            A.decode(b"\x00" * 3, 0, 3)
+
+
+class TestFullMessage:
+    def test_query_constructor(self):
+        query = DnsMessage.query("sc24.supercomputing.org", RRType.AAAA, ident=77)
+        assert query.header.ident == 77
+        assert not query.header.is_response
+        assert query.question.rrtype == RRType.AAAA
+
+    def test_query_response_cycle(self):
+        query = DnsMessage.query("ip6.me", RRType.A, ident=5)
+        answer = ResourceRecord(DnsName("ip6.me"), RRType.A, 60, A(IPv4Address("23.153.8.71")))
+        response = query.response(answers=(answer,), authoritative=True)
+        wire = response.encode()
+        decoded = DnsMessage.decode(wire)
+        assert decoded.header.ident == 5
+        assert decoded.header.is_response
+        assert decoded.header.authoritative
+        assert decoded.answers[0].rdata.address == IPv4Address("23.153.8.71")
+
+    def test_counts_derived_from_sections(self):
+        query = DnsMessage.query("a.example", ident=1)
+        wire = query.encode()
+        decoded = DnsMessage.decode(wire)
+        assert decoded.header.qdcount == 1
+        assert decoded.header.ancount == 0
+
+    def test_compression_shrinks_message(self):
+        query = DnsMessage.query("sc24.supercomputing.org", RRType.AAAA, ident=7)
+        answers = tuple(
+            ResourceRecord(
+                DnsName("sc24.supercomputing.org"),
+                RRType.AAAA,
+                300,
+                AAAA(IPv6Address(f"64:ff9b::{i}")),
+            )
+            for i in range(1, 4)
+        )
+        response = query.response(answers=answers)
+        wire = response.encode()
+        # Without compression each owner name costs 25 bytes; with
+        # pointers, repeats cost 2.
+        uncompressed_estimate = 12 + 29 + 3 * (25 + 10 + 16)
+        assert len(wire) < uncompressed_estimate - 3 * 20
+
+    def test_multi_section_round_trip(self):
+        query = DnsMessage.query("nx.anl.gov", RRType.A, ident=9)
+        soa = ResourceRecord(
+            DnsName("anl.gov"),
+            RRType.SOA,
+            300,
+            SOA(DnsName("ns1.anl.gov"), DnsName("hostmaster.anl.gov"), 1),
+        )
+        response = query.response(rcode=RCode.NXDOMAIN, authorities=(soa,))
+        decoded = DnsMessage.decode(response.encode())
+        assert decoded.rcode == RCode.NXDOMAIN
+        assert decoded.authorities[0].rrtype == RRType.SOA
+
+    def test_answers_of_type(self):
+        query = DnsMessage.query("x.example", RRType.A, ident=1)
+        mixed = (
+            ResourceRecord(DnsName("x.example"), RRType.CNAME, 60, CNAME(DnsName("y.example"))),
+            ResourceRecord(DnsName("y.example"), RRType.A, 60, A(IPv4Address("192.0.2.1"))),
+        )
+        response = query.response(answers=mixed)
+        assert len(response.answers_of_type(RRType.A)) == 1
+        assert len(response.answers_of_type(RRType.CNAME)) == 1
+
+    def test_no_question_raises(self):
+        message = DnsMessage(header=DnsHeader(ident=1))
+        with pytest.raises(ValueError):
+            message.question

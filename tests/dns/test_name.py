@@ -1,0 +1,131 @@
+"""DNS names: normalization, wire format, compression pointers."""
+
+import pytest
+
+from repro.dns.name import DnsName, NameCompressor
+
+
+class TestNormalization:
+    def test_case_insensitive_equality(self):
+        assert DnsName("SC24.Supercomputing.ORG") == DnsName("sc24.supercomputing.org")
+
+    def test_trailing_dot_ignored(self):
+        assert DnsName("ip6.me.") == DnsName("ip6.me")
+
+    def test_root(self):
+        assert DnsName("").is_root
+        assert DnsName(".").is_root
+        assert str(DnsName("")) == "."
+
+    def test_hashable(self):
+        assert hash(DnsName("A.b")) == hash(DnsName("a.B"))
+
+    def test_label_too_long(self):
+        with pytest.raises(ValueError):
+            DnsName("a" * 64 + ".com")
+
+    def test_name_too_long(self):
+        with pytest.raises(ValueError):
+            DnsName(".".join(["a" * 63] * 5))
+
+    def test_empty_label(self):
+        with pytest.raises(ValueError):
+            DnsName("a..b")
+
+    def test_from_labels(self):
+        assert DnsName(("vpn", "anl", "gov")) == DnsName("vpn.anl.gov")
+
+
+class TestStructure:
+    def test_parent(self):
+        assert DnsName("vpn.anl.gov").parent() == DnsName("anl.gov")
+        assert DnsName("").parent().is_root
+
+    def test_child(self):
+        assert DnsName("anl.gov").child("VPN") == DnsName("vpn.anl.gov")
+
+    def test_subdomain(self):
+        assert DnsName("vpn.anl.gov").is_subdomain_of(DnsName("anl.gov"))
+        assert DnsName("anl.gov").is_subdomain_of(DnsName("anl.gov"))
+        assert not DnsName("anl.gov").is_subdomain_of(DnsName("vpn.anl.gov"))
+        assert not DnsName("xanl.gov").is_subdomain_of(DnsName("anl.gov"))
+        assert DnsName("anything").is_subdomain_of(DnsName(""))
+
+    def test_concatenate_figure_9(self):
+        # The paper's suffix-search artifact.
+        combined = DnsName("vpn.anl.gov").concatenate(DnsName("rfc8925.com"))
+        assert str(combined) == "vpn.anl.gov.rfc8925.com"
+
+    def test_label_count(self):
+        assert DnsName("a.b.c").label_count == 3
+
+
+class TestWireFormat:
+    def test_encode_simple(self):
+        assert DnsName("ip6.me").encode() == b"\x03ip6\x02me\x00"
+
+    def test_root_encoding(self):
+        assert DnsName("").encode() == b"\x00"
+
+    def test_decode_round_trip(self):
+        wire = DnsName("sc24.supercomputing.org").encode()
+        name, offset = DnsName.decode(wire, 0)
+        assert name == DnsName("sc24.supercomputing.org")
+        assert offset == len(wire)
+
+    def test_decode_compression_pointer(self):
+        # "anl.gov" at offset 0, then "vpn" + pointer to 0 at offset 9.
+        data = DnsName("anl.gov").encode() + b"\x03vpn\xc0\x00"
+        name, offset = DnsName.decode(data, 9)
+        assert name == DnsName("vpn.anl.gov")
+        assert offset == len(data)
+
+    def test_pointer_loop_detected(self):
+        data = b"\xc0\x02\xc0\x00"
+        with pytest.raises(ValueError, match="loop"):
+            DnsName.decode(data, 0)
+
+    def test_truncated_name(self):
+        with pytest.raises(ValueError):
+            DnsName.decode(b"\x05ab", 0)
+
+    def test_reserved_label_type(self):
+        with pytest.raises(ValueError):
+            DnsName.decode(b"\x80x\x00", 0)
+
+
+class TestCompressor:
+    def test_first_occurrence_uncompressed(self):
+        compressor = NameCompressor()
+        compressor.note_position(12)
+        wire = compressor.encode(DnsName("ip6.me"))
+        assert wire == b"\x03ip6\x02me\x00"
+
+    def test_repeat_emits_pointer(self):
+        compressor = NameCompressor()
+        compressor.note_position(12)
+        first = compressor.encode(DnsName("ip6.me"))
+        compressor.note_position(12 + len(first))
+        second = compressor.encode(DnsName("ip6.me"))
+        assert second == (0xC000 | 12).to_bytes(2, "big")
+
+    def test_suffix_sharing(self):
+        compressor = NameCompressor()
+        compressor.note_position(12)
+        compressor.encode(DnsName("anl.gov"))
+        compressor.note_position(12 + len(DnsName("anl.gov").encode()))
+        wire = compressor.encode(DnsName("vpn.anl.gov"))
+        # "vpn" label + pointer back to anl.gov at 12.
+        assert wire == b"\x03vpn" + (0xC000 | 12).to_bytes(2, "big")
+
+    def test_decode_of_compressed_message(self):
+        compressor = NameCompressor()
+        compressor.note_position(0)
+        part1 = compressor.encode(DnsName("test-ipv6.com"))
+        compressor.note_position(len(part1))
+        part2 = compressor.encode(DnsName("ipv6.test-ipv6.com"))
+        blob = part1 + part2
+        n1, off1 = DnsName.decode(blob, 0)
+        n2, _off2 = DnsName.decode(blob, off1)
+        assert n1 == DnsName("test-ipv6.com")
+        assert n2 == DnsName("ipv6.test-ipv6.com")

@@ -1,0 +1,161 @@
+"""BIND-style zone file parsing/dumping and the dnsmasq config parser."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.dns.rdata import RCode, RRType
+from repro.dns.zonefile import ZoneFileError, parse_zone_text, zone_to_text
+from repro.core.intervention import InterventionConfig
+
+SAMPLE = """
+$ORIGIN supercomputing.org.
+$TTL 600
+@ 3600 IN SOA ns1 hostmaster 2024110100 7200 900 1209600 300
+@       IN NS  ns1
+ns1     IN A   198.51.100.53
+sc24    IN A   190.92.158.4
+sc24    IN AAAA 2600:1f18::4   ; dual-stacked for SC24
+www     IN CNAME sc24
+        IN TXT "v=spf1 -all"
+mail    IN MX  10 mx.supercomputing.org.
+_sip._tcp IN SRV 0 5 5060 sip
+sip     IN A   198.51.100.60
+"""
+
+
+class TestParse:
+    def test_records_land(self):
+        zone = parse_zone_text(SAMPLE)
+        assert zone.origin.labels == ("supercomputing", "org")
+        result = zone.lookup("sc24.supercomputing.org", RRType.A)
+        assert result.records[0].rdata.address == IPv4Address("190.92.158.4")
+        assert zone.lookup("sc24.supercomputing.org", RRType.AAAA).records
+
+    def test_soa_line_applied(self):
+        zone = parse_zone_text(SAMPLE)
+        assert zone.soa.serial == 2024110100
+        assert zone.soa.minimum == 300
+
+    def test_cname_and_inherited_owner(self):
+        zone = parse_zone_text(SAMPLE)
+        result = zone.lookup("www.supercomputing.org", RRType.A)
+        assert result.cname_chain
+        assert result.records[0].rdata.address == IPv4Address("190.92.158.4")
+        # The TXT line inherited www as owner (leading whitespace).
+        txt = zone.lookup("www.supercomputing.org", RRType.TXT)
+        assert txt.records[0].rdata.strings == (b"v=spf1 -all",)
+
+    def test_default_ttl_applies(self):
+        zone = parse_zone_text(SAMPLE)
+        assert zone.lookup("sc24.supercomputing.org", RRType.A).records[0].ttl == 600
+
+    def test_explicit_ttl_wins(self):
+        zone = parse_zone_text(
+            "$ORIGIN t.test.\n$TTL 600\nfast 30 IN A 192.0.2.1\n"
+        )
+        assert zone.lookup("fast.t.test", RRType.A).records[0].ttl == 30
+
+    def test_mx_and_srv(self):
+        zone = parse_zone_text(SAMPLE)
+        mx = zone.lookup("mail.supercomputing.org", RRType.MX).records[0].rdata
+        assert mx.preference == 10
+        srv = zone.lookup("_sip._tcp.supercomputing.org", RRType.SRV).records[0].rdata
+        assert srv.port == 5060
+
+    def test_origin_argument(self):
+        zone = parse_zone_text("www IN A 192.0.2.1\n", origin="arg.test")
+        assert zone.lookup("www.arg.test", RRType.A).records
+
+    def test_no_origin_fails(self):
+        with pytest.raises(ZoneFileError, match="ORIGIN"):
+            parse_zone_text("www IN A 192.0.2.1\n")
+
+    def test_empty_fails(self):
+        with pytest.raises(ZoneFileError, match="empty"):
+            parse_zone_text("; nothing here\n")
+
+    def test_bad_type_fails(self):
+        # An unknown type token is caught while scanning for the type
+        # ("unexpected token"), since it is indistinguishable from a
+        # malformed TTL at that point.
+        with pytest.raises(ZoneFileError, match="unexpected token"):
+            parse_zone_text("$ORIGIN x.test.\nwww IN NAPTR whatever\n")
+
+
+class TestRoundTrip:
+    def test_dump_and_reparse(self):
+        zone = parse_zone_text(SAMPLE)
+        text = zone_to_text(zone)
+        again = parse_zone_text(text)
+        # Every original record resolves identically after the round trip.
+        for rr in zone.iter_records():
+            result = again.lookup(rr.name, rr.rrtype, follow_cname=False)
+            assert result.rcode == RCode.NOERROR
+            assert any(str(r.rdata) == str(rr.rdata) for r in result.records)
+
+    def test_dump_contains_origin_header(self):
+        zone = parse_zone_text(SAMPLE)
+        assert zone_to_text(zone).startswith("$ORIGIN supercomputing.org.")
+
+
+class TestDnsmasqParser:
+    def test_paper_two_line_config(self):
+        """The literal configuration from §VI of the paper."""
+        parsed = InterventionConfig.from_dnsmasq_lines(
+            ["address=/#/23.153.8.71", "server=192.168.12.251"]
+        )
+        assert parsed.config.poison_address == IPv4Address("23.153.8.71")
+        assert parsed.upstream == "192.168.12.251"
+        assert parsed.config.exempt_domains == ()
+
+    def test_exemptions_parsed(self):
+        parsed = InterventionConfig.from_dnsmasq_lines(
+            [
+                "server=/helpdesk.anl.gov/192.168.12.251",
+                "address=/#/23.153.8.71",
+                "server=192.168.12.251",
+            ]
+        )
+        assert parsed.config.exempt_domains == ("helpdesk.anl.gov",)
+
+    def test_round_trip_with_dnsmasq_lines(self):
+        config = InterventionConfig(
+            poison_address=IPv4Address("23.153.8.71"),
+            exempt_domains=("helpdesk.anl.gov",),
+        )
+        lines = config.dnsmasq_lines("192.168.12.251")
+        parsed = InterventionConfig.from_dnsmasq_lines(lines)
+        assert parsed.config.poison_address == config.poison_address
+        assert parsed.config.exempt_domains == config.exempt_domains
+
+    def test_missing_poison_line(self):
+        with pytest.raises(ValueError, match="poison"):
+            InterventionConfig.from_dnsmasq_lines(["server=1.2.3.4"])
+
+    def test_missing_upstream(self):
+        with pytest.raises(ValueError, match="upstream"):
+            InterventionConfig.from_dnsmasq_lines(["address=/#/1.2.3.4"])
+
+    def test_domain_scoped_address_rejected(self):
+        with pytest.raises(ValueError, match="catch-all"):
+            InterventionConfig.from_dnsmasq_lines(
+                ["address=/example.com/1.2.3.4", "server=1.2.3.4"]
+            )
+
+    def test_parsed_config_drives_a_real_server(self):
+        """The parsed config behaves identically to a hand-built one."""
+        from repro.dns.message import DnsMessage
+        from repro.dns.zone import Zone
+        from repro.xlat.dns64 import DNS64Resolver
+        from repro.core.intervention import PoisonedDNSServer
+
+        zone = Zone("known.test")
+        zone.add_a("web.known.test", "198.51.100.5")
+        upstream = DNS64Resolver([zone])
+        parsed = InterventionConfig.from_dnsmasq_lines(
+            ["address=/#/23.153.8.71", "server=192.168.12.251"]
+        )
+        server = PoisonedDNSServer(parsed.config, upstream.handle_query)
+        raw = server.handle_query(DnsMessage.query("web.known.test", RRType.A, ident=1).encode())
+        response = DnsMessage.decode(raw)
+        assert str(response.answers[0].rdata) == "23.153.8.71"

@@ -1,0 +1,87 @@
+"""Operational dynamics the rollback story must survive: already-
+connected clients, DNS TTLs and lease renewal timing."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address
+from repro.dns.rdata import RRType
+from repro.clients.profiles import NINTENDO_SWITCH, WINDOWS_10
+from repro.core.testbed import PI_HEALTHY_V4, PI_POISON_V4, TestbedConfig, build_testbed
+
+
+class TestRemovalAndConnectedClients:
+    def test_existing_client_keeps_old_resolver_until_renewal(self, testbed):
+        """The removal playbook changes what DHCP *advertises*; clients
+        already holding a lease keep the poisoned resolver until they
+        renew — an operational reality the paper's playbook plan needs
+        to account for."""
+        client = testbed.add_client(NINTENDO_SWITCH, "switch")
+        assert client.dns_server_order() == [PI_POISON_V4]
+        testbed.remove_intervention_playbook().run()
+        # Still configured with the poisoned resolver:
+        assert client.dns_server_order() == [PI_POISON_V4]
+        client.resolver.flush_cache()
+        outcome = client.fetch("sc24.supercomputing.org")
+        assert outcome.landed_on == "ip6.me"  # still intervened!
+
+    def test_renewal_picks_up_the_healthy_resolver(self, testbed):
+        client = testbed.add_client(NINTENDO_SWITCH, "switch")
+        testbed.remove_intervention_playbook().run()
+        # Lease renewal (re-DHCP) pulls the new DNS option:
+        client.dhcp_result = client.host.run_dhcp()
+        client.rebuild_resolver()
+        assert client.dns_server_order() == [PI_HEALTHY_V4]
+        outcome = client.fetch("sc24.supercomputing.org")
+        assert outcome.landed_on == "sc24.supercomputing.org"
+
+    def test_poison_ttl_bounds_cache_staleness(self, testbed):
+        """Conversely, after *deploying* the intervention, clients that
+        cached real A records keep reaching the internet until the TTL
+        (zone default 300 s) runs out."""
+        clean = build_testbed(TestbedConfig(poisoned_dns=False))
+        client = clean.add_client(NINTENDO_SWITCH, "switch")
+        assert client.fetch("sc24.supercomputing.org").landed_on == "sc24.supercomputing.org"
+        clean.deploy_intervention_playbook().run()
+        # Renew so the resolver now points at the poisoned server.  The
+        # old resolver's cache would have held the real answer for the
+        # zone TTL:
+        stale = client.resolver.resolve("sc24.supercomputing.org", RRType.A)
+        assert stale.from_cache  # old answer still held
+        client.dhcp_result = client.host.run_dhcp()
+        client.rebuild_resolver()  # fresh cache, poisoned server
+        outcome = client.fetch("sc24.supercomputing.org")
+        assert outcome.landed_on == "ip6.me"
+
+    def test_cached_poison_expires_with_ttl(self, testbed):
+        """A poisoned answer (TTL 60) ages out of the client cache in
+        simulated time; after removal + renewal + TTL, everything heals
+        without touching the client."""
+        client = testbed.add_client(NINTENDO_SWITCH, "switch")
+        client.fetch("sc24.supercomputing.org")  # caches the poison
+        testbed.remove_intervention_playbook().run()
+        client.dhcp_result = client.host.run_dhcp()
+        # Simulate the passage of the poison TTL before rebuilding:
+        testbed.run_for(61.0)
+        client.rebuild_resolver()
+        outcome = client.fetch("sc24.supercomputing.org")
+        assert outcome.landed_on == "sc24.supercomputing.org"
+
+
+class TestDnsCacheAgingOnTestbed:
+    def test_cache_hit_within_ttl_no_second_query(self, testbed):
+        client = testbed.add_client(WINDOWS_10, "w10")
+        client.resolver.resolve("ip6.me", RRType.AAAA)
+        sent = client.resolver.queries_sent
+        testbed.run_for(30.0)  # well within the 300 s zone TTL
+        result = client.resolver.resolve("ip6.me", RRType.AAAA)
+        assert result.from_cache
+        assert client.resolver.queries_sent == sent
+
+    def test_cache_expires_with_simulated_time(self, testbed):
+        client = testbed.add_client(WINDOWS_10, "w10")
+        client.resolver.resolve("ip6.me", RRType.AAAA)
+        sent = client.resolver.queries_sent
+        testbed.run_for(301.0)
+        result = client.resolver.resolve("ip6.me", RRType.AAAA)
+        assert not result.from_cache
+        assert client.resolver.queries_sent > sent

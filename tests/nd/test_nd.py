@@ -1,0 +1,280 @@
+"""SLAAC state, RA daemons and RFC 6724 address selection."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address, IPv6Address, IPv6Network, MacAddress
+from repro.net.icmpv6 import (
+    PrefixInformation,
+    RdnssOption,
+    RouterAdvertisement,
+    RouterPreference,
+)
+from repro.nd.addrsel import (
+    CandidateAddress,
+    DEFAULT_POLICY_TABLE,
+    order_destinations,
+    precedence_and_label,
+    select_source_address,
+)
+from repro.nd.ra import RaDaemon, RaDaemonConfig
+from repro.nd.slaac import SlaacState
+
+MAC = MacAddress.parse("00:00:59:aa:c6:ab")
+GW_LL = IPv6Address("fe80::50:ff:fe00:1")
+SW_LL = IPv6Address("fe80::ff:fe00:1")
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def gateway_ra(prefix="2607:fb90:9bda:a425::/64", lifetime=1800):
+    return RouterAdvertisement(
+        router_lifetime=lifetime,
+        preference=RouterPreference.MEDIUM,
+        options=(
+            PrefixInformation(IPv6Network(prefix)),
+            RdnssOption((IPv6Address("fd00:976a::9"), IPv6Address("fd00:976a::10"))),
+        ),
+    )
+
+
+def switch_ra():
+    return RouterAdvertisement(
+        router_lifetime=0,  # not a default router
+        preference=RouterPreference.LOW,
+        options=(
+            PrefixInformation(IPv6Network("fd00:976a::/64")),
+            RdnssOption((IPv6Address("fd00:976a::9"),)),
+        ),
+    )
+
+
+class TestSlaac:
+    def test_gateway_ra_configures_gua(self):
+        clock = FakeClock()
+        state = SlaacState(MAC, clock)
+        state.process_ra(gateway_ra(), GW_LL)
+        assert IPv6Address("2607:fb90:9bda:a425:200:59ff:feaa:c6ab") in state.global_addresses()
+        assert state.default_router().address == GW_LL
+        assert state.rdnss == [IPv6Address("fd00:976a::9"), IPv6Address("fd00:976a::10")]
+
+    def test_switch_ra_adds_ula_without_default_route(self):
+        clock = FakeClock()
+        state = SlaacState(MAC, clock)
+        state.process_ra(switch_ra(), SW_LL)
+        assert IPv6Address("fd00:976a::200:59ff:feaa:c6ab") in state.global_addresses()
+        assert state.default_router() is None  # lifetime 0
+
+    def test_both_ras_testbed_state(self):
+        clock = FakeClock()
+        state = SlaacState(MAC, clock)
+        state.process_ra(gateway_ra(), GW_LL)
+        state.process_ra(switch_ra(), SW_LL)
+        assert len(state.global_addresses()) == 2
+        assert state.default_router().address == GW_LL
+        assert state.has_global_connectivity
+
+    def test_router_preference_ordering(self):
+        clock = FakeClock()
+        state = SlaacState(MAC, clock)
+        high_ra = RouterAdvertisement(preference=RouterPreference.HIGH, router_lifetime=600)
+        state.process_ra(gateway_ra(), GW_LL)  # MEDIUM
+        state.process_ra(high_ra, SW_LL)
+        assert state.default_router().address == SW_LL
+
+    def test_router_lifetime_expiry(self):
+        clock = FakeClock()
+        state = SlaacState(MAC, clock)
+        state.process_ra(gateway_ra(lifetime=100), GW_LL)
+        clock.now = 101.0
+        assert state.default_router() is None
+
+    def test_prefix_lifetime_expiry(self):
+        clock = FakeClock()
+        state = SlaacState(MAC, clock)
+        ra = RouterAdvertisement(
+            options=(PrefixInformation(IPv6Network("2001:db8::/64"), valid_lifetime=50),)
+        )
+        state.process_ra(ra, GW_LL)
+        assert state.global_addresses()
+        clock.now = 51.0
+        assert not state.global_addresses()
+
+    def test_zero_lifetime_withdraws_router(self):
+        clock = FakeClock()
+        state = SlaacState(MAC, clock)
+        state.process_ra(gateway_ra(), GW_LL)
+        state.process_ra(gateway_ra(lifetime=0), GW_LL)
+        assert state.default_router() is None
+
+    def test_zero_valid_lifetime_withdraws_prefix(self):
+        clock = FakeClock()
+        state = SlaacState(MAC, clock)
+        state.process_ra(gateway_ra(), GW_LL)
+        withdraw = RouterAdvertisement(
+            options=(
+                PrefixInformation(IPv6Network("2607:fb90:9bda:a425::/64"), valid_lifetime=0),
+            )
+        )
+        state.process_ra(withdraw, GW_LL)
+        assert not state.global_addresses()
+
+    def test_non_64_prefix_not_autoconfigured(self):
+        clock = FakeClock()
+        state = SlaacState(MAC, clock)
+        ra = RouterAdvertisement(options=(PrefixInformation(IPv6Network("2001:db8::/56")),))
+        state.process_ra(ra, GW_LL)
+        assert not state.global_addresses()
+
+    def test_on_link_determination(self):
+        clock = FakeClock()
+        state = SlaacState(MAC, clock)
+        state.process_ra(gateway_ra(), GW_LL)
+        assert state.on_link(IPv6Address("2607:fb90:9bda:a425::1"))
+        assert state.on_link(IPv6Address("fe80::1"))
+        assert not state.on_link(IPv6Address("2001:4810:0:3::71"))
+
+    def test_rdnss_deduplicated(self):
+        clock = FakeClock()
+        state = SlaacState(MAC, clock)
+        state.process_ra(gateway_ra(), GW_LL)
+        state.process_ra(switch_ra(), SW_LL)
+        assert state.rdnss.count(IPv6Address("fd00:976a::9")) == 1
+
+
+class TestRaDaemon:
+    def test_build_includes_all_options(self):
+        config = RaDaemonConfig(
+            prefixes=(IPv6Network("fd00:976a::/64"),),
+            rdnss=(IPv6Address("fd00:976a::9"),),
+            search_domains=("rfc8925.com",),
+            preference=RouterPreference.LOW,
+            mtu=1500,
+        )
+        daemon = RaDaemon(config, MAC)
+        ra = daemon.build_ra()
+        assert ra.preference == RouterPreference.LOW
+        assert ra.prefixes[0].prefix == IPv6Network("fd00:976a::/64")
+        assert ra.rdnss_servers == [IPv6Address("fd00:976a::9")]
+        assert ra.search_domains == ["rfc8925.com"]
+        assert ra.source_lladdr == MAC
+        assert daemon.sent == 1
+
+
+class TestPolicyTable:
+    def test_loopback_highest_precedence(self):
+        prec, label = precedence_and_label(IPv6Address("::1"))
+        assert (prec, label) == (50, 0)
+
+    def test_native_v6(self):
+        assert precedence_and_label(IPv6Address("2607:fb90::1")) == (40, 1)
+
+    def test_v4_as_mapped(self):
+        assert precedence_and_label(IPv4Address("23.153.8.71")) == (35, 4)
+
+    def test_ula(self):
+        assert precedence_and_label(IPv6Address("fd00:976a::9")) == (3, 13)
+
+    def test_teredo_and_6to4(self):
+        assert precedence_and_label(IPv6Address("2001::1")) == (5, 5)
+        assert precedence_and_label(IPv6Address("2002::1")) == (30, 2)
+
+
+class TestSourceSelection:
+    GUA = IPv6Address("2607:fb90:9bda:a425:200:59ff:feaa:c6ab")
+    ULA = IPv6Address("fd00:976a::200:59ff:feaa:c6ab")
+    LL = IPv6Address("fe80::200:59ff:feaa:c6ab")
+    V4 = IPv4Address("192.168.12.50")
+
+    def test_gua_for_internet_destination(self):
+        src = select_source_address(
+            IPv6Address("2001:4810:0:3::71"), [self.GUA, self.ULA, self.LL]
+        )
+        assert src == self.GUA
+
+    def test_ula_for_ula_destination(self):
+        # Label matching (rule 6) picks the ULA source for the DNS server.
+        src = select_source_address(IPv6Address("fd00:976a::9"), [self.GUA, self.ULA, self.LL])
+        assert src == self.ULA
+
+    def test_link_local_for_link_local(self):
+        src = select_source_address(IPv6Address("fe80::1"), [self.GUA, self.ULA, self.LL])
+        assert src == self.LL
+
+    def test_family_separation(self):
+        assert select_source_address(IPv4Address("8.8.8.8"), [self.GUA]) is None
+        assert select_source_address(self.GUA, [self.V4]) is None
+
+    def test_v4_source_for_v4_destination(self):
+        assert select_source_address(IPv4Address("8.8.8.8"), [self.V4, self.GUA]) == self.V4
+
+    def test_exact_match_rule1(self):
+        src = select_source_address(self.GUA, [self.GUA, self.ULA])
+        assert src == self.GUA
+
+    def test_no_candidates(self):
+        assert select_source_address(IPv6Address("2001:db8::1"), []) is None
+
+
+class TestDestinationOrdering:
+    SOURCES = [
+        IPv4Address("192.168.12.50"),
+        IPv6Address("2607:fb90:9bda:a425:200:59ff:feaa:c6ab"),
+        IPv6Address("fe80::200:59ff:feaa:c6ab"),
+    ]
+
+    def test_dual_stack_prefers_v6(self):
+        """The property the paper's intervention leans on (§IV.A)."""
+        ordered = order_destinations(
+            [
+                CandidateAddress(IPv4Address("23.153.8.71")),
+                CandidateAddress(IPv6Address("2001:4810:0:3::71")),
+            ],
+            self.SOURCES,
+        )
+        assert isinstance(ordered[0], IPv6Address)
+
+    def test_v4_only_host_puts_v4_first(self):
+        ordered = order_destinations(
+            [
+                CandidateAddress(IPv6Address("2001:4810:0:3::71")),
+                CandidateAddress(IPv4Address("23.153.8.71")),
+            ],
+            [IPv4Address("192.168.12.50")],  # no v6 sources at all
+        )
+        assert isinstance(ordered[0], IPv4Address)
+
+    def test_unreachable_candidates_sorted_last(self):
+        ordered = order_destinations(
+            [
+                CandidateAddress(IPv6Address("2001:4810:0:3::71"), reachable=False),
+                CandidateAddress(IPv4Address("23.153.8.71")),
+            ],
+            self.SOURCES,
+        )
+        assert isinstance(ordered[0], IPv4Address)
+
+    def test_stable_for_equal_candidates(self):
+        a = CandidateAddress(IPv6Address("2600::1"))
+        b = CandidateAddress(IPv6Address("2600::2"))
+        assert order_destinations([a, b], self.SOURCES) == [a.address, b.address]
+
+    def test_nat64_synthesized_is_regular_v6(self):
+        # DNS64 answers are plain GUAs; a v6-only host orders them first
+        # even when an A record is also present.
+        ordered = order_destinations(
+            [
+                CandidateAddress(IPv4Address("190.92.158.4"), reachable=False),
+                CandidateAddress(IPv6Address("64:ff9b::be5c:9e04")),
+            ],
+            [IPv6Address("2607:fb90:9bda:a425::1"), IPv6Address("fe80::1")],
+        )
+        assert ordered[0] == IPv6Address("64:ff9b::be5c:9e04")
+
+    def test_empty(self):
+        assert order_destinations([], self.SOURCES) == []

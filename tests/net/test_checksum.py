@@ -1,0 +1,67 @@
+"""Internet checksum (RFC 1071) correctness."""
+
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.net.checksum import (
+    internet_checksum,
+    ones_complement_sum,
+    pseudo_header_v4,
+    pseudo_header_v6,
+    verify_checksum,
+)
+
+
+class TestOnesComplement:
+    def test_rfc1071_example(self):
+        # The classic worked example: 00 01 f2 03 f4 f5 f6 f7.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert ones_complement_sum(data) == 0xDDF2
+        assert internet_checksum(data) == 0x220D
+
+    def test_empty(self):
+        assert ones_complement_sum(b"") == 0
+        assert internet_checksum(b"") == 0xFFFF
+
+    def test_odd_length_pads_with_zero(self):
+        assert ones_complement_sum(b"\xab") == ones_complement_sum(b"\xab\x00")
+
+    def test_carry_folding(self):
+        # Many 0xFFFF words force repeated carries.
+        assert internet_checksum(b"\xff\xff" * 1000) == 0
+
+    def test_initial_accumulator(self):
+        a = ones_complement_sum(b"\x12\x34")
+        b = ones_complement_sum(b"\x56\x78", initial=a)
+        assert b == ones_complement_sum(b"\x12\x34\x56\x78")
+
+    def test_verify_checksum_round_trip(self):
+        # Even-length data: the checksum lands on a 16-bit boundary, as
+        # in every real protocol header.
+        data = bytes(range(20))
+        csum = internet_checksum(data)
+        assert verify_checksum(data + csum.to_bytes(2, "big"))
+
+    def test_verify_detects_corruption(self):
+        data = bytearray(bytes(range(20)))
+        csum = internet_checksum(bytes(data))
+        buf = bytearray(bytes(data) + csum.to_bytes(2, "big"))
+        buf[3] ^= 0xFF
+        assert not verify_checksum(bytes(buf))
+
+
+class TestPseudoHeaders:
+    def test_v4_layout(self):
+        ph = pseudo_header_v4(
+            IPv4Address("192.0.2.1"), IPv4Address("192.0.2.2"), 17, 20
+        )
+        assert len(ph) == 12
+        assert ph[:4] == IPv4Address("192.0.2.1").packed
+        assert ph[8] == 0 and ph[9] == 17
+        assert int.from_bytes(ph[10:12], "big") == 20
+
+    def test_v6_layout(self):
+        ph = pseudo_header_v6(
+            IPv6Address("2001:db8::1"), IPv6Address("2001:db8::2"), 58, 64
+        )
+        assert len(ph) == 40
+        assert int.from_bytes(ph[32:36], "big") == 64
+        assert ph[39] == 58

@@ -1,0 +1,146 @@
+"""Ethernet, ARP, IPv4 and IPv6 codecs."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address, IPv6Address, MacAddress, MAC_BROADCAST
+from repro.net.arp import ArpOp, ArpPacket
+from repro.net.ethernet import EtherType, EthernetFrame
+from repro.net.ipv4 import IPProto, IPv4Packet
+from repro.net.ipv6 import IPv6Packet
+
+M1 = MacAddress.parse("02:00:00:00:00:01")
+M2 = MacAddress.parse("02:00:00:00:00:02")
+
+
+class TestEthernet:
+    def test_round_trip(self):
+        frame = EthernetFrame(M1, M2, EtherType.IPV6, b"payload")
+        assert EthernetFrame.decode(frame.encode()) == frame
+
+    def test_wire_layout(self):
+        frame = EthernetFrame(MAC_BROADCAST, M1, EtherType.ARP, b"x")
+        raw = frame.encode()
+        assert raw[:6] == b"\xff" * 6
+        assert raw[12:14] == b"\x08\x06"
+        assert len(frame) == 15
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            EthernetFrame.decode(b"\x00" * 13)
+
+    def test_broadcast_and_multicast_flags(self):
+        assert EthernetFrame(MAC_BROADCAST, M1, 0x0800, b"").is_broadcast
+        mcast = EthernetFrame(MacAddress.parse("33:33:00:00:00:01"), M1, 0x86DD, b"")
+        assert mcast.is_multicast and not mcast.is_broadcast
+
+
+class TestArp:
+    def test_request_reply_cycle(self):
+        request = ArpPacket.request(M1, IPv4Address("192.168.12.50"), IPv4Address("192.168.12.1"))
+        assert request.op == ArpOp.REQUEST
+        wire = request.encode()
+        decoded = ArpPacket.decode(wire)
+        assert decoded == request
+        reply = decoded.reply_from(M2)
+        assert reply.op == ArpOp.REPLY
+        assert reply.sender_ip == IPv4Address("192.168.12.1")
+        assert reply.sender_mac == M2
+        assert reply.target_mac == M1
+
+    def test_decode_rejects_wrong_htype(self):
+        raw = bytearray(ArpPacket.request(M1, IPv4Address("1.2.3.4"), IPv4Address("1.2.3.5")).encode())
+        raw[1] = 9
+        with pytest.raises(ValueError):
+            ArpPacket.decode(bytes(raw))
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            ArpPacket.decode(b"\x00" * 27)
+
+
+class TestIPv4:
+    def test_round_trip(self):
+        packet = IPv4Packet(
+            src=IPv4Address("192.168.12.50"),
+            dst=IPv4Address("23.153.8.71"),
+            proto=IPProto.UDP,
+            payload=b"hello",
+            ttl=63,
+            identification=0x1234,
+        )
+        decoded = IPv4Packet.decode(packet.encode())
+        assert decoded == packet
+
+    def test_header_checksum_verified(self):
+        packet = IPv4Packet(IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2"), 17, b"x")
+        raw = bytearray(packet.encode())
+        raw[8] ^= 0xFF  # corrupt TTL
+        with pytest.raises(ValueError, match="checksum"):
+            IPv4Packet.decode(bytes(raw))
+
+    def test_decode_can_skip_verification(self):
+        packet = IPv4Packet(IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2"), 17, b"x")
+        raw = bytearray(packet.encode())
+        raw[8] = 9
+        decoded = IPv4Packet.decode(bytes(raw), verify=False)
+        assert decoded.ttl == 9
+
+    def test_not_ipv4(self):
+        with pytest.raises(ValueError, match="version"):
+            IPv4Packet.decode(b"\x60" + b"\x00" * 19)
+
+    def test_ttl_decrement(self):
+        packet = IPv4Packet(IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2"), 6, b"", ttl=2)
+        assert packet.decremented().ttl == 1
+        with pytest.raises(ValueError):
+            packet.decremented().decremented()
+
+    def test_options_round_trip(self):
+        packet = IPv4Packet(
+            IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2"), 6, b"p", options=b"\x01\x01\x01\x01"
+        )
+        assert IPv4Packet.decode(packet.encode()).options == b"\x01\x01\x01\x01"
+
+    def test_options_must_be_padded(self):
+        with pytest.raises(ValueError):
+            IPv4Packet(IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2"), 6, b"", options=b"\x01")
+
+    def test_total_length(self):
+        packet = IPv4Packet(IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2"), 6, b"abc")
+        assert packet.total_length == 23
+
+
+class TestIPv6:
+    def test_round_trip(self):
+        packet = IPv6Packet(
+            src=IPv6Address("fd00:976a::9"),
+            dst=IPv6Address("2607:fb90:9bda:a425::1"),
+            next_header=IPProto.UDP,
+            payload=b"dns query",
+            hop_limit=255,
+            traffic_class=0x20,
+            flow_label=0xABCDE,
+        )
+        assert IPv6Packet.decode(packet.encode()) == packet
+
+    def test_wire_is_40_byte_header(self):
+        packet = IPv6Packet(IPv6Address("::1"), IPv6Address("::2"), 58, b"xy")
+        assert len(packet.encode()) == 42
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="version"):
+            IPv6Packet.decode(b"\x40" + b"\x00" * 41)
+
+    def test_truncated_payload(self):
+        packet = IPv6Packet(IPv6Address("::1"), IPv6Address("::2"), 58, b"abcdef")
+        with pytest.raises(ValueError):
+            IPv6Packet.decode(packet.encode()[:-3])
+
+    def test_flow_label_range(self):
+        with pytest.raises(ValueError):
+            IPv6Packet(IPv6Address("::1"), IPv6Address("::2"), 58, b"", flow_label=1 << 20)
+
+    def test_hop_limit_decrement(self):
+        packet = IPv6Packet(IPv6Address("::1"), IPv6Address("::2"), 58, b"", hop_limit=1)
+        with pytest.raises(ValueError):
+            packet.decremented()

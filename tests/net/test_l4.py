@@ -1,0 +1,109 @@
+"""UDP, TCP and ICMP codecs, including pseudo-header checksums."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.net.icmp import IcmpMessage, IcmpType
+from repro.net.tcp import TcpFlags, TcpSegment
+from repro.net.udp import UdpDatagram
+
+V4A, V4B = IPv4Address("192.168.12.50"), IPv4Address("192.168.12.251")
+V6A, V6B = IPv6Address("fd00:976a::1"), IPv6Address("fd00:976a::9")
+
+
+class TestUdp:
+    def test_round_trip_v4(self):
+        datagram = UdpDatagram(49152, 53, b"query")
+        decoded = UdpDatagram.decode(datagram.encode(V4A, V4B), V4A, V4B)
+        assert decoded == datagram
+
+    def test_round_trip_v6(self):
+        datagram = UdpDatagram(49152, 53, b"query")
+        decoded = UdpDatagram.decode(datagram.encode(V6A, V6B), V6A, V6B)
+        assert decoded == datagram
+
+    def test_checksum_covers_pseudo_header(self):
+        datagram = UdpDatagram(1000, 2000, b"data")
+        wire = datagram.encode(V4A, V4B)
+        # Same bytes, different claimed addresses: checksum must fail.
+        with pytest.raises(ValueError, match="checksum"):
+            UdpDatagram.decode(wire, V4A, IPv4Address("192.168.12.252"))
+
+    def test_corrupt_payload_detected(self):
+        wire = bytearray(UdpDatagram(1, 2, b"data").encode(V4A, V4B))
+        wire[-1] ^= 0x01
+        with pytest.raises(ValueError, match="checksum"):
+            UdpDatagram.decode(bytes(wire), V4A, V4B)
+
+    def test_zero_checksum_forbidden_over_v6(self):
+        wire = bytearray(UdpDatagram(1, 2, b"d").encode(V6A, V6B))
+        wire[6:8] = b"\x00\x00"
+        with pytest.raises(ValueError):
+            UdpDatagram.decode(bytes(wire), V6A, V6B)
+
+    def test_port_range_validation(self):
+        with pytest.raises(ValueError):
+            UdpDatagram(70000, 53, b"")
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            UdpDatagram.decode(b"\x00" * 7, V4A, V4B)
+
+    def test_length_field(self):
+        assert UdpDatagram(1, 2, b"abc").length == 11
+
+
+class TestTcp:
+    def test_round_trip(self):
+        segment = TcpSegment(49200, 80, 1000, 2000, TcpFlags.PSH | TcpFlags.ACK, 8192, b"GET /")
+        decoded = TcpSegment.decode(segment.encode(V6A, V6B), V6A, V6B)
+        assert decoded == segment
+
+    def test_checksum_validation(self):
+        wire = bytearray(TcpSegment(1, 2, 0, 0, TcpFlags.SYN).encode(V4A, V4B))
+        wire[4] ^= 0xFF  # corrupt sequence number
+        with pytest.raises(ValueError, match="checksum"):
+            TcpSegment.decode(bytes(wire), V4A, V4B)
+
+    def test_flags_preserved(self):
+        for flags in (TcpFlags.SYN, TcpFlags.SYN | TcpFlags.ACK, TcpFlags.FIN | TcpFlags.ACK, TcpFlags.RST):
+            segment = TcpSegment(1, 2, 3, 4, flags)
+            assert TcpSegment.decode(segment.encode(V4A, V4B), V4A, V4B).flags == flags
+
+    def test_seq_range(self):
+        with pytest.raises(ValueError):
+            TcpSegment(1, 2, 1 << 32, 0, TcpFlags.SYN)
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            TcpSegment.decode(b"\x00" * 19, V4A, V4B)
+
+
+class TestIcmp:
+    def test_echo_round_trip(self):
+        message = IcmpMessage.echo_request(0x1234, 7, b"ping-data")
+        decoded = IcmpMessage.decode(message.encode())
+        assert decoded.echo_ident == 0x1234
+        assert decoded.echo_seq == 7
+        assert decoded.body == b"ping-data"
+        assert decoded.is_echo
+
+    def test_reply_type(self):
+        reply = IcmpMessage.echo_reply(1, 2)
+        assert reply.icmp_type == IcmpType.ECHO_REPLY
+
+    def test_checksum_detects_corruption(self):
+        wire = bytearray(IcmpMessage.echo_request(1, 1, b"x").encode())
+        wire[-1] ^= 0xFF
+        with pytest.raises(ValueError, match="checksum"):
+            IcmpMessage.decode(bytes(wire))
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            IcmpMessage.decode(b"\x00" * 7)
+
+    def test_unreachable_body_carried(self):
+        message = IcmpMessage(IcmpType.DEST_UNREACHABLE, 13, 0, b"\x45" + b"\x00" * 27)
+        decoded = IcmpMessage.decode(message.encode())
+        assert decoded.code == 13
+        assert len(decoded.body) == 28

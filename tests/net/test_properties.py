@@ -1,0 +1,133 @@
+"""Hypothesis property tests for the wire codecs: every valid value
+round-trips, and checksums always verify."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addresses import (
+    IPv4Address,
+    IPv6Address,
+    IPv6Network,
+    MacAddress,
+    embed_ipv4_in_nat64,
+    extract_ipv4_from_nat64,
+    eui64_interface_id,
+)
+from repro.net.checksum import internet_checksum, verify_checksum
+from repro.net.ethernet import EthernetFrame
+from repro.net.icmp import IcmpMessage
+from repro.net.ipv4 import IPv4Packet
+from repro.net.ipv6 import IPv6Packet
+from repro.net.tcp import TcpFlags, TcpSegment
+from repro.net.udp import UdpDatagram
+
+macs = st.integers(min_value=0, max_value=(1 << 48) - 1).map(MacAddress)
+v4_addrs = st.integers(min_value=0, max_value=(1 << 32) - 1).map(IPv4Address)
+v6_addrs = st.integers(min_value=0, max_value=(1 << 128) - 1).map(IPv6Address)
+ports = st.integers(min_value=0, max_value=65535)
+payloads = st.binary(max_size=256)
+
+
+@given(payload=st.binary(max_size=512))
+def test_checksum_self_verifies(payload):
+    if len(payload) % 2:
+        payload += b"\x00"  # checksums live at 16-bit boundaries
+    csum = internet_checksum(payload)
+    assert verify_checksum(payload + csum.to_bytes(2, "big"))
+
+
+@given(mac=macs)
+def test_mac_round_trip(mac):
+    assert MacAddress.from_bytes(mac.to_bytes()) == mac
+    assert MacAddress.parse(str(mac)) == mac
+
+
+@given(mac=macs)
+def test_eui64_flips_only_u_bit(mac):
+    iid = eui64_interface_id(mac)
+    raw = iid.to_bytes(8, "big")
+    assert raw[3:5] == b"\xff\xfe"
+    assert raw[0] == mac.to_bytes()[0] ^ 0x02
+
+
+@given(addr=v4_addrs, plen=st.sampled_from([32, 40, 48, 56, 64, 96]))
+def test_rfc6052_round_trip(addr, plen):
+    prefix = IPv6Network(f"2001:db8::/{plen}")
+    embedded = embed_ipv4_in_nat64(addr, prefix)
+    assert embedded in prefix
+    assert extract_ipv4_from_nat64(embedded, prefix) == addr
+
+
+@given(dst=macs, src=macs, ethertype=ports, payload=payloads)
+def test_ethernet_round_trip(dst, src, ethertype, payload):
+    frame = EthernetFrame(dst, src, ethertype, payload)
+    assert EthernetFrame.decode(frame.encode()) == frame
+
+
+@given(src=v4_addrs, dst=v4_addrs, proto=st.integers(0, 255), payload=payloads,
+       ttl=st.integers(1, 255), ident=ports)
+def test_ipv4_round_trip(src, dst, proto, payload, ttl, ident):
+    packet = IPv4Packet(src, dst, proto, payload, ttl=ttl, identification=ident)
+    assert IPv4Packet.decode(packet.encode()) == packet
+
+
+@given(src=v6_addrs, dst=v6_addrs, nh=st.integers(0, 255), payload=payloads,
+       hop=st.integers(0, 255), tc=st.integers(0, 255), fl=st.integers(0, (1 << 20) - 1))
+def test_ipv6_round_trip(src, dst, nh, payload, hop, tc, fl):
+    packet = IPv6Packet(src, dst, nh, payload, hop_limit=hop, traffic_class=tc, flow_label=fl)
+    assert IPv6Packet.decode(packet.encode()) == packet
+
+
+@given(sport=ports, dport=ports, payload=payloads, src=v4_addrs, dst=v4_addrs)
+def test_udp_round_trip_v4(sport, dport, payload, src, dst):
+    datagram = UdpDatagram(sport, dport, payload)
+    assert UdpDatagram.decode(datagram.encode(src, dst), src, dst) == datagram
+
+
+@given(sport=ports, dport=ports, payload=payloads, src=v6_addrs, dst=v6_addrs)
+def test_udp_round_trip_v6(sport, dport, payload, src, dst):
+    datagram = UdpDatagram(sport, dport, payload)
+    assert UdpDatagram.decode(datagram.encode(src, dst), src, dst) == datagram
+
+
+@given(
+    sport=ports,
+    dport=ports,
+    seq=st.integers(0, (1 << 32) - 1),
+    ack=st.integers(0, (1 << 32) - 1),
+    flags=st.integers(0, 255).map(TcpFlags),
+    window=ports,
+    payload=payloads,
+    src=v6_addrs,
+    dst=v6_addrs,
+)
+def test_tcp_round_trip(sport, dport, seq, ack, flags, window, payload, src, dst):
+    segment = TcpSegment(sport, dport, seq, ack, flags, window, payload)
+    assert TcpSegment.decode(segment.encode(src, dst), src, dst) == segment
+
+
+@given(ident=ports, seq=ports, payload=payloads)
+def test_icmp_echo_round_trip(ident, seq, payload):
+    message = IcmpMessage.echo_request(ident, seq, payload)
+    decoded = IcmpMessage.decode(message.encode())
+    assert decoded.echo_ident == ident
+    assert decoded.echo_seq == seq
+    assert decoded.body == payload
+
+
+@given(payload=payloads, src=v4_addrs, dst=v4_addrs, flip=st.sampled_from([0, 1, 2, 3, 6, 7]))
+def test_udp_corruption_always_detected_in_header(payload, src, dst, flip):
+    """Flipping a port or checksum byte must fail verification (length
+    bytes are excluded: changing coverage is a different failure mode)."""
+    datagram = UdpDatagram(1234, 53, payload)
+    wire = bytearray(datagram.encode(src, dst))
+    wire[flip] ^= 0xA5
+    try:
+        decoded = UdpDatagram.decode(bytes(wire), src, dst)
+    except ValueError:
+        return  # detected — good
+    # Undetected implies we flipped a byte back to an equivalent value;
+    # with ^0xA5 that is impossible, so decode must not succeed silently
+    # unless the checksum happens to still hold (ones-complement has no
+    # such collision for a single-byte flip).
+    raise AssertionError(f"corruption not detected: {decoded}")

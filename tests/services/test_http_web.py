@@ -1,0 +1,143 @@
+"""HTTP-lite codec + web services over the simulated network."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.services.http import HttpRequest, HttpResponse, http_get, serve_http
+from repro.services.ip6me import IP6ME_V4, IP6ME_V6, Ip6MeService
+from repro.services.web import WebService
+from repro.sim.host import ServerHost
+from repro.sim.node import connect
+from repro.sim.switch import ManagedSwitch
+
+
+class TestCodec:
+    def test_request_round_trip(self):
+        request = HttpRequest("GET", "/index.html", {"host": "ip6.me"}, b"")
+        decoded = HttpRequest.parse(request.encode())
+        assert decoded.method == "GET"
+        assert decoded.path == "/index.html"
+        assert decoded.host == "ip6.me"
+
+    def test_request_with_body(self):
+        request = HttpRequest("POST", "/api", {"host": "x"}, b"payload")
+        decoded = HttpRequest.parse(request.encode())
+        assert decoded.body == b"payload"
+        assert decoded.headers["content-length"] == "7"
+
+    def test_response_round_trip(self):
+        response = HttpResponse(200, {"x-served-by": "ip6.me"}, b"<html>")
+        decoded = HttpResponse.parse(response.encode())
+        assert decoded.status == 200
+        assert decoded.headers["x-served-by"] == "ip6.me"
+        assert decoded.body == b"<html>"
+        assert decoded.complete
+
+    def test_malformed_request(self):
+        assert HttpRequest.parse(b"\xff\xfe garbage") is None
+
+    def test_malformed_response(self):
+        assert HttpResponse.parse(b"not-http") is None
+
+    def test_incomplete_body_detected(self):
+        response = HttpResponse(200, {}, b"full body here")
+        truncated = response.encode()[:-5]
+        parsed = HttpResponse.parse(truncated)
+        assert not parsed.complete
+
+    def test_reason_phrases(self):
+        assert HttpResponse(404).reason == "Not Found"
+        assert HttpResponse(999).reason == "Unknown"
+
+
+@pytest.fixture
+def web_world(engine):
+    inet = ManagedSwitch(engine, "inet")
+    client = ServerHost(engine, "client", ipv4=IPv4Address("198.18.0.2"), on_link_everything=True)
+    connect(engine, client.port("eth0"), inet.add_port("p-c"))
+    return engine, inet, client
+
+
+class TestServeHttp:
+    def test_get_over_the_wire(self, web_world):
+        engine, inet, client = web_world
+        server = ServerHost(engine, "server", ipv4=IPv4Address("198.18.0.10"), on_link_everything=True)
+        connect(engine, server.port("eth0"), inet.add_port("p-s"))
+
+        def handler(request):
+            return HttpResponse(200, {"x-served-by": "test"}, b"hello " + request.path.encode())
+
+        serve_http(server, 80, handler)
+        response = http_get(client, IPv4Address("198.18.0.10"), "test", "/abc")
+        assert response.status == 200
+        assert response.body == b"hello /abc"
+
+    def test_large_response_spans_segments(self, web_world):
+        engine, inet, client = web_world
+        server = ServerHost(engine, "server", ipv4=IPv4Address("198.18.0.10"), on_link_everything=True)
+        connect(engine, server.port("eth0"), inet.add_port("p-s"))
+        big = b"Z" * 5000
+        serve_http(server, 80, lambda request: HttpResponse(200, {}, big))
+        response = http_get(client, IPv4Address("198.18.0.10"), "x")
+        assert response.body == big
+
+    def test_get_unreachable_none(self, web_world):
+        engine, inet, client = web_world
+        assert http_get(client, IPv4Address("198.18.0.99"), "x", timeout=0.5) is None
+
+
+class TestWebService:
+    def test_virtual_hosting(self, web_world):
+        engine, inet, client = web_world
+        service = WebService(engine, "multi", ipv4=IPv4Address("198.18.0.20"))
+        service.add_site("a.example")
+        service.add_site("b.example")
+        connect(engine, service.port("eth0"), inet.add_port("p-w"))
+        ra = http_get(client, IPv4Address("198.18.0.20"), "a.example")
+        rb = http_get(client, IPv4Address("198.18.0.20"), "b.example")
+        assert ra.headers["x-served-by"] == "a.example"
+        assert rb.headers["x-served-by"] == "b.example"
+
+    def test_default_site_for_unknown_host(self, web_world):
+        engine, inet, client = web_world
+        service = WebService(engine, "single", ipv4=IPv4Address("198.18.0.21"))
+        service.add_site("real.example")
+        connect(engine, service.port("eth0"), inet.add_port("p-w2"))
+        response = http_get(client, IPv4Address("198.18.0.21"), "whatever.example")
+        # A poisoned-DNS redirect arrives with the wrong Host header; the
+        # server still serves its default site.
+        assert response.headers["x-served-by"] == "real.example"
+
+    def test_request_counter(self, web_world):
+        engine, inet, client = web_world
+        service = WebService(engine, "count", ipv4=IPv4Address("198.18.0.22"))
+        service.add_site("c.example")
+        connect(engine, service.port("eth0"), inet.add_port("p-w3"))
+        http_get(client, IPv4Address("198.18.0.22"), "c.example")
+        http_get(client, IPv4Address("198.18.0.22"), "c.example")
+        assert service.requests_served == 2
+
+
+class TestIp6Me:
+    def test_reports_v4_family_with_helpdesk_note(self, web_world):
+        engine, inet, client = web_world
+        ip6me = Ip6MeService(engine)
+        connect(engine, ip6me.port("eth0"), inet.add_port("p-ip6me"))
+        response = http_get(client, IP6ME_V4, "ip6.me")
+        assert response.headers["x-client-family"] == "ipv4"
+        assert b"IPv4 Address" in response.body
+        assert b"helpdesk" in response.body
+        assert ip6me.v4_visitors == 1
+
+    def test_reports_v6_family(self, engine):
+        inet = ManagedSwitch(engine, "inet")
+        client = ServerHost(
+            engine, "client6", ipv6=IPv6Address("2001:db8::2"), on_link_everything=True
+        )
+        connect(engine, client.port("eth0"), inet.add_port("p-c"))
+        ip6me = Ip6MeService(engine)
+        connect(engine, ip6me.port("eth0"), inet.add_port("p-ip6me"))
+        response = http_get(client, IP6ME_V6, "ip6.me")
+        assert response.headers["x-client-family"] == "ipv6"
+        assert b"helpdesk" not in response.body
+        assert ip6me.v6_visitors == 1

@@ -1,0 +1,113 @@
+"""The discrete-event engine: ordering, determinism, periodic tasks."""
+
+import pytest
+
+from repro.sim.engine import EventEngine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        engine = EventEngine()
+        order = []
+        for tag in "abc":
+            engine.schedule(1.0, lambda t=tag: order.append(t))
+        engine.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule(5.5, lambda: seen.append(engine.now))
+        engine.run_until_idle()
+        assert seen == [5.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventEngine().schedule(-1.0, lambda: None)
+
+    def test_events_scheduled_during_event(self):
+        engine = EventEngine()
+        order = []
+
+        def first():
+            order.append("first")
+            engine.schedule(0.0, lambda: order.append("nested"))
+
+        engine.schedule(1.0, first)
+        engine.schedule(2.0, lambda: order.append("second"))
+        engine.run_until_idle()
+        assert order == ["first", "nested", "second"]
+
+
+class TestRunUntil:
+    def test_condition_stops_early(self):
+        engine = EventEngine()
+        state = {"hits": 0}
+
+        def tick():
+            state["hits"] += 1
+            engine.schedule(1.0, tick)
+
+        engine.schedule(1.0, tick)
+        assert engine.run_until(lambda: state["hits"] >= 3, deadline=100.0)
+        assert state["hits"] == 3
+
+    def test_deadline_caps_time(self):
+        engine = EventEngine()
+        engine.schedule(50.0, lambda: None)
+        result = engine.run_until(lambda: False, deadline=10.0)
+        assert not result
+        assert engine.now == 10.0
+        assert engine.pending_events == 1
+
+    def test_run_for(self):
+        engine = EventEngine()
+        hits = []
+        engine.schedule_every(1.0, lambda: hits.append(engine.now))
+        engine.run_for(5.5)
+        assert len(hits) == 6  # t=0,1,2,3,4,5
+        assert engine.now == 5.5
+
+    def test_queue_drain_returns_false(self):
+        engine = EventEngine()
+        assert not engine.run_until(lambda: False)
+
+    def test_livelock_guard(self):
+        engine = EventEngine()
+
+        def forever():
+            engine.schedule(0.0, forever)
+
+        engine.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="events"):
+            engine.run_until(lambda: False, deadline=1.0, max_events=1000)
+
+
+class TestPeriodic:
+    def test_cancellation(self):
+        engine = EventEngine()
+        hits = []
+        cancel = engine.schedule_every(1.0, lambda: hits.append(1))
+        engine.run_for(3.5)
+        cancel()
+        engine.run_for(5.0)
+        assert len(hits) == 4
+
+    def test_determinism_across_runs(self):
+        def run():
+            engine = EventEngine(seed=7)
+            values = []
+            engine.schedule_every(1.0, lambda: values.append(engine.rng.random()), jitter=0.1)
+            engine.run_for(10.0)
+            return values
+
+        assert run() == run()

@@ -1,0 +1,188 @@
+"""Links, switches (learning, snooping, RA daemon) and host stacks
+exchanging real frames."""
+
+import pytest
+
+from repro.net.addresses import (
+    IPv4Address,
+    IPv4Network,
+    IPv6Address,
+    IPv6Network,
+    MacAddress,
+)
+from repro.net.icmpv6 import RouterPreference
+from repro.nd.ra import RaDaemonConfig
+from repro.sim.engine import EventEngine
+from repro.sim.host import Host, ServerHost
+from repro.sim.node import connect
+from repro.sim.stack import Ipv4Config, StackConfig
+from repro.sim.switch import ManagedSwitch
+
+LAN = IPv4Network("192.168.12.0/24")
+
+
+def lan_host(engine, name, last_octet):
+    host = ServerHost(
+        engine,
+        name,
+        ipv4=IPv4Address(f"192.168.12.{last_octet}"),
+        ipv4_network=LAN,
+    )
+    return host
+
+
+@pytest.fixture
+def fabric(engine):
+    switch = ManagedSwitch(engine, "sw")
+    a = lan_host(engine, "host-a", 10)
+    b = lan_host(engine, "host-b", 11)
+    c = lan_host(engine, "host-c", 12)
+    for host, port in ((a, "p1"), (b, "p2"), (c, "p3")):
+        connect(engine, host.port("eth0"), switch.add_port(port))
+    return engine, switch, a, b, c
+
+
+class TestSwitching:
+    def test_ping_through_switch(self, fabric):
+        engine, switch, a, b, c = fabric
+        rtt = a.ping(IPv4Address("192.168.12.11"))
+        assert rtt is not None and rtt > 0
+
+    def test_mac_learning_limits_flooding(self, fabric):
+        engine, switch, a, b, c = fabric
+        a.ping(IPv4Address("192.168.12.11"))
+        flooded_before = switch.flooded
+        a.ping(IPv4Address("192.168.12.11"))
+        # Second ping is unicast both ways: learned, no new flooding.
+        assert switch.flooded == flooded_before
+        assert switch.forwarded > 0
+
+    def test_unknown_unicast_floods(self, fabric):
+        engine, switch, a, b, c = fabric
+        # ARP for a host that does not exist floods and gets no answer.
+        assert a.ping(IPv4Address("192.168.12.99"), timeout=0.5) is None
+        assert switch.flooded > 0
+
+    def test_udp_exchange_through_switch(self, fabric):
+        engine, switch, a, b, c = fabric
+        b.udp_serve(9999, lambda payload, src, sport: b"pong:" + payload)
+        reply = a.udp_exchange(IPv4Address("192.168.12.11"), 9999, b"ping")
+        assert reply == b"pong:ping"
+
+    def test_ipv6_link_local_ping(self, fabric):
+        engine, switch, a, b, c = fabric
+        rtt = a.ping(b.iface.link_local)
+        assert rtt is not None
+
+
+class TestSwitchRaDaemon:
+    def test_ula_ra_reaches_clients(self, engine):
+        switch = ManagedSwitch(engine, "sw")
+        switch.enable_ra_daemon(
+            RaDaemonConfig(
+                prefixes=(IPv6Network("fd00:976a::/64"),),
+                rdnss=(IPv6Address("fd00:976a::9"),),
+                preference=RouterPreference.LOW,
+                router_lifetime=0,
+                interval=30.0,
+            )
+        )
+        client = Host(engine, "client")
+        connect(engine, client.port("eth0"), switch.add_port("p1"))
+        engine.run_for(0.5)
+        client.solicit_routers()
+        engine.run_for(0.5)
+        assert any(
+            a in IPv6Network("fd00:976a::/64") for a in client.ipv6_global_addresses()
+        )
+        assert IPv6Address("fd00:976a::9") in client.slaac.rdnss
+        # LOW-preference lifetime-0 RA must NOT install a default route.
+        assert client.slaac.default_router() is None
+
+    def test_disable_ra_daemon(self, engine):
+        switch = ManagedSwitch(engine, "sw")
+        daemon = switch.enable_ra_daemon(
+            RaDaemonConfig(prefixes=(IPv6Network("fd00:976a::/64"),), interval=10.0)
+        )
+        engine.run_for(25.0)
+        sent = daemon.sent
+        switch.disable_ra_daemon()
+        engine.run_for(50.0)
+        assert daemon.sent == sent
+
+
+class TestTcpOverFabric:
+    def test_multi_segment_transfer(self, fabric):
+        engine, switch, a, b, c = fabric
+        received = []
+
+        def on_establish(conn):
+            def on_data(c2):
+                received.append(c2.read())
+
+            conn.on_data = on_data
+
+        b.tcp_listen(8080, on_establish)
+        conn = a.tcp_connect(IPv4Address("192.168.12.11"), 8080)
+        assert conn is not None
+        big = bytes(range(256)) * 20  # 5120 bytes > 4 segments
+        conn.send(big)
+        engine.run_for(1.0)
+        assert b"".join(received) == big
+
+    def test_connect_refused(self, fabric):
+        engine, switch, a, b, c = fabric
+        assert a.tcp_connect(IPv4Address("192.168.12.11"), 1) is None
+        assert a.last_connect_error == "refused"
+
+    def test_connect_timeout_no_host(self, fabric):
+        engine, switch, a, b, c = fabric
+        assert a.tcp_connect(IPv4Address("192.168.12.77"), 80, timeout=0.5) is None
+        assert a.last_connect_error == "timeout"
+
+    def test_bidirectional_close(self, fabric):
+        engine, switch, a, b, c = fabric
+
+        def on_establish(conn):
+            conn.on_data = lambda c2: (c2.send(b"bye"), c2.close())
+
+        b.tcp_listen(8081, on_establish)
+        conn = a.tcp_connect(IPv4Address("192.168.12.11"), 8081)
+        conn.send(b"hi")
+        engine.run_for(1.0)
+        assert conn.remote_closed
+        assert bytes(conn.recv_buffer) == b"bye"
+        conn.close()
+        assert conn.state == conn.CLOSED
+
+
+class TestLinkFailure:
+    def test_cable_pull_stops_traffic(self, fabric):
+        engine, switch, a, b, c = fabric
+        assert a.ping(IPv4Address("192.168.12.11")) is not None
+        link = b.port("eth0")._link
+        link.disconnect()
+        assert a.ping(IPv4Address("192.168.12.11"), timeout=0.5) is None
+        link.reconnect()
+        assert a.ping(IPv4Address("192.168.12.11")) is not None
+
+
+class TestStackConfigFlags:
+    def test_ipv4_disabled_stack_sends_nothing_v4(self, engine):
+        switch = ManagedSwitch(engine, "sw")
+        v6only = Host(engine, "v6only", config=StackConfig(ipv4_enabled=False))
+        server = lan_host(engine, "server", 20)
+        connect(engine, v6only.port("eth0"), switch.add_port("p1"))
+        connect(engine, server.port("eth0"), switch.add_port("p2"))
+        assert v6only.ping(IPv4Address("192.168.12.20"), timeout=0.5) is None
+        assert v6only.iface.tx_ipv4_unicast == 0
+
+    def test_ipv6_disabled_stack_ignores_ras(self, engine):
+        switch = ManagedSwitch(engine, "sw")
+        switch.enable_ra_daemon(
+            RaDaemonConfig(prefixes=(IPv6Network("fd00:976a::/64"),), interval=5.0)
+        )
+        legacy = Host(engine, "legacy", config=StackConfig(ipv6_enabled=False, accept_ras=False))
+        connect(engine, legacy.port("eth0"), switch.add_port("p1"))
+        engine.run_for(10.0)
+        assert not legacy.ipv6_global_addresses()

@@ -1,0 +1,168 @@
+"""Host-stack edge cases: socket management, CLAT data paths, interface
+pending-queue expiry, proxy ARP/ND."""
+
+import pytest
+
+from repro.net.addresses import (
+    IPv4Address,
+    IPv4Network,
+    IPv6Address,
+    IPv6Network,
+    embed_ipv4_in_nat64,
+)
+from repro.clients.profiles import MACOS
+from repro.core.testbed import TestbedConfig, build_testbed
+from repro.sim.engine import EventEngine
+from repro.sim.host import Host, ServerHost
+from repro.sim.node import connect
+from repro.sim.switch import ManagedSwitch
+
+
+@pytest.fixture
+def lan(engine):
+    switch = ManagedSwitch(engine, "sw")
+    a = ServerHost(engine, "a", ipv4=IPv4Address("10.0.0.1"), ipv4_network=IPv4Network("10.0.0.0/24"))
+    b = ServerHost(engine, "b", ipv4=IPv4Address("10.0.0.2"), ipv4_network=IPv4Network("10.0.0.0/24"))
+    connect(engine, a.port("eth0"), switch.add_port("p1"))
+    connect(engine, b.port("eth0"), switch.add_port("p2"))
+    return engine, a, b
+
+
+class TestSockets:
+    def test_double_bind_rejected(self, lan):
+        engine, a, b = lan
+        a.udp_open(5000)
+        with pytest.raises(RuntimeError, match="already bound"):
+            a.udp_open(5000)
+
+    def test_close_frees_port(self, lan):
+        engine, a, b = lan
+        sock = a.udp_open(5000)
+        sock.close()
+        a.udp_open(5000)  # no error
+
+    def test_ephemeral_ports_distinct(self, lan):
+        engine, a, b = lan
+        ports = {a.udp_open().port for _ in range(20)}
+        assert len(ports) == 20
+
+    def test_socket_handler_reply_to_source(self, lan):
+        engine, a, b = lan
+        b.udp_serve(7000, lambda payload, src, sport: payload.upper())
+        assert a.udp_exchange(IPv4Address("10.0.0.2"), 7000, b"hello") == b"HELLO"
+
+    def test_socket_handler_explicit_destination(self, lan):
+        engine, a, b = lan
+        inbox = a.udp_open(7777)
+
+        def handler(payload, src, sport):
+            return (IPv4Address("10.0.0.1"), 7777, b"redirected")
+
+        b.udp_serve(7001, handler)
+        a.send_udp(50001, IPv4Address("10.0.0.2"), 7001, b"x")
+        engine.run_for(0.5)
+        assert inbox.inbox and inbox.inbox[0][2] == b"redirected"
+
+    def test_unbound_port_datagram_dropped(self, lan):
+        engine, a, b = lan
+        assert a.udp_exchange(IPv4Address("10.0.0.2"), 9, b"x", timeout=0.3) is None
+
+    def test_send_udp_without_route_fails(self, lan):
+        engine, a, b = lan
+        # Off-subnet with no router configured.
+        assert not a.send_udp(50000, IPv4Address("192.0.2.1"), 53, b"x")
+
+
+class TestNeighborQueues:
+    def test_pending_queue_expires(self, lan):
+        engine, a, b = lan
+        a.send_udp(50000, IPv4Address("10.0.0.99"), 53, b"x")  # no such host
+        assert a.iface._pending_v4
+        engine.run_for(5.0)
+        assert not a.iface._pending_v4
+
+    def test_gleaning_avoids_arp(self, lan):
+        engine, a, b = lan
+        b.udp_serve(7000, lambda payload, src, sport: b"y")
+        a.udp_exchange(IPv4Address("10.0.0.2"), 7000, b"x")
+        arp_before = b.iface.arp_requests_sent
+        # B learned A's MAC from the request; its reply needed no ARP.
+        assert arp_before == 0
+
+    def test_proxy_arp(self, engine):
+        switch = ManagedSwitch(engine, "sw")
+        proxy = ServerHost(engine, "proxy", ipv4=IPv4Address("10.0.0.1"),
+                           ipv4_network=IPv4Network("10.0.0.0/24"))
+        proxy.iface.proxy_arp_networks.append(IPv4Network("10.9.0.0/24"))
+        asker = ServerHost(engine, "asker", ipv4=IPv4Address("10.0.0.2"),
+                           ipv4_network=IPv4Network("10.0.0.0/24"))
+        asker.iface.on_link_everything = True
+        connect(engine, proxy.port("eth0"), switch.add_port("p1"))
+        connect(engine, asker.port("eth0"), switch.add_port("p2"))
+        asker.send_udp(50000, IPv4Address("10.9.0.7"), 53, b"x")
+        engine.run_for(0.5)
+        assert asker.iface.v4_neighbors.get(IPv4Address("10.9.0.7")) == proxy.mac
+
+    def test_proxy_nd(self, engine):
+        switch = ManagedSwitch(engine, "sw")
+        proxy = ServerHost(engine, "proxy", ipv6=IPv6Address("2001:db8::1"))
+        proxy.iface.proxy_nd_prefixes.append(IPv6Network("2001:db8:9::/64"))
+        asker = ServerHost(engine, "asker", ipv6=IPv6Address("2001:db8::2"))
+        asker.iface.on_link_everything = True
+        connect(engine, proxy.port("eth0"), switch.add_port("p1"))
+        connect(engine, asker.port("eth0"), switch.add_port("p2"))
+        asker.send_udp(50000, IPv6Address("2001:db8:9::7"), 53, b"x")
+        engine.run_for(0.5)
+        assert asker.iface.v6_neighbors.get(IPv6Address("2001:db8:9::7")) == proxy.mac
+
+
+class TestClatDataPaths:
+    """End-to-end CLAT coverage beyond the browse path."""
+
+    @pytest.fixture
+    def rfc8925_client(self):
+        testbed = build_testbed(TestbedConfig())
+        client = testbed.add_client(MACOS, "mac")
+        return testbed, client
+
+    def test_udp_to_v4_literal_via_clat(self, rfc8925_client):
+        testbed, client = rfc8925_client
+        testbed.sc24_web.udp_serve(9053, lambda payload, src, sport: b"pong")
+        from repro.core.testbed import SC24_WEB_V4
+
+        reply = client.host.udp_exchange(SC24_WEB_V4, 9053, b"ping")
+        assert reply == b"pong"
+        assert client.host.clat.translated_out >= 1
+        assert client.host.clat.translated_in >= 1
+
+    def test_ping_v4_literal_via_clat(self, rfc8925_client):
+        testbed, client = rfc8925_client
+        from repro.core.testbed import SC24_WEB_V4
+
+        rtt = client.host.ping(SC24_WEB_V4)
+        assert rtt is not None
+
+    def test_clat_source_never_used_for_plain_v6(self, rfc8925_client):
+        """Regression: the CLAT's dedicated address must not be chosen
+        as source for ordinary IPv6 traffic (its inbound path would eat
+        the replies)."""
+        testbed, client = rfc8925_client
+        clat6 = client.host.clat.config.clat_ipv6
+        src = client.host._source_for(IPv6Address("2001:470:1:18::115"))
+        assert src != clat6
+        src = client.host._source_for(IPv6Address("fd00:976a::9"))
+        assert src != clat6
+
+    def test_clat_address_is_gua(self, rfc8925_client):
+        """Regression: the CLAT address must sit under the GUA prefix or
+        its NAT64 flows die at the gateway's source check."""
+        from repro.net.addresses import is_gua
+
+        testbed, client = rfc8925_client
+        assert is_gua(client.host.clat.config.clat_ipv6)
+
+    def test_v6only_mode_records_wait(self, rfc8925_client):
+        testbed, client = rfc8925_client
+        assert client.host.v6only_wait == 300
+        assert client.host.ipv4_config is None
+        assert client.host.dhcp_dns_servers  # kept for OSes that use it

@@ -1,0 +1,48 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_experiments_passes(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[PASS]") == 6
+        assert "[FAIL]" not in out
+
+    def test_matrix(self, capsys):
+        assert main(["matrix"]) == 0
+        out = capsys.readouterr().out
+        assert "Nintendo Switch" in out
+        assert "intervened=True" in out
+
+    def test_matrix_no_intervention(self, capsys):
+        assert main(["matrix", "--no-intervention"]) == 0
+        assert "intervened=True" not in capsys.readouterr().out
+
+    def test_matrix_rpz(self, capsys):
+        assert main(["matrix", "--rpz"]) == 0
+        assert "intervened=True" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--fleet", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "100% refreshed" in out
+
+    def test_scores(self, capsys):
+        assert main(["scores"]) == 0
+        out = capsys.readouterr().out
+        assert "rfc8925" in out
+        assert "dual-stack" in out
+
+    def test_scores_fig5_target(self, capsys):
+        assert main(["scores", "--poison-target", "test-ipv6.com"]) == 0
+        out = capsys.readouterr().out
+        # The erroneous 10/10 for the v6-disabled client appears.
+        assert "Windows 10 (IPv6 disabled)        10/10" in out.replace("  10/10", "        10/10") or "10/10" in out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,38 @@
+"""Every shipped example must run to completion (they contain their own
+assertions about the paper's behaviours)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"
+
+
+def test_expected_examples_present():
+    assert set(EXAMPLES) >= {
+        "quickstart",
+        "sc24v6_conference",
+        "argonne_auth",
+        "device_lab",
+        "rollout_drill",
+        "fleet_refresh",
+    }

@@ -1,0 +1,143 @@
+"""Targeted tests for paths the thematic suites don't reach."""
+
+import pytest
+
+from repro.net.addresses import (
+    IPv4Address,
+    IPv4Network,
+    IPv6Address,
+    IPv6Network,
+    MacAddress,
+)
+from repro.net.ethernet import EtherType, EthernetFrame
+from repro.net.icmpv6 import RouterPreference
+from repro.dns.resolver import DualStackAnswer, ResolverConfig, ResolutionResult
+from repro.dns.rdata import RCode
+from repro.nd.ra import RaDaemonConfig
+from repro.sim.engine import EventEngine
+from repro.sim.host import Host, ServerHost
+from repro.sim.node import connect
+from repro.sim.router import Router
+from repro.sim.stack import StackConfig
+from repro.sim.switch import ManagedSwitch
+from repro.sim.trace import summarize_frame
+
+
+class TestRouterRaDaemon:
+    def test_router_advertises_prefix(self, engine):
+        router = Router(engine, "edge")
+        router.add_interface(
+            "lan",
+            ipv6=(IPv6Address("2620:0:dc1:1::1"), IPv6Network("2620:0:dc1:1::/64")),
+        )
+        switch = ManagedSwitch(engine, "sw")
+        connect(engine, router.port("lan"), switch.add_port("p-r"))
+        router.enable_ra(
+            "lan",
+            RaDaemonConfig(
+                prefixes=(IPv6Network("2620:0:dc1:1::/64"),),
+                rdnss=(IPv6Address("2620:0:dc1:1::53"),),
+                preference=RouterPreference.HIGH,
+                interval=10.0,
+            ),
+        )
+        client = Host(engine, "client")
+        connect(engine, client.port("eth0"), switch.add_port("p-c"))
+        engine.run_for(11.0)
+        assert any(
+            a in IPv6Network("2620:0:dc1:1::/64")
+            for a in client.ipv6_global_addresses()
+        )
+        router_entry = client.slaac.default_router()
+        assert router_entry is not None
+        assert router_entry.preference == RouterPreference.HIGH
+
+
+class TestResolverHelpers:
+    def test_with_servers(self):
+        config = ResolverConfig(servers=(IPv4Address("1.1.1.1"),))
+        updated = config.with_servers((IPv4Address("9.9.9.9"),))
+        assert updated.servers == (IPv4Address("9.9.9.9"),)
+        assert config.servers == (IPv4Address("1.1.1.1"),)  # original untouched
+
+    def test_dual_stack_answer_properties(self):
+        from repro.dns.message import ResourceRecord
+        from repro.dns.name import DnsName
+        from repro.dns.rdata import A, AAAA, RRType
+
+        aaaa = ResolutionResult(
+            RCode.NOERROR,
+            [ResourceRecord(DnsName("x.test"), RRType.AAAA, 60, AAAA(IPv6Address("2001:db8::1")))],
+        )
+        a = ResolutionResult(
+            RCode.NOERROR,
+            [ResourceRecord(DnsName("x.test"), RRType.A, 60, A(IPv4Address("192.0.2.1")))],
+        )
+        answer = DualStackAnswer(aaaa=aaaa, a=a)
+        assert answer.ipv6_addresses == [IPv6Address("2001:db8::1")]
+        assert answer.ipv4_addresses == [IPv4Address("192.0.2.1")]
+        assert answer.any_answer
+
+    def test_lookup_addresses_on_live_resolver(self, testbed):
+        from repro.clients.profiles import WINDOWS_10
+
+        client = testbed.add_client(WINDOWS_10, "w10")
+        answer = client.resolver.lookup_addresses("ip6.me")
+        assert answer.ipv6_addresses and answer.ipv4_addresses
+
+
+class TestSwitchManagementPlane:
+    def test_frame_to_switch_mac_not_forwarded(self, engine):
+        switch = ManagedSwitch(engine, "sw")
+        a = ServerHost(engine, "a", ipv4=IPv4Address("10.0.0.1"),
+                       ipv4_network=IPv4Network("10.0.0.0/24"))
+        b = ServerHost(engine, "b", ipv4=IPv4Address("10.0.0.2"),
+                       ipv4_network=IPv4Network("10.0.0.0/24"))
+        connect(engine, a.port("eth0"), switch.add_port("p1"))
+        connect(engine, b.port("eth0"), switch.add_port("p2"))
+        frame = EthernetFrame(switch.mac, a.mac, EtherType.IPV4, b"\x00" * 20)
+        rx_before = b.port("eth0").rx_frames
+        a.port("eth0").transmit(frame.encode())
+        engine.run_for(0.1)
+        assert b.port("eth0").rx_frames == rx_before  # consumed by the switch
+
+
+class TestStackErrorPaths:
+    def test_v6only_host_cannot_reach_v4_without_clat(self, engine):
+        host = Host(engine, "v6only", config=StackConfig(ipv4_enabled=False, clat_capable=False))
+        assert host.tcp_connect(IPv4Address("192.0.2.1"), 80, timeout=0.2) is None
+        assert host.last_connect_error == "no route/source address"
+
+    def test_v4only_host_cannot_reach_v6(self, engine):
+        host = Host(engine, "v4only", config=StackConfig(ipv6_enabled=False))
+        assert host.tcp_connect(IPv6Address("2001:db8::1"), 80, timeout=0.2) is None
+
+    def test_ping_without_any_route(self, engine):
+        host = Host(engine, "alone")
+        assert host.ping(IPv4Address("192.0.2.1"), timeout=0.2) is None
+
+
+class TestTraceSummaries:
+    def test_malformed_frame_summary(self):
+        assert "malformed" in summarize_frame(b"\x00" * 5)
+
+    def test_arp_summary(self):
+        frame = EthernetFrame(
+            MacAddress((1 << 48) - 1), MacAddress(2), EtherType.ARP, b"\x00" * 28
+        )
+        assert summarize_frame(frame.encode()).startswith("ARP")
+
+    def test_unknown_ethertype_summary(self):
+        frame = EthernetFrame(MacAddress(1), MacAddress(2), 0x88CC, b"lldp")
+        assert "0x88cc" in summarize_frame(frame.encode())
+
+
+class TestEngineRepr:
+    def test_node_repr(self, engine):
+        host = Host(engine, "box")
+        assert "box" in repr(host)
+
+    def test_events_counter(self, engine):
+        engine.schedule(0.1, lambda: None)
+        engine.run_until_idle()
+        assert engine.events_run == 1

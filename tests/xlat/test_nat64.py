@@ -1,0 +1,188 @@
+"""Stateful NAT64 (RFC 6146): sessions, port allocation, lifetimes."""
+
+import pytest
+
+from repro.net.addresses import (
+    IPv4Address,
+    IPv6Address,
+    embed_ipv4_in_nat64,
+)
+from repro.net.icmp import IcmpMessage
+from repro.net.ipv4 import IPProto, IPv4Packet
+from repro.net.ipv6 import IPv6Packet
+from repro.net.tcp import TcpFlags, TcpSegment
+from repro.net.udp import UdpDatagram
+from repro.xlat.nat64 import Nat64Config, StatefulNAT64
+from repro.xlat.siit import TranslationError
+
+CLIENT6 = IPv6Address("2607:fb90:9bda:a425::100")
+POOL = IPv4Address("100.66.0.2")
+SERVER4 = IPv4Address("190.92.158.4")
+SERVER6 = embed_ipv4_in_nat64(SERVER4)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def nat(clock):
+    return StatefulNAT64(Nat64Config(pool=(POOL,)), clock)
+
+
+def udp6(src_port=40000, dst_port=53, payload=b"q"):
+    datagram = UdpDatagram(src_port, dst_port, payload)
+    return IPv6Packet(CLIENT6, SERVER6, IPProto.UDP, datagram.encode(CLIENT6, SERVER6))
+
+
+def udp4_reply(nat, out_packet):
+    """Build the server's reply to a translated outbound packet."""
+    datagram = UdpDatagram.decode(out_packet.payload, out_packet.src, out_packet.dst)
+    reply = UdpDatagram(datagram.dst_port, datagram.src_port, b"answer")
+    return IPv4Packet(SERVER4, out_packet.src, IPProto.UDP,
+                      reply.encode(SERVER4, out_packet.src))
+
+
+class TestUdpSessions:
+    def test_outbound_translation(self, nat):
+        out = nat.translate_out(udp6())
+        assert out.src == POOL
+        assert out.dst == SERVER4
+        decoded = UdpDatagram.decode(out.payload, out.src, out.dst)
+        assert decoded.dst_port == 53
+
+    def test_hairpin_refused(self, nat):
+        packet = IPv6Packet(SERVER6, SERVER6, IPProto.UDP,
+                            UdpDatagram(1, 2, b"").encode(SERVER6, SERVER6))
+        with pytest.raises(TranslationError, match="hairpin"):
+            nat.translate_out(packet)
+
+    def test_return_path(self, nat):
+        out = nat.translate_out(udp6())
+        back = nat.translate_in(udp4_reply(nat, out))
+        assert back.dst == CLIENT6
+        assert back.src == SERVER6
+        decoded = UdpDatagram.decode(back.payload, back.src, back.dst)
+        assert decoded.dst_port == 40000  # original client port restored
+        assert decoded.payload == b"answer"
+
+    def test_endpoint_independent_mapping(self, nat):
+        out1 = nat.translate_out(udp6())
+        other_server = embed_ipv4_in_nat64(IPv4Address("203.0.113.80"))
+        datagram = UdpDatagram(40000, 53, b"q2")
+        packet = IPv6Packet(CLIENT6, other_server, IPProto.UDP,
+                            datagram.encode(CLIENT6, other_server))
+        out2 = nat.translate_out(packet)
+        p1 = UdpDatagram.decode(out1.payload, out1.src, out1.dst).src_port
+        p2 = UdpDatagram.decode(out2.payload, out2.src, out2.dst).src_port
+        assert p1 == p2  # same inside (addr, port) -> same mapping
+        assert nat.session_count == 1
+
+    def test_port_preservation_when_free(self, nat):
+        out = nat.translate_out(udp6(src_port=40000))
+        assert UdpDatagram.decode(out.payload, out.src, out.dst).src_port == 40000
+
+    def test_port_collision_allocates_new(self, nat):
+        nat.translate_out(udp6(src_port=40000))
+        other_client = IPv6Address("2607:fb90:9bda:a425::200")
+        datagram = UdpDatagram(40000, 53, b"q")
+        packet = IPv6Packet(other_client, SERVER6, IPProto.UDP,
+                            datagram.encode(other_client, SERVER6))
+        out2 = nat.translate_out(packet)
+        assert UdpDatagram.decode(out2.payload, out2.src, out2.dst).src_port != 40000
+        assert nat.session_count == 2
+
+    def test_unknown_inbound_dropped(self, nat):
+        stray = IPv4Packet(SERVER4, POOL, IPProto.UDP,
+                           UdpDatagram(53, 55555, b"x").encode(SERVER4, POOL))
+        with pytest.raises(TranslationError, match="no NAT64 session"):
+            nat.translate_in(stray)
+        assert nat.dropped >= 1
+
+    def test_session_expiry(self, nat, clock):
+        out = nat.translate_out(udp6())
+        clock.now = 301.0  # past UDP lifetime
+        with pytest.raises(TranslationError):
+            nat.translate_in(udp4_reply(nat, out))
+
+    def test_expire_sessions_sweep(self, nat, clock):
+        nat.translate_out(udp6())
+        clock.now = 301.0
+        assert nat.expire_sessions() == 1
+        assert nat.session_count == 0
+
+    def test_outside_prefix_rejected(self, nat):
+        packet = IPv6Packet(CLIENT6, IPv6Address("2001:db8::1"), IPProto.UDP,
+                            UdpDatagram(1, 2, b"").encode(CLIENT6, IPv6Address("2001:db8::1")))
+        with pytest.raises(TranslationError, match="outside"):
+            nat.translate_out(packet)
+
+
+class TestTcpSessions:
+    def _syn(self, flags=TcpFlags.SYN, src_port=50000):
+        segment = TcpSegment(src_port, 80, 100, 0, flags)
+        return IPv6Packet(CLIENT6, SERVER6, IPProto.TCP,
+                          segment.encode(CLIENT6, SERVER6))
+
+    def test_tcp_handshake_extends_lifetime(self, nat, clock):
+        out = nat.translate_out(self._syn())
+        segment = TcpSegment.decode(out.payload, out.src, out.dst)
+        # Server SYN-ACK comes back.
+        synack = TcpSegment(80, segment.src_port, 7, 101, TcpFlags.SYN | TcpFlags.ACK)
+        packet = IPv4Packet(SERVER4, POOL, IPProto.TCP, synack.encode(SERVER4, POOL))
+        nat.translate_in(packet)
+        session = nat.sessions()[0]
+        assert session.established
+        # Established lifetime is hours, not the transitory 240 s.
+        assert session.expires_at - clock.now > 1000
+
+    def test_fin_returns_to_transitory(self, nat, clock):
+        out = nat.translate_out(self._syn())
+        segment = TcpSegment.decode(out.payload, out.src, out.dst)
+        synack = TcpSegment(80, segment.src_port, 7, 101, TcpFlags.SYN | TcpFlags.ACK)
+        nat.translate_in(IPv4Packet(SERVER4, POOL, IPProto.TCP, synack.encode(SERVER4, POOL)))
+        nat.translate_out(self._syn(flags=TcpFlags.FIN | TcpFlags.ACK))
+        session = nat.sessions()[0]
+        assert not session.established
+        assert session.expires_at - clock.now <= 240
+
+
+class TestIcmpSessions:
+    def test_echo_tracked_by_identifier(self, nat):
+        from repro.net.icmpv6 import Icmpv6Message, encode_icmpv6
+
+        echo = Icmpv6Message.echo_request(0x77, 1, b"ping")
+        packet6 = IPv6Packet(CLIENT6, SERVER6, IPProto.ICMPV6,
+                             encode_icmpv6(echo, CLIENT6, SERVER6))
+        out = nat.translate_out(packet6)
+        assert out.proto == IPProto.ICMP
+        outgoing = IcmpMessage.decode(out.payload)
+        # The server replies with the NAT-assigned identifier.
+        reply = IcmpMessage.echo_reply(outgoing.echo_ident, 1, b"ping")
+        packet4 = IPv4Packet(SERVER4, POOL, IPProto.ICMP, reply.encode())
+        back = nat.translate_in(packet4)
+        assert back.dst == CLIENT6
+        from repro.net.icmpv6 import decode_icmpv6
+
+        decoded = decode_icmpv6(back.payload, back.src, back.dst)
+        assert decoded.echo_ident == 0x77  # restored
+
+
+class TestPoolExhaustion:
+    def test_exhaustion_raises(self, clock):
+        nat = StatefulNAT64(
+            Nat64Config(pool=(POOL,), port_range=(40000, 40001)), clock
+        )
+        for port in (40000, 40001):
+            nat.translate_out(udp6(src_port=port))
+        with pytest.raises(TranslationError, match="exhausted"):
+            nat.translate_out(udp6(src_port=40002))

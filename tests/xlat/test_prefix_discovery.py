@@ -1,0 +1,102 @@
+"""RFC 7050 NAT64 prefix discovery, unit and end-to-end."""
+
+import pytest
+
+from repro.net.addresses import (
+    IPv4Address,
+    IPv6Address,
+    IPv6Network,
+    WELL_KNOWN_NAT64_PREFIX,
+    embed_ipv4_in_nat64,
+)
+from repro.dhcp.client import DhcpClientState
+from repro.clients.profiles import MACOS, WINDOWS_10
+from repro.core.testbed import TestbedConfig, build_testbed
+from repro.xlat.prefix_discovery import (
+    WELL_KNOWN_IPV4ONLY_ADDRESSES,
+    prefix_from_synthesized,
+)
+
+CUSTOM_PREFIX = IPv6Network("2001:db8:64::/96")
+
+
+class TestPrefixExtraction:
+    @pytest.mark.parametrize("plen", [32, 40, 48, 56, 64, 96])
+    def test_recovers_prefix_at_every_length(self, plen):
+        prefix = IPv6Network(f"2001:db8::/{plen}")
+        synthesized = embed_ipv4_in_nat64(IPv4Address("192.0.0.170"), prefix)
+        assert prefix_from_synthesized(synthesized) == prefix
+
+    def test_both_well_known_addresses_work(self):
+        for wka in WELL_KNOWN_IPV4ONLY_ADDRESSES:
+            synthesized = embed_ipv4_in_nat64(wka, WELL_KNOWN_NAT64_PREFIX)
+            assert prefix_from_synthesized(synthesized) == WELL_KNOWN_NAT64_PREFIX
+
+    def test_unrelated_address_yields_nothing(self):
+        assert prefix_from_synthesized(IPv6Address("2001:470:1:18::115")) is None
+
+    def test_native_looking_address_yields_nothing(self):
+        # An address whose low bytes happen NOT to be the WKAs.
+        assert prefix_from_synthesized(IPv6Address("64:ff9b::1.2.3.4")) is None
+
+
+class TestDiscoveryOnTestbed:
+    def test_discovery_through_poisoned_resolver(self, testbed):
+        """The paper's §VI property at work: AAAA forwarding keeps even
+        RFC 7050 discovery working through the poisoned server."""
+        client = testbed.add_client(MACOS, "mac")
+        assert client.nat64_prefix_discovered == WELL_KNOWN_NAT64_PREFIX
+
+    def test_discovery_with_network_specific_prefix(self):
+        """A custom NAT64 prefix: without RFC 7050 the CLAT would embed
+        into 64:ff9b::/96 and translate into the void."""
+        testbed = build_testbed(TestbedConfig(nat64_prefix=CUSTOM_PREFIX))
+        client = testbed.add_client(MACOS, "mac")
+        assert client.nat64_prefix_discovered == CUSTOM_PREFIX
+        assert client.host.clat.config.nat64_prefix == CUSTOM_PREFIX
+        # End-to-end proof: an IPv4-literal app still works via CLAT.
+        testbed.sc24_web.tcp_listen(5200, lambda conn: conn.close())
+        from repro.core.testbed import SC24_WEB_V4
+
+        conn = client.host.tcp_connect(SC24_WEB_V4, 5200)
+        assert conn is not None
+        conn.close()
+
+    def test_browse_works_with_custom_prefix(self):
+        testbed = build_testbed(TestbedConfig(nat64_prefix=CUSTOM_PREFIX))
+        client = testbed.add_client(MACOS, "mac")
+        outcome = client.fetch("sc24.supercomputing.org")
+        assert outcome.ok
+        assert outcome.address in CUSTOM_PREFIX
+
+    def test_dual_stack_client_discovers_nothing_without_clat(self, testbed):
+        client = testbed.add_client(WINDOWS_10, "w10")
+        assert client.nat64_prefix_discovered is None  # no CLAT, no need
+
+
+class TestV6OnlyWaitExpiry:
+    def test_client_regains_ipv4_after_wait_when_108_revoked(self, testbed):
+        client = testbed.add_client(MACOS, "mac")
+        assert client.host.v6only_wait == 300
+        # Operations removes the intervention AND option 108:
+        testbed.remove_intervention_playbook().run()
+        testbed.dhcp_server.v6only_wait = None
+        result = client.wait_out_v6only()
+        assert result.state is DhcpClientState.BOUND
+        assert client.host.ipv4_config is not None
+        assert not client.host.clat.enabled  # 464XLAT stands down
+
+    def test_client_stays_v6only_while_granting_continues(self, testbed):
+        client = testbed.add_client(MACOS, "mac")
+        result = client.wait_out_v6only()
+        assert result.state is DhcpClientState.V6ONLY
+        assert client.host.v6only_wait == 300
+        assert client.host.clat is not None and client.host.clat.enabled
+
+    def test_browse_still_works_after_regaining_ipv4(self, testbed):
+        client = testbed.add_client(MACOS, "mac")
+        testbed.remove_intervention_playbook().run()
+        testbed.dhcp_server.v6only_wait = None
+        client.wait_out_v6only()
+        outcome = client.fetch("sc24.supercomputing.org")
+        assert outcome.ok

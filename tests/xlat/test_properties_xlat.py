@@ -1,0 +1,137 @@
+"""Hypothesis property tests for the translation stack."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.net.addresses import (
+    IPv4Address,
+    IPv6Address,
+    embed_ipv4_in_nat64,
+    WELL_KNOWN_NAT64_PREFIX,
+)
+from repro.net.ipv4 import IPProto, IPv4Packet
+from repro.net.ipv6 import IPv6Packet
+from repro.net.udp import UdpDatagram
+from repro.xlat.clat import Clat, ClatConfig
+from repro.xlat.nat44 import StatefulNat44
+from repro.xlat.nat64 import Nat64Config, StatefulNAT64
+from repro.xlat.siit import translate_v4_to_v6, translate_v6_to_v4
+
+v4_public = st.integers(min_value=0x01000000, max_value=0xDFFFFFFF).map(IPv4Address)
+ports = st.integers(min_value=1, max_value=65535)
+payloads = st.binary(max_size=128)
+
+
+class Clock:
+    now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@given(src=v4_public, dst=v4_public, sport=ports, dport=ports, payload=payloads,
+       ttl=st.integers(2, 255))
+def test_siit_udp_round_trip_identity(src, dst, sport, dport, payload, ttl):
+    """v4→v6→v4 with the same address pair is the identity on the
+    transport payload, ports, and TTL."""
+    datagram = UdpDatagram(sport, dport, payload)
+    packet4 = IPv4Packet(src, dst, IPProto.UDP, datagram.encode(src, dst), ttl=ttl)
+    v6src, v6dst = embed_ipv4_in_nat64(src), embed_ipv4_in_nat64(dst)
+    packet6 = translate_v4_to_v6(packet4, v6src, v6dst)
+    back = translate_v6_to_v4(packet6, src, dst)
+    assert back.ttl == ttl
+    decoded = UdpDatagram.decode(back.payload, back.src, back.dst)
+    assert decoded == datagram
+
+
+@given(dst=v4_public, sport=ports, dport=ports, payload=payloads)
+def test_clat_round_trip_identity(dst, sport, dport, payload):
+    """App v4 → CLAT v6 → (echo) → CLAT v4 restores the app's view."""
+    clat = Clat(ClatConfig(clat_ipv6=IPv6Address("2001:db8::c1a7")))
+    out_dgram = UdpDatagram(sport, dport, payload)
+    packet4 = IPv4Packet(
+        clat.config.clat_ipv4, dst, IPProto.UDP,
+        out_dgram.encode(clat.config.clat_ipv4, dst),
+    )
+    packet6 = clat.outbound(packet4)
+    assert packet6.dst == embed_ipv4_in_nat64(dst)
+    # The far end echoes: swap addresses and ports.
+    reply_dgram = UdpDatagram(dport, sport, payload)
+    reply6 = IPv6Packet(
+        packet6.dst, packet6.src, IPProto.UDP,
+        reply_dgram.encode(packet6.dst, packet6.src),
+    )
+    reply4 = clat.inbound(reply6)
+    assert reply4.src == dst
+    assert reply4.dst == clat.config.clat_ipv4
+    decoded = UdpDatagram.decode(reply4.payload, reply4.src, reply4.dst)
+    assert decoded.payload == payload
+
+
+@given(flows=st.lists(st.tuples(
+    st.integers(min_value=1, max_value=(1 << 64) - 1),  # client interface id
+    ports,
+), min_size=1, max_size=40, unique=True))
+@settings(max_examples=50)
+def test_nat64_no_two_flows_share_an_outside_port(flows):
+    """INVARIANT: distinct (client, port) flows never map to the same
+    (pool address, port) — otherwise return traffic would misroute."""
+    nat = StatefulNAT64(Nat64Config(pool=(IPv4Address("100.66.0.2"),)), Clock())
+    dst6 = embed_ipv4_in_nat64(IPv4Address("198.51.100.1"))
+    outside = set()
+    for iid, port in flows:
+        client = IPv6Address((0x2607 << 112) | iid)
+        datagram = UdpDatagram(port, 53, b"q")
+        packet = IPv6Packet(client, dst6, IPProto.UDP, datagram.encode(client, dst6))
+        out = nat.translate_out(packet)
+        decoded = UdpDatagram.decode(out.payload, out.src, out.dst)
+        key = (out.src, decoded.src_port)
+        assert key not in outside
+        outside.add(key)
+    assert nat.session_count == len(flows)
+
+
+@given(flows=st.lists(st.tuples(
+    st.integers(min_value=2, max_value=250),  # inside host last octet
+    ports,
+), min_size=1, max_size=40, unique=True))
+@settings(max_examples=50)
+def test_nat44_return_path_reaches_correct_inside_host(flows):
+    """INVARIANT: for every flow, a reply to the mapped outside port is
+    translated back to exactly the originating inside (host, port)."""
+    nat = StatefulNat44(IPv4Address("100.66.0.1"), Clock())
+    server = IPv4Address("198.51.100.1")
+    for octet, port in flows:
+        inside = IPv4Address(f"192.168.12.{octet}")
+        datagram = UdpDatagram(port, 80, b"x")
+        out = nat.translate_out(
+            IPv4Packet(inside, server, IPProto.UDP, datagram.encode(inside, server))
+        )
+        out_dgram = UdpDatagram.decode(out.payload, out.src, out.dst)
+        reply = UdpDatagram(80, out_dgram.src_port, b"y")
+        back = nat.translate_in(
+            IPv4Packet(server, out.src, IPProto.UDP, reply.encode(server, out.src))
+        )
+        back_dgram = UdpDatagram.decode(back.payload, back.src, back.dst)
+        assert back.dst == inside
+        assert back_dgram.dst_port == port
+
+
+@given(addr=v4_public)
+def test_nat64_inbound_source_is_embedded_form(addr):
+    """Return traffic's v6 source must be the RFC 6052 embedding of the
+    v4 server — that's what makes DNS64'd connections match up."""
+    nat = StatefulNAT64(Nat64Config(pool=(IPv4Address("100.66.0.2"),)), Clock())
+    client = IPv6Address("2607:db8::10")
+    dst6 = embed_ipv4_in_nat64(addr)
+    datagram = UdpDatagram(4000, 53, b"q")
+    out = nat.translate_out(
+        IPv6Packet(client, dst6, IPProto.UDP, datagram.encode(client, dst6))
+    )
+    out_dgram = UdpDatagram.decode(out.payload, out.src, out.dst)
+    reply = UdpDatagram(53, out_dgram.src_port, b"r")
+    back = nat.translate_in(
+        IPv4Packet(addr, out.src, IPProto.UDP, reply.encode(addr, out.src))
+    )
+    assert back.src == dst6
+    assert back.dst == client
