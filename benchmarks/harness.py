@@ -1,0 +1,364 @@
+"""Performance-regression harness for the simulator's hot paths.
+
+Runs the scale scenarios behind the ``test_bench_*`` suites directly
+(no pytest required), emits a ``BENCH_<date>.json`` trajectory file and
+compares the result against the last committed baseline
+(``benchmarks/baseline.json``) with a configurable tolerance.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/harness.py            # full run
+    PYTHONPATH=src python benchmarks/harness.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/harness.py --check    # exit 1 on regression
+    PYTHONPATH=src python benchmarks/harness.py --update-baseline
+
+Metrics per scenario:
+
+- ``events_per_sec`` — simulated events processed per wall-clock second;
+- ``queries_per_sec`` — DNS queries served per wall-clock second;
+- ``p50_wall_s`` / ``p99_wall_s`` — wall time per round;
+- ``sim_per_wall_p50`` / ``sim_per_wall_p99`` — simulated seconds
+  advanced per wall second (higher is better).
+
+The emitted file also embeds ``seed_baseline`` — the numbers measured on
+the unoptimized seed tree — so every trajectory file records the
+improvement factor against where the repository started.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from datetime import date
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))
+
+from repro.clients.profiles import (  # noqa: E402
+    ANDROID,
+    IOS,
+    LINUX,
+    MACOS,
+    NINTENDO_SWITCH,
+    WINDOWS_10,
+    WINDOWS_11,
+    WINDOWS_11_RFC8925,
+)
+from repro.core.intervention import InterventionConfig, PoisonedDNSServer  # noqa: E402
+from repro.core.testbed import TestbedConfig, Testbed  # noqa: E402
+from repro.dns.message import DnsMessage  # noqa: E402
+from repro.dns.rdata import RRType  # noqa: E402
+from repro.dns.zone import Zone  # noqa: E402
+from repro.net.addresses import IPv4Address  # noqa: E402
+from repro.xlat.dns64 import DNS64Resolver  # noqa: E402
+
+BASELINE_PATH = HERE / "baseline.json"
+SEED_BASELINE_PATH = HERE / "seed_baseline.json"
+
+#: Show-floor population mix (fractions mirror test_bench_scale.SHOW_FLOOR).
+SHOW_FLOOR = (
+    (IOS, 12),
+    (ANDROID, 10),
+    (MACOS, 8),
+    (WINDOWS_10, 8),
+    (WINDOWS_11, 5),
+    (LINUX, 4),
+    (NINTENDO_SWITCH, 3),
+)
+
+
+class RoundResult:
+    """Raw observations from one scenario round."""
+
+    def __init__(self, events: int, sim_seconds: float, queries: int) -> None:
+        self.events = events
+        self.sim_seconds = sim_seconds
+        self.queries = queries
+        self.wall = 0.0
+
+
+def _dns_queries_served(testbed: Testbed) -> int:
+    return len(testbed.dns64.query_log) + len(testbed.poisoner.query_log)
+
+
+def scenario_show_floor(quick: bool) -> RoundResult:
+    """The test_bench_scale show-floor population: every device joins the
+    network and browses once."""
+    scale = 1 if quick else 2
+    testbed = Testbed(TestbedConfig())
+    index = 0
+    for profile, count in SHOW_FLOOR:
+        for _ in range(count * scale):
+            testbed.add_client(profile, f"attendee-{index}")
+            index += 1
+    for client in testbed.clients:
+        client.fetch("sc24.supercomputing.org")
+    return RoundResult(
+        testbed.engine.events_run, testbed.engine.now, _dns_queries_served(testbed)
+    )
+
+
+def scenario_adoption_sweep(quick: bool) -> RoundResult:
+    """The test_bench_scale Windows-refresh adoption sweep: a fresh
+    testbed per refresh stage, live clients at each stage."""
+    fleet = 8 if quick else 15
+    stages = (0.0, 0.5, 1.0) if quick else (0.0, 0.25, 0.5, 0.75, 1.0)
+    windows_count = fleet - 3
+    events = 0
+    sim_seconds = 0.0
+    queries = 0
+    for fraction in stages:
+        upgraded = round(windows_count * fraction)
+        testbed = Testbed(TestbedConfig())
+        index = 0
+        for profile, count in (
+            (WINDOWS_10, windows_count - upgraded),
+            (WINDOWS_11_RFC8925, upgraded),
+            (MACOS, 2),
+        ):
+            for _ in range(count):
+                client = testbed.add_client(profile, f"dev-{index}")
+                index += 1
+                client.fetch("sc24.supercomputing.org")
+        events += testbed.engine.events_run
+        sim_seconds += testbed.engine.now
+        queries += _dns_queries_served(testbed)
+    return RoundResult(events, sim_seconds, queries)
+
+
+def scenario_dns_fast_path(quick: bool) -> RoundResult:
+    """The resolver-side per-query cost in isolation: poisoned A answers
+    and DNS64 AAAA synthesis, straight through handle_query."""
+    n = 2_000 if quick else 10_000
+    zone = Zone("supercomputing.org")
+    for i in range(50):
+        zone.add_a(f"host{i}.supercomputing.org", str(IPv4Address(0xBE000000 + i)))
+    upstream = DNS64Resolver([zone])
+    poisoner = PoisonedDNSServer(
+        InterventionConfig(poison_address=IPv4Address("23.153.8.71")),
+        upstream.handle_query,
+    )
+    queries = 0
+    for i in range(n):
+        host = f"host{i % 50}.supercomputing.org"
+        a_wire = DnsMessage.query(host, RRType.A, ident=i & 0xFFFF).encode()
+        aaaa_wire = DnsMessage.query(host, RRType.AAAA, ident=(i + 1) & 0xFFFF).encode()
+        assert poisoner.handle_query(a_wire) is not None
+        assert upstream.handle_query(aaaa_wire) is not None
+        queries += 2
+    # No event engine in this scenario: it measures codec + server cost.
+    return RoundResult(0, 0.0, queries)
+
+
+SCENARIOS: Dict[str, Callable[[bool], RoundResult]] = {
+    "show_floor": scenario_show_floor,
+    "adoption_sweep": scenario_adoption_sweep,
+    "dns_fast_path": scenario_dns_fast_path,
+}
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def run_scenario(name: str, fn: Callable[[bool], RoundResult], rounds: int, quick: bool) -> dict:
+    """Run ``rounds`` rounds and report best-round throughput.
+
+    The scenarios are deterministic, so every round does identical work;
+    wall-clock differences between rounds are pure scheduler/machine
+    noise.  Noise is strictly additive, which makes the *fastest* round
+    the least-contaminated observation — the same reasoning behind
+    ``timeit``'s min-of-repeats — so throughput headline numbers use the
+    best round while the percentile fields keep the full distribution.
+    """
+    walls: List[float] = []
+    ratios: List[float] = []
+    events = 0
+    queries = 0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn(quick)
+        wall = time.perf_counter() - start
+        walls.append(wall)
+        events += result.events
+        queries += result.queries
+        if result.sim_seconds:
+            ratios.append(result.sim_seconds / wall)
+    total_wall = sum(walls)
+    best_wall = min(walls)
+    round_events = events // rounds
+    round_queries = queries // rounds
+    return {
+        "rounds": rounds,
+        "basis": "best-round",
+        "total_wall_s": round(total_wall, 4),
+        "events": events,
+        "queries": queries,
+        "events_per_sec": round(round_events / best_wall, 1) if events else None,
+        "queries_per_sec": round(round_queries / best_wall, 1),
+        "p50_wall_s": round(statistics.median(walls), 4),
+        "p99_wall_s": round(_percentile(walls, 0.99), 4),
+        "sim_per_wall_p50": round(statistics.median(ratios), 2) if ratios else None,
+        "sim_per_wall_p99": round(_percentile(ratios, 0.99), 2) if ratios else None,
+    }
+
+
+def _git_commit() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return out.stdout.strip() or None
+    except OSError:
+        return None
+
+
+def _load_json(path: Path) -> Optional[dict]:
+    if not path.exists():
+        return None
+    with path.open() as fh:
+        return json.load(fh)
+
+
+def compare(
+    current: Dict[str, dict], baseline: Optional[dict], tolerance: float
+) -> List[str]:
+    """Regressions of current vs baseline; empty list means within tolerance."""
+    problems: List[str] = []
+    if baseline is None:
+        return problems
+    for name, stats in current.items():
+        base = baseline.get("scenarios", {}).get(name)
+        if base is None:
+            continue
+        for metric in ("events_per_sec", "queries_per_sec"):
+            now_value = stats.get(metric)
+            base_value = base.get(metric)
+            if not now_value or not base_value:
+                continue
+            floor = base_value * (1.0 - tolerance)
+            if now_value < floor:
+                problems.append(
+                    f"{name}.{metric}: {now_value:,.0f} < {floor:,.0f} "
+                    f"(baseline {base_value:,.0f}, tolerance {tolerance:.0%})"
+                )
+    return problems
+
+
+def improvement_vs_seed(current: Dict[str, dict], seed: Optional[dict]) -> Dict[str, float]:
+    factors: Dict[str, float] = {}
+    if seed is None:
+        return factors
+    for name, stats in current.items():
+        base = seed.get("scenarios", {}).get(name)
+        if base is None:
+            continue
+        for metric in ("events_per_sec", "queries_per_sec"):
+            now_value = stats.get(metric)
+            base_value = base.get(metric)
+            if now_value and base_value:
+                factors[f"{name}.{metric}"] = round(now_value / base_value, 2)
+    return factors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--quick", action="store_true", help="small populations, fewer rounds")
+    parser.add_argument("--rounds", type=int, default=None, help="rounds per scenario")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25, help="allowed fractional regression"
+    )
+    parser.add_argument(
+        "--check", action="store_true", help="exit non-zero on regression vs baseline"
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true", help="write results to baseline.json"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="output path (default BENCH_<date>.json)"
+    )
+    parser.add_argument(
+        "--scenario", action="append", default=None, help="run only the named scenario(s)"
+    )
+    args = parser.parse_args(argv)
+
+    rounds = args.rounds or (2 if args.quick else 3)
+    names = args.scenario or list(SCENARIOS)
+    current: Dict[str, dict] = {}
+    for name in names:
+        if name not in SCENARIOS:
+            parser.error(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
+        print(f"[harness] running {name} ({rounds} rounds, quick={args.quick}) ...")
+        current[name] = run_scenario(name, SCENARIOS[name], rounds, args.quick)
+        stats = current[name]
+        events_s = stats["events_per_sec"]
+        prefix = f"{events_s:,.0f} events/s, " if events_s else ""
+        print(
+            f"[harness]   {name}: {prefix}{stats['queries_per_sec']:,.0f} queries/s, "
+            f"p50 {stats['p50_wall_s']}s"
+        )
+
+    baseline = _load_json(BASELINE_PATH)
+    seed_baseline = _load_json(SEED_BASELINE_PATH)
+    report = {
+        "generated": date.today().isoformat(),
+        "git_commit": _git_commit(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": args.quick,
+        "rounds": rounds,
+        "scenarios": current,
+        "improvement_vs_seed": improvement_vs_seed(current, seed_baseline),
+        "seed_baseline": (seed_baseline or {}).get("scenarios"),
+        "baseline_commit": (baseline or {}).get("git_commit"),
+    }
+
+    out_path = args.output or (REPO / f"BENCH_{date.today().isoformat()}.json")
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[harness] wrote {out_path}")
+
+    if args.update_baseline:
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "generated": report["generated"],
+                    "git_commit": report["git_commit"],
+                    "quick": args.quick,
+                    "scenarios": current,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"[harness] baseline refreshed at {BASELINE_PATH}")
+
+    problems = compare(current, baseline, args.tolerance)
+    for problem in problems:
+        print(f"[harness] REGRESSION {problem}")
+    if not problems and baseline is not None:
+        print(f"[harness] no regression vs baseline ({(baseline or {}).get('git_commit')})")
+    if args.check and problems:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,8 +15,8 @@ argues for.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from repro.clients.profiles import (
     LEGACY_IOT,

@@ -11,10 +11,10 @@ servers already keep (:attr:`repro.dns.server.DnsServer.query_log`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.dns.rdata import RRType
-from repro.dns.server import DnsServer, QueryLogEntry
+from repro.dns.server import DnsServer
 
 __all__ = ["ClientDnsProfile", "DnsLogAnalysis", "analyze_dns_logs"]
 

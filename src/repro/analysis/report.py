@@ -5,12 +5,10 @@ after a pilot (and the format EXPERIMENTS.md embeds).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Sequence
 
 from repro.analysis.matrix import DeviceOutcome
 from repro.core.metrics import ClientCensus
-from repro.core.scoring import ScoreBreakdown
-from repro.services.testipv6 import TestReport
 
 __all__ = [
     "markdown_table",

@@ -13,7 +13,7 @@ paper accepts).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.net.addresses import IPv4Address
 from repro.clients.device import ClientDevice

@@ -21,14 +21,13 @@ corporate egress), which is exactly what the far end of a tunnel is.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 from repro.net.addresses import IPv4Address, IPv6Address
 from repro.dns.rdata import RRType
 from repro.dns.resolver import DnsTransportError, ResolverConfig, StubResolver
 from repro.sim.host import ServerHost
-from repro.services.http import HttpResponse, http_get
+from repro.services.http import http_get
 from repro.clients.device import ClientDevice, FetchOutcome
 
 __all__ = ["VpnMode", "SplitTunnelVPN"]

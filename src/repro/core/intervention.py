@@ -15,14 +15,14 @@ the RPZ alternative (:mod:`repro.core.rpz`) later fixes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.net.addresses import IPv4Address
 from repro.dns.message import DnsMessage, ResourceRecord
 from repro.dns.name import DnsName
 from repro.dns.rdata import A, RCode, RRType
-from repro.dns.server import DnsServer, QueryLogEntry
+from repro.dns.server import DnsServer
 
 __all__ = ["InterventionConfig", "PoisonedDNSServer"]
 
@@ -119,6 +119,16 @@ class PoisonedDNSServer(DnsServer):
         self._upstream = upstream
         self.poison_answers = 0
         self.forwarded = 0
+
+    _CACHE_COUNTERS = ("poison_answers",)
+
+    def _cacheable(self, question) -> bool:
+        # The poison answer is identical for every A query under the
+        # same config; forwarded types depend on the upstream.
+        return question.rrtype == RRType.A and not self._exempt(question.name)
+
+    def _cache_epoch(self) -> object:
+        return (super()._cache_epoch(), self.config)
 
     def respond(self, query: DnsMessage, client: Optional[object] = None) -> DnsMessage:
         question = query.question

@@ -17,7 +17,7 @@ poisoned or the healthy resolver.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Sequence, Set
 
 from repro.net.addresses import IPv4Address, MacAddress
 from repro.dhcp.message import DhcpMessage

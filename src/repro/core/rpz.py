@@ -69,6 +69,11 @@ class RPZPolicyServer(DnsServer):
         self.passed_negative = 0
         self.forwarded = 0
 
+    def _cacheable(self, question) -> bool:
+        # Every answer is derived from a live upstream exchange — the
+        # whole point of RPZ over dnsmasq — so nothing is cacheable.
+        return False
+
     def respond(self, query: DnsMessage, client: Optional[object] = None) -> DnsMessage:
         raw = self._upstream(query.encode())
         self.forwarded += 1

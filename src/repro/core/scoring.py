@@ -22,7 +22,7 @@ Two scorers consume the same :class:`~repro.services.testipv6.TestReport`:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address
 from repro.services.testipv6 import SubtestResult, TestReport

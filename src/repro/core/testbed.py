@@ -27,16 +27,10 @@ over simulated Ethernet frames.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
-from repro.net.addresses import (
-    IPv4Address,
-    IPv4Network,
-    IPv6Address,
-    IPv6Network,
-    MacAddress,
-)
+from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, IPv6Network
 from repro.net.icmpv6 import RouterPreference
 from repro.dns.server import DnsServer
 from repro.dns.zone import Zone

@@ -17,8 +17,6 @@ from repro.dhcp.options import (
     DhcpOptionCode,
     decode_options,
     encode_options,
-    pack_addresses,
-    pack_v6only_wait,
     unpack_addresses,
     unpack_v6only_wait,
 )

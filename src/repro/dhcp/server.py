@@ -12,7 +12,7 @@ Two server personalities exist in the testbed:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.net.addresses import IPv4Address, IPv4Network, MacAddress

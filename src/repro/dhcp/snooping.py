@@ -14,10 +14,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Set
 
 from repro.net.ethernet import EtherType, EthernetFrame
-from repro.net.ipv4 import IPProto, IPv4Packet
+from repro.net.ipv4 import IPProto
+from repro.net.lazy import LazyIPv4Packet
 from repro.net.udp import UdpDatagram
 from repro.dhcp.message import DHCP_SERVER_PORT
 
@@ -54,19 +55,35 @@ class DhcpSnooper:
         self.trusted_ports.discard(port)
 
     def inspect(self, ingress_port: str, frame: EthernetFrame) -> SnoopAction:
-        """Decide the fate of ``frame`` received on ``ingress_port``."""
+        """Decide the fate of ``frame`` received on ``ingress_port``.
+
+        Only server-sourced DHCP (UDP source port 67) can ever be
+        dropped, so the UDP checksum — the expensive part of a full
+        decode — is verified only for those frames; everything else is
+        classified from the structurally validated header and forwarded.
+        """
         if not self.enabled or ingress_port in self.trusted_ports:
             return SnoopAction.FORWARD
         if frame.ethertype != EtherType.IPV4:
             return SnoopAction.FORWARD
         try:
-            packet = IPv4Packet.decode(frame.payload)
+            packet = LazyIPv4Packet(frame.payload)
         except ValueError:
             return SnoopAction.FORWARD
         if packet.proto != IPProto.UDP:
             return SnoopAction.FORWARD
+        data = packet.payload
+        if len(data) < UdpDatagram.HEADER_LEN:
+            return SnoopAction.FORWARD
+        length = (data[4] << 8) | data[5]
+        if length < UdpDatagram.HEADER_LEN or length > len(data):
+            return SnoopAction.FORWARD
+        src_port = (data[0] << 8) | data[1]
+        if src_port != DHCP_SERVER_PORT:
+            self.inspected += 1
+            return SnoopAction.FORWARD
         try:
-            datagram = UdpDatagram.decode(packet.payload, packet.src, packet.dst)
+            datagram = UdpDatagram.decode(data, packet.src, packet.dst)
         except ValueError:
             return SnoopAction.FORWARD
         self.inspected += 1

@@ -86,6 +86,8 @@ class DnsQuestion:
     @classmethod
     def decode(cls, message: bytes, offset: int):
         name, offset = DnsName.decode(message, offset)
+        if offset + 4 > len(message):
+            raise ValueError("truncated DNS question")
         rrtype, rrclass = struct.unpack("!HH", message[offset : offset + 4])
         return cls(name, rrtype, rrclass), offset + 4
 
@@ -110,14 +112,25 @@ class ResourceRecord:
     def encode(self, compressor: Optional[NameCompressor] = None) -> bytes:
         # Only the owner name participates in compression; names inside
         # RDATA are written uncompressed (safe for all decoders, RFC 3597).
+        # Everything after the owner name is compressor-independent, so
+        # it is rendered once per record and cached — zone records are
+        # re-encoded for every response that carries them.
         owner = self.name.encode(compressor)
-        rdata = self.rdata.encode(None)
-        fixed = struct.pack("!HHIH", self.rrtype, self.rrclass, self.ttl, len(rdata))
-        return owner + fixed + rdata
+        tail = self.__dict__.get("_tail_cache")
+        if tail is None:
+            rdata = self.rdata.encode(None)
+            tail = (
+                struct.pack("!HHIH", self.rrtype, self.rrclass, self.ttl, len(rdata))
+                + rdata
+            )
+            object.__setattr__(self, "_tail_cache", tail)
+        return owner + tail
 
     @classmethod
     def decode(cls, message: bytes, offset: int):
         name, offset = DnsName.decode(message, offset)
+        if offset + 10 > len(message):
+            raise ValueError("truncated resource record")
         rrtype, rrclass, ttl, rdlength = struct.unpack("!HHIH", message[offset : offset + 10])
         offset += 10
         if offset + rdlength > len(message):
@@ -204,6 +217,12 @@ class DnsMessage:
     # -- wire format ------------------------------------------------------------
 
     def encode(self) -> bytes:
+        # Encoding is deterministic, so the wire form is cached on the
+        # instance.  Only fully-tuple messages are cached: a message
+        # holding list sections could be mutated after the fact.
+        cached = self.__dict__.get("_wire_cache")
+        if cached is not None:
+            return cached
         compressor = NameCompressor()
         out = bytearray()
         header = replace(
@@ -222,7 +241,15 @@ class DnsMessage:
             for rr in section:
                 out += rr.encode(compressor)
                 compressor.note_position(len(out))
-        return bytes(out)
+        wire = bytes(out)
+        if (
+            type(self.questions) is tuple
+            and type(self.answers) is tuple
+            and type(self.authorities) is tuple
+            and type(self.additionals) is tuple
+        ):
+            object.__setattr__(self, "_wire_cache", wire)
+        return wire
 
     @classmethod
     def decode(cls, data: bytes) -> "DnsMessage":

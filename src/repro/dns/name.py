@@ -12,6 +12,11 @@ __all__ = ["DnsName", "NameCompressor"]
 MAX_LABEL = 63
 MAX_NAME = 255
 
+#: Memo of successfully parsed string names — zone setup and query paths
+#: construct the same handful of names over and over.
+_LABELS_CACHE: Dict[str, Tuple[str, ...]] = {}
+_LABELS_CACHE_LIMIT = 4096
+
 
 @dataclass(frozen=True)
 class DnsName:
@@ -28,8 +33,15 @@ class DnsName:
 
     def __init__(self, name) -> None:
         if isinstance(name, DnsName):
-            labels = name.labels
-        elif isinstance(name, (tuple, list)):
+            object.__setattr__(self, "labels", name.labels)
+            return
+        is_str = isinstance(name, str)
+        if is_str:
+            cached = _LABELS_CACHE.get(name)
+            if cached is not None:
+                object.__setattr__(self, "labels", cached)
+                return
+        if isinstance(name, (tuple, list)):
             labels = tuple(str(l).lower() for l in name)
         else:
             text = str(name).strip().rstrip(".")
@@ -42,6 +54,10 @@ class DnsName:
         if sum(len(l) + 1 for l in labels) + 1 > MAX_NAME:
             raise ValueError(f"domain name too long: {name!r}")
         object.__setattr__(self, "labels", labels)
+        if is_str:
+            if len(_LABELS_CACHE) >= _LABELS_CACHE_LIMIT:
+                _LABELS_CACHE.clear()
+            _LABELS_CACHE[name] = labels
 
     # -- structure -----------------------------------------------------------
 
@@ -74,16 +90,25 @@ class DnsName:
     # -- wire format -----------------------------------------------------------
 
     def encode(self, compressor: Optional["NameCompressor"] = None) -> bytes:
-        """Encode to wire format, optionally using compression pointers."""
+        """Encode to wire format, optionally using compression pointers.
+
+        The uncompressed rendering is cached on the instance — names are
+        immutable and the same zone/question names are written into
+        every response.
+        """
         if compressor is not None:
             return compressor.encode(self)
-        out = bytearray()
-        for label in self.labels:
-            raw = label.encode("ascii")
-            out.append(len(raw))
-            out += raw
-        out.append(0)
-        return bytes(out)
+        wire = self.__dict__.get("_wire_cache")
+        if wire is None:
+            out = bytearray()
+            for label in self.labels:
+                raw = label.encode("ascii")
+                out.append(len(raw))
+                out += raw
+            out.append(0)
+            wire = bytes(out)
+            object.__setattr__(self, "_wire_cache", wire)
+        return wire
 
     @classmethod
     def decode(cls, data: bytes, offset: int) -> Tuple["DnsName", int]:
@@ -144,8 +169,15 @@ class NameCompressor:
         self._written = absolute_offset
 
     def encode(self, name: DnsName) -> bytes:
-        out = bytearray()
         labels = name.labels
+        # Whole-name pointer reuse: a name written earlier in the message
+        # (the overwhelmingly common case — answer owner == question
+        # name) compresses to one 2-byte pointer without walking labels.
+        known = self._offsets.get(labels)
+        if known is not None and known < 0x4000:
+            self._written += 2
+            return (0xC000 | known).to_bytes(2, "big")
+        out = bytearray()
         for i in range(len(labels)):
             suffix = labels[i:]
             known = self._offsets.get(suffix)

@@ -12,12 +12,12 @@ UDP port 53 on a simulated host.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.dns.message import DnsMessage, ResourceRecord
 from repro.dns.name import DnsName
-from repro.dns.rdata import RCode, RRClass, RRType
+from repro.dns.rdata import RCode, RRClass
 from repro.dns.zone import Zone
 
 __all__ = ["DnsServer", "ForwardingDnsServer", "QueryLogEntry"]
@@ -34,6 +34,17 @@ class QueryLogEntry:
     client: Optional[object] = None
 
 
+@dataclass
+class _CachedResponse:
+    """One response template: the wire bytes plus the side effects the
+    original ``respond()`` produced, replayed on every hit."""
+
+    epoch: object
+    wire: bytes
+    log_entries: List[QueryLogEntry]
+    counter_deltas: List[tuple]
+
+
 class DnsServer:
     """An authoritative DNS server over a set of zones.
 
@@ -41,15 +52,41 @@ class DnsServer:
     else is bookkeeping.  Unknown names inside served zones yield
     NXDOMAIN with the zone SOA in the authority section; names outside
     every zone are REFUSED (this server does not recurse).
+
+    Responses are cached as wire templates keyed by the query wire
+    *minus its 2-byte ident* (``wire[2:]`` — flags, counts and question
+    included) and validated against a cache epoch (zone versions +
+    :attr:`policy_epoch`): an answer is built once per policy change,
+    not once per query, and a cache hit skips query *decoding* entirely.
+    Only the ident differs between equivalent queries, and it is patched
+    into the template on each hit.  Query-log entries and subclass
+    counters (declared in ``_CACHE_COUNTERS``) recorded during the
+    original miss are replayed so observable bookkeeping is identical
+    with and without the cache.
     """
+
+    #: Counter attribute names whose increments must replay on cache hits.
+    _CACHE_COUNTERS: Sequence[str] = ()
+
+    _CACHE_LIMIT = 4096
 
     def __init__(self, zones: Sequence[Zone] = (), name: str = "dns") -> None:
         self.name = name
         self._zones: List[Zone] = list(zones)
         self.query_log: List[QueryLogEntry] = []
+        self._response_cache: Dict[tuple, _CachedResponse] = {}
+        #: Bump (via :meth:`bump_policy_epoch`) whenever out-of-band
+        #: policy affecting responses changes.
+        self.policy_epoch = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def add_zone(self, zone: Zone) -> None:
         self._zones.append(zone)
+
+    def bump_policy_epoch(self) -> None:
+        """Invalidate all cached responses after a policy change."""
+        self.policy_epoch += 1
 
     def zone_for(self, name) -> Optional[Zone]:
         """The most specific zone covering ``name``."""
@@ -68,14 +105,68 @@ class DnsServer:
 
         Malformed queries are dropped (``None``), mirroring real servers.
         """
+        key = bytes(wire[2:])
+        cached = self._response_cache.get(key)
+        if cached is not None and cached.epoch == self._cache_epoch():
+            return self._replay(cached, int.from_bytes(wire[:2], "big"), client)
         try:
             query = DnsMessage.decode(wire)
         except ValueError:
             return None
         if query.header.is_response or not query.questions:
             return None
-        response = self.respond(query, client)
-        return response.encode()
+        epoch = None
+        if len(query.questions) == 1 and self._cacheable(query.questions[0]):
+            epoch = self._cache_epoch()
+        if epoch is None:
+            return self.respond(query, client).encode()
+        self.cache_misses += 1
+        log_mark = len(self.query_log)
+        counters_before = [
+            (counter, getattr(self, counter)) for counter in self._CACHE_COUNTERS
+        ]
+        encoded = self.respond(query, client).encode()
+        if len(self._response_cache) >= self._CACHE_LIMIT:
+            self._response_cache.clear()
+        self._response_cache[key] = _CachedResponse(
+            epoch=epoch,
+            wire=encoded,
+            log_entries=[
+                QueryLogEntry(e.name, e.rrtype, e.rcode, e.answered_from, None)
+                for e in self.query_log[log_mark:]
+            ],
+            counter_deltas=[
+                (counter, getattr(self, counter) - before)
+                for counter, before in counters_before
+            ],
+        )
+        return encoded
+
+    def _replay(
+        self, cached: _CachedResponse, ident: int, client: Optional[object]
+    ) -> bytes:
+        self.cache_hits += 1
+        for entry in cached.log_entries:
+            self.query_log.append(
+                QueryLogEntry(entry.name, entry.rrtype, entry.rcode, entry.answered_from, client)
+            )
+        for counter, delta in cached.counter_deltas:
+            if delta:
+                setattr(self, counter, getattr(self, counter) + delta)
+        wire = cached.wire
+        if int.from_bytes(wire[:2], "big") == ident:
+            return wire
+        return ident.to_bytes(2, "big") + wire[2:]
+
+    def _cacheable(self, question) -> bool:
+        """Whether responses for ``question`` are safe to cache.  Base
+        servers answer purely from zone data, so everything is."""
+        return True
+
+    def _cache_epoch(self) -> object:
+        """Validity token compared on every hit; any change to zone data
+        or policy yields a different token and forces a rebuild."""
+        return (self.policy_epoch, tuple(zone.version for zone in self._zones))
 
     def respond(self, query: DnsMessage, client: Optional[object] = None) -> DnsMessage:
         """Typed-message counterpart of :meth:`handle_query`."""
@@ -123,6 +214,11 @@ class ForwardingDnsServer(DnsServer):
         super().__init__(zones, name)
         self._upstream = upstream
         self.forwarded = 0
+
+    def _cacheable(self, question) -> bool:
+        # Only the authoritative path is cacheable; forwarded answers
+        # depend on upstream state this server cannot version.
+        return self.zone_for(question.name) is not None
 
     def respond(self, query: DnsMessage, client: Optional[object] = None) -> DnsMessage:
         question = query.question

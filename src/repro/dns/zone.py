@@ -55,6 +55,8 @@ class Zone:
         )
         self._records: Dict[Tuple[DnsName, int], List[ResourceRecord]] = {}
         self._names: set = {self.origin}
+        #: Bumped on every mutation; response caches key on it.
+        self.version = 0
         self.add(self.origin, RRType.SOA, self.soa, ttl=3600)
 
     # -- building -----------------------------------------------------------
@@ -71,6 +73,7 @@ class Zone:
         self._records.setdefault((dname, rrtype), []).append(
             ResourceRecord(dname, rrtype, ttl, rdata)
         )
+        self.version += 1
         # Register the name and all ancestors up to the origin, so empty
         # non-terminals answer NOERROR rather than NXDOMAIN.
         node = dname
@@ -102,6 +105,8 @@ class Zone:
         removed = sum(len(self._records.pop(k)) for k in keys)
         if not any(n == dname for (n, _t) in self._records):
             self._names.discard(dname)
+        if removed:
+            self.version += 1
         return removed
 
     # -- lookup ---------------------------------------------------------------

@@ -45,8 +45,6 @@ def parse_zone_text(text: str, origin: Optional[str] = None) -> Zone:
     default_ttl = 300
     zone: Optional[Zone] = None
     last_owner: Optional[DnsName] = None
-    pending: List[tuple] = []
-
     for lineno, raw_line in enumerate(text.splitlines(), 1):
         line = raw_line.split(";", 1)[0].rstrip()
         if not line.strip():

@@ -19,6 +19,7 @@ of scope — CLAT handles the v4-literal case instead).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.net.addresses import (
@@ -68,6 +69,7 @@ def _as_v6(addr: AnyAddress) -> IPv6Address:
     return addr
 
 
+@lru_cache(maxsize=None)
 def precedence_and_label(
     addr: AnyAddress, table: Sequence[PolicyEntry] = DEFAULT_POLICY_TABLE
 ) -> Tuple[int, int]:

@@ -15,8 +15,8 @@ solicited) :class:`~repro.net.icmpv6.RouterAdvertisement` messages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.net.addresses import IPv6Address, IPv6Network, MacAddress
 from repro.net.icmpv6 import (

@@ -18,6 +18,7 @@ from __future__ import annotations
 import ipaddress
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 
 IPv4Address = ipaddress.IPv4Address
 IPv6Address = ipaddress.IPv6Address
@@ -91,6 +92,12 @@ class MacAddress:
 MAC_BROADCAST = MacAddress((1 << 48) - 1)
 
 
+# The helpers below are pure functions of hashable inputs, called on
+# every NDP/SLAAC event for a small, stable population of addresses —
+# memoizing them removes repeated IPv6Address construction from the
+# simulator's hot path.  A simulation's address universe is bounded by
+# its host count, so the caches stay small.
+@lru_cache(maxsize=None)
 def eui64_interface_id(mac: MacAddress) -> int:
     """Expand a 48-bit MAC into a modified EUI-64 interface identifier.
 
@@ -105,11 +112,13 @@ def eui64_interface_id(mac: MacAddress) -> int:
     return int.from_bytes(eui, "big")
 
 
+@lru_cache(maxsize=None)
 def link_local_from_mac(mac: MacAddress) -> IPv6Address:
     """Construct the ``fe80::/64`` link-local address from a MAC (EUI-64)."""
     return IPv6Address((0xFE80 << 112) | eui64_interface_id(mac))
 
 
+@lru_cache(maxsize=None)
 def slaac_address(prefix: IPv6Network, mac: MacAddress) -> IPv6Address:
     """Form a SLAAC address from a /64 on-link prefix and a MAC.
 
@@ -122,12 +131,17 @@ def slaac_address(prefix: IPv6Network, mac: MacAddress) -> IPv6Address:
     return IPv6Address(int(prefix.network_address) | eui64_interface_id(mac))
 
 
+_SOLICITED_NODE_BASE = int(IPv6Address("ff02::1:ff00:0"))
+
+
+@lru_cache(maxsize=None)
 def solicited_node_multicast(addr: IPv6Address) -> IPv6Address:
     """The solicited-node multicast address ``ff02::1:ffXX:XXXX`` (RFC 4291)."""
     low24 = int(addr) & 0xFFFFFF
-    return IPv6Address(int(IPv6Address("ff02::1:ff00:0")) | low24)
+    return IPv6Address(_SOLICITED_NODE_BASE | low24)
 
 
+@lru_cache(maxsize=None)
 def multicast_mac_for_ipv6(group: IPv6Address) -> MacAddress:
     """Map an IPv6 multicast group to its ``33:33:xx:xx:xx:xx`` MAC."""
     if not group.is_multicast:
@@ -136,6 +150,7 @@ def multicast_mac_for_ipv6(group: IPv6Address) -> MacAddress:
     return MacAddress((0x3333 << 32) | low32)
 
 
+@lru_cache(maxsize=None)
 def multicast_mac_for_ipv4(group: IPv4Address) -> MacAddress:
     """Map an IPv4 multicast group to its ``01:00:5e`` MAC (RFC 1112)."""
     if not group.is_multicast:
@@ -152,6 +167,7 @@ def multicast_mac_for_ipv4(group: IPv4Address) -> MacAddress:
 RFC6052_PREFIX_LENGTHS = (32, 40, 48, 56, 64, 96)
 
 
+@lru_cache(maxsize=None)
 def embed_ipv4_in_nat64(
     ipv4: IPv4Address, prefix: IPv6Network = WELL_KNOWN_NAT64_PREFIX
 ) -> IPv6Address:
@@ -268,6 +284,13 @@ def is_v4mapped(addr: IPv6Address) -> bool:
     return addr in _V4MAPPED
 
 
+_LOOPBACK_V6 = IPv6Address("::1")
+_SITE_LOCAL = IPv6Network("fec0::/10")
+_LINK_LOCAL_V4 = IPv4Network("169.254.0.0/16")
+_LOOPBACK_NET_V4 = IPv4Network("127.0.0.0/8")
+
+
+@lru_cache(maxsize=None)
 def ipv6_scope(addr: IPv6Address) -> int:
     """RFC 6724 §3.1 scope value for comparison purposes.
 
@@ -277,19 +300,20 @@ def ipv6_scope(addr: IPv6Address) -> int:
     """
     if addr.is_multicast:
         return addr.packed[1] & 0x0F
-    if addr.is_link_local or addr == IPv6Address("::1"):
+    if addr.is_link_local or addr == _LOOPBACK_V6:
         return 0x02
     if is_ula(addr):
         # RFC 6724 treats ULAs as *global* scope but gives them their own
         # policy-table label; site-local (deprecated) is scope 5.
         return 0x0E
-    if addr in IPv6Network("fec0::/10"):
+    if addr in _SITE_LOCAL:
         return 0x05
     return 0x0E
 
 
+@lru_cache(maxsize=None)
 def ipv4_scope(addr: IPv4Address) -> int:
     """Scope of an IPv4 address mapped into the IPv6 comparison space."""
-    if addr in IPv4Network("169.254.0.0/16") or addr in IPv4Network("127.0.0.0/8"):
+    if addr in _LINK_LOCAL_V4 or addr in _LOOPBACK_NET_V4:
         return 0x02
     return 0x0E

@@ -22,6 +22,10 @@ class ArpOp(enum.IntEnum):
     REPLY = 2
 
 
+_DECODE_CACHE: dict = {}
+_DECODE_CACHE_LIMIT = 8192
+
+
 @dataclass(frozen=True)
 class ArpPacket:
     """An Ethernet/IPv4 ARP packet (htype=1, ptype=0x0800, hlen=6, plen=4)."""
@@ -45,6 +49,12 @@ class ArpPacket:
 
     @classmethod
     def decode(cls, data: bytes) -> "ArpPacket":
+        # Broadcast requests reach every node on the segment; the frozen
+        # decode result is shared across those receivers.
+        key = bytes(data[: cls.WIRE_LEN])
+        packet = _DECODE_CACHE.get(key)
+        if packet is not None:
+            return packet
         if len(data) < cls.WIRE_LEN:
             raise ValueError(f"ARP packet too short: {len(data)} bytes")
         htype, ptype, hlen, plen, op = struct.unpack("!HHBBH", data[:8])
@@ -52,13 +62,17 @@ class ArpPacket:
             raise ValueError(
                 f"unsupported ARP hardware/protocol: {htype}/{ptype:#x}/{hlen}/{plen}"
             )
-        return cls(
+        packet = cls(
             op=ArpOp(op),
             sender_mac=MacAddress.from_bytes(data[8:14]),
             sender_ip=IPv4Address(data[14:18]),
             target_mac=MacAddress.from_bytes(data[18:24]),
             target_ip=IPv4Address(data[24:28]),
         )
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_LIMIT:
+            _DECODE_CACHE.clear()
+        _DECODE_CACHE[key] = packet
+        return packet
 
     @classmethod
     def request(cls, sender_mac: MacAddress, sender_ip: IPv4Address, target_ip: IPv4Address) -> "ArpPacket":

@@ -60,6 +60,11 @@ class EthernetFrame:
         )
 
     @property
+    def dst_bytes(self) -> bytes:
+        """Raw destination MAC bytes (parity with the lazy codec)."""
+        return self.dst.to_bytes()
+
+    @property
     def is_broadcast(self) -> bool:
         return self.dst.is_broadcast
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.net.addresses import IPv6Address, IPv6Network, MacAddress
-from repro.net.checksum import internet_checksum, ones_complement_sum, pseudo_header_v6
+from repro.net.checksum import internet_checksum, pseudo_sum_v6
 
 __all__ = [
     "Icmpv6Type",
@@ -529,34 +529,67 @@ _ND_CLASSES = {
 }
 
 
+# ND traffic is extremely repetitive — every host on a link decodes the
+# same periodic RA bytes, and daemons re-encode an identical RA each
+# interval.  All message classes are frozen dataclasses, so decoded
+# objects are safe to share and (message, src, dst) keys are stable.
+_ENCODE_CACHE: dict = {}
+_DECODE_CACHE: dict = {}
+_CODEC_CACHE_LIMIT = 8192
+
+
 def encode_icmpv6(message, src: IPv6Address, dst: IPv6Address) -> bytes:
     """Serialize any ICMPv6/ND message with a correct pseudo-header checksum."""
+    try:
+        key = (message, src, dst)
+        cached = _ENCODE_CACHE.get(key)
+    except TypeError:  # unhashable field (e.g. list-built options)
+        key = None
+        cached = None
+    if cached is not None:
+        return cached
     body = message._encode_body()
     code = getattr(message, "code", 0)
     header = struct.pack("!BBH", int(message.icmp_type), code, 0)
     length = len(header) + len(body)
-    pseudo = pseudo_header_v6(src, dst, 58, length)
-    csum = internet_checksum(header + body, ones_complement_sum(pseudo))
+    csum = internet_checksum(header + body, pseudo_sum_v6(src, dst, 58, length))
     header = struct.pack("!BBH", int(message.icmp_type), code, csum)
-    return header + body
+    wire = header + body
+    if key is not None:
+        if len(_ENCODE_CACHE) >= _CODEC_CACHE_LIMIT:
+            _ENCODE_CACHE.clear()
+        _ENCODE_CACHE[key] = wire
+    return wire
 
 
 def decode_icmpv6(data: bytes, src: IPv6Address, dst: IPv6Address, verify: bool = True):
     """Parse ICMPv6 bytes into the appropriate typed message.
 
     ND types decode into their rich classes; everything else becomes a
-    generic :class:`Icmpv6Message`.
+    generic :class:`Icmpv6Message`.  Verified decodes are cached by
+    ``(data, src, dst)`` — the checksum covers exactly that triple — and
+    the returned messages are immutable, so hits are shared objects.
     """
+    if verify:
+        key = (data, src, dst)
+        cached = _DECODE_CACHE.get(key)
+        if cached is not None:
+            return cached
     if len(data) < 8:
         raise ValueError(f"ICMPv6 message too short: {len(data)} bytes")
     if verify:
-        pseudo = pseudo_header_v6(src, dst, 58, len(data))
-        if internet_checksum(data, ones_complement_sum(pseudo)) != 0:
+        if internet_checksum(data, pseudo_sum_v6(src, dst, 58, len(data))) != 0:
             raise ValueError("ICMPv6 checksum mismatch")
     icmp_type, code, _csum, rest = struct.unpack("!BBHI", data[:8])
     nd_cls = _ND_CLASSES.get(icmp_type)
     if nd_cls is not None:
         if code != 0:
             raise ValueError(f"ND message with non-zero code {code}")
-        return nd_cls._decode_body(rest, data[8:])
-    return Icmpv6Message(icmp_type=icmp_type, code=code, rest=rest, body=bytes(data[8:]))
+        message = nd_cls._decode_body(rest, data[8:])
+    else:
+        message = Icmpv6Message(icmp_type=icmp_type, code=code, rest=rest, body=bytes(data[8:]))
+    if verify:
+        if len(_DECODE_CACHE) >= _CODEC_CACHE_LIMIT:
+            _DECODE_CACHE.clear()
+        _DECODE_CACHE[key] = message
+    return message

@@ -115,3 +115,7 @@ class IPv4Packet:
         if self.ttl <= 1:
             raise ValueError("TTL expired")
         return replace(self, ttl=self.ttl - 1)
+
+    def materialize(self) -> "IPv4Packet":
+        """Already eager; lazy views return their dataclass equivalent."""
+        return self

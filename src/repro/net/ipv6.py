@@ -71,3 +71,7 @@ class IPv6Packet:
         if self.hop_limit <= 1:
             raise ValueError("hop limit expired")
         return replace(self, hop_limit=self.hop_limit - 1)
+
+    def materialize(self) -> "IPv6Packet":
+        """Already eager; lazy views return their dataclass equivalent."""
+        return self

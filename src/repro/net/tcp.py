@@ -15,12 +15,7 @@ from dataclasses import dataclass
 from typing import Union
 
 from repro.net.addresses import IPv4Address, IPv6Address
-from repro.net.checksum import (
-    internet_checksum,
-    ones_complement_sum,
-    pseudo_header_v4,
-    pseudo_header_v6,
-)
+from repro.net.checksum import internet_checksum, pseudo_sum_v4, pseudo_sum_v6
 
 __all__ = ["TcpFlags", "TcpSegment"]
 
@@ -38,6 +33,11 @@ class TcpFlags(enum.IntFlag):
     URG = 0x20
     ECE = 0x40
     CWR = 0x80
+
+
+# IntFlag's constructor walks the enum machinery; a 256-entry table makes
+# per-segment flag decoding a plain list index.
+_FLAGS_TABLE = tuple(TcpFlags(value) for value in range(256))
 
 
 @dataclass(frozen=True)
@@ -80,8 +80,7 @@ class TcpSegment:
             0,
         )
         length = len(header) + len(self.payload)
-        pseudo = _pseudo(src_ip, dst_ip, 6, length)
-        csum = internet_checksum(header + self.payload, ones_complement_sum(pseudo))
+        csum = internet_checksum(header + self.payload, _pseudo_sum(src_ip, dst_ip, 6, length))
         header = header[:16] + csum.to_bytes(2, "big") + header[18:]
         return header + self.payload
 
@@ -96,23 +95,22 @@ class TcpSegment:
         if header_len < cls.HEADER_LEN or header_len > len(data):
             raise ValueError(f"bad TCP data offset: {off_byte >> 4}")
         if verify:
-            pseudo = _pseudo(src_ip, dst_ip, 6, len(data))
-            if internet_checksum(data, ones_complement_sum(pseudo)) != 0:
+            if internet_checksum(data, _pseudo_sum(src_ip, dst_ip, 6, len(data))) != 0:
                 raise ValueError("TCP checksum mismatch")
         return cls(
             src_port=src_port,
             dst_port=dst_port,
             seq=seq,
             ack=ack,
-            flags=TcpFlags(flags),
+            flags=_FLAGS_TABLE[flags],
             window=window,
             payload=bytes(data[header_len:]),
         )
 
 
-def _pseudo(src_ip: Address, dst_ip: Address, proto: int, length: int) -> bytes:
+def _pseudo_sum(src_ip: Address, dst_ip: Address, proto: int, length: int) -> int:
     if isinstance(src_ip, IPv4Address):
         assert isinstance(dst_ip, IPv4Address)
-        return pseudo_header_v4(src_ip, dst_ip, proto, length)
+        return pseudo_sum_v4(src_ip, dst_ip, proto, length)
     assert isinstance(dst_ip, IPv6Address)
-    return pseudo_header_v6(src_ip, dst_ip, proto, length)
+    return pseudo_sum_v6(src_ip, dst_ip, proto, length)

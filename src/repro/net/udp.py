@@ -11,16 +11,16 @@ from dataclasses import dataclass
 from typing import Union
 
 from repro.net.addresses import IPv4Address, IPv6Address
-from repro.net.checksum import (
-    internet_checksum,
-    ones_complement_sum,
-    pseudo_header_v4,
-    pseudo_header_v6,
-)
+from repro.net.checksum import internet_checksum, pseudo_sum_v4, pseudo_sum_v6
 
 __all__ = ["UdpDatagram"]
 
 Address = Union[IPv4Address, IPv6Address]
+
+# Broadcast DHCP datagrams are decoded once per receiving host; the frozen
+# datagram (bytes payload) is immutable, so receivers can share one decode.
+_DECODE_CACHE: dict = {}
+_DECODE_CACHE_LIMIT = 8192
 
 
 @dataclass(frozen=True)
@@ -45,31 +45,40 @@ class UdpDatagram:
 
     def encode(self, src_ip: Address, dst_ip: Address) -> bytes:
         header = struct.pack("!HHHH", self.src_port, self.dst_port, self.length, 0)
-        pseudo = _pseudo(src_ip, dst_ip, 17, self.length)
-        csum = internet_checksum(header + self.payload, ones_complement_sum(pseudo))
+        csum = internet_checksum(header + self.payload, _pseudo_sum(src_ip, dst_ip, 17, self.length))
         if csum == 0:
             csum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
         return struct.pack("!HHHH", self.src_port, self.dst_port, self.length, csum) + self.payload
 
     @classmethod
     def decode(cls, data: bytes, src_ip: Address, dst_ip: Address, verify: bool = True) -> "UdpDatagram":
+        key = None
+        if verify:
+            key = (bytes(data), src_ip, dst_ip)
+            cached = _DECODE_CACHE.get(key)
+            if cached is not None:
+                return cached
         if len(data) < cls.HEADER_LEN:
             raise ValueError(f"UDP datagram too short: {len(data)} bytes")
         src_port, dst_port, length, csum = struct.unpack("!HHHH", data[:8])
         if length < cls.HEADER_LEN or length > len(data):
             raise ValueError(f"bad UDP length: {length}")
         if verify and csum != 0:
-            pseudo = _pseudo(src_ip, dst_ip, 17, length)
-            if internet_checksum(data[:length], ones_complement_sum(pseudo)) != 0:
+            if internet_checksum(data[:length], _pseudo_sum(src_ip, dst_ip, 17, length)) != 0:
                 raise ValueError("UDP checksum mismatch")
         elif verify and csum == 0 and isinstance(src_ip, IPv6Address):
             raise ValueError("UDP over IPv6 requires a checksum (RFC 8200 §8.1)")
-        return cls(src_port=src_port, dst_port=dst_port, payload=bytes(data[8:length]))
+        datagram = cls(src_port=src_port, dst_port=dst_port, payload=bytes(data[8:length]))
+        if key is not None:
+            if len(_DECODE_CACHE) >= _DECODE_CACHE_LIMIT:
+                _DECODE_CACHE.clear()
+            _DECODE_CACHE[key] = datagram
+        return datagram
 
 
-def _pseudo(src_ip: Address, dst_ip: Address, proto: int, length: int) -> bytes:
+def _pseudo_sum(src_ip: Address, dst_ip: Address, proto: int, length: int) -> int:
     if isinstance(src_ip, IPv4Address):
         assert isinstance(dst_ip, IPv4Address)
-        return pseudo_header_v4(src_ip, dst_ip, proto, length)
+        return pseudo_sum_v4(src_ip, dst_ip, proto, length)
     assert isinstance(dst_ip, IPv6Address)
-    return pseudo_header_v6(src_ip, dst_ip, proto, length)
+    return pseudo_sum_v6(src_ip, dst_ip, proto, length)

@@ -12,8 +12,6 @@ assert on.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.net.addresses import IPv4Address, IPv6Address
 from repro.sim.engine import EventEngine
 from repro.services.http import HttpRequest, HttpResponse

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Union
 
-from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, IPv6Network
+from repro.net.addresses import IPv4Address, IPv6Address
 from repro.sim.engine import EventEngine
 from repro.sim.host import ServerHost
 from repro.services.http import HttpRequest, HttpResponse, serve_http

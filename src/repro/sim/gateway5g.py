@@ -19,8 +19,8 @@ the paper's §II.B mentions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.net.addresses import (
     IPv4Address,
@@ -127,7 +127,9 @@ class MobileGateway5G(Node):
             name=f"{name}-nat64",
         )
         self._ra_daemon = RaDaemon(self._ra_config(), self.lan_iface.mac)
-        engine.schedule_every(self.config.ra_interval, self._emit_ra)
+        engine.schedule_every(
+            self.config.ra_interval, self._emit_ra, immediate=True, coalesce="ra"
+        )
         self.dropped_ula_uplink = 0
 
     # -- prefix rotation ------------------------------------------------------

@@ -5,7 +5,7 @@
 from __future__ import annotations
 
 import zlib
-from typing import Callable, List, Optional, Union
+from typing import Optional, Union
 
 from repro.net.addresses import (
     IPv4Address,

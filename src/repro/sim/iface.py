@@ -10,7 +10,7 @@ across real stacks.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple, Union
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.net.addresses import (
     IPv4Address,
@@ -35,6 +35,7 @@ from repro.net.icmpv6 import (
 )
 from repro.net.ipv4 import IPProto, IPv4Packet
 from repro.net.ipv6 import IPv6Packet
+from repro.net.lazy import LazyEthernetFrame, LazyIPv6Packet, decode_ipv4_cached, decode_ipv6_cached
 from repro.sim.engine import EventEngine
 from repro.sim.node import Port
 
@@ -48,6 +49,13 @@ UNSPECIFIED_V6 = IPv6Address("::")
 
 #: How long to keep a packet queued awaiting neighbor resolution.
 RESOLUTION_TIMEOUT = 3.0
+
+# Plain ints for the per-frame dispatch (IntEnum __eq__ is measurably
+# slower on the hot path).
+_ETHERTYPE_ARP = int(EtherType.ARP)
+_ETHERTYPE_IPV4 = int(EtherType.IPV4)
+_ETHERTYPE_IPV6 = int(EtherType.IPV6)
+_IPPROTO_ICMPV6 = int(IPProto.ICMPV6)
 
 
 class L2Interface:
@@ -72,6 +80,7 @@ class L2Interface:
         self.engine = engine
         self.port = port
         self.mac = mac
+        self._mac_bytes = mac.to_bytes()
         self.is_router = is_router
         self.link_local = link_local_from_mac(mac)
         self.ipv4_addresses: Set[IPv4Address] = set()
@@ -124,28 +133,27 @@ class L2Interface:
 
     # -- frame intake -------------------------------------------------------------
 
-    def accepts(self, frame: EthernetFrame) -> bool:
-        return (
-            frame.dst == self.mac
-            or frame.dst.is_broadcast
-            or frame.dst.is_multicast
-        )
+    def accepts(self, frame: LazyEthernetFrame) -> bool:
+        dst = frame.dst_bytes
+        # The multicast I/G bit also covers broadcast (all-ones MAC).
+        return dst == self._mac_bytes or bool(dst[0] & 1)
 
     def handle_frame(self, raw: bytes) -> None:
         try:
-            frame = EthernetFrame.decode(raw)
+            frame = LazyEthernetFrame(raw)
         except ValueError:
             return
         if not self.accepts(frame):
             return
-        if frame.ethertype == EtherType.ARP:
+        ethertype = frame.ethertype
+        if ethertype == _ETHERTYPE_ARP:
             self._handle_arp(frame)
-        elif frame.ethertype == EtherType.IPV4:
+        elif ethertype == _ETHERTYPE_IPV4:
             self._handle_ipv4(frame)
-        elif frame.ethertype == EtherType.IPV6:
+        elif ethertype == _ETHERTYPE_IPV6:
             self._handle_ipv6(frame)
 
-    def _handle_arp(self, frame: EthernetFrame) -> None:
+    def _handle_arp(self, frame: LazyEthernetFrame) -> None:
         try:
             arp = ArpPacket.decode(frame.payload)
         except ValueError:
@@ -157,9 +165,9 @@ class L2Interface:
             reply = arp.reply_from(self.mac)
             self._send_frame(arp.sender_mac, EtherType.ARP, reply.encode())
 
-    def _handle_ipv4(self, frame: EthernetFrame) -> None:
+    def _handle_ipv4(self, frame: LazyEthernetFrame) -> None:
         try:
-            packet = IPv4Packet.decode(frame.payload)
+            packet = decode_ipv4_cached(frame.payload)
         except ValueError:
             return
         if packet.src != UNSPECIFIED_V4 and not frame.src.is_multicast:
@@ -167,19 +175,19 @@ class L2Interface:
         if self.on_ipv4 is not None:
             self.on_ipv4(packet)
 
-    def _handle_ipv6(self, frame: EthernetFrame) -> None:
+    def _handle_ipv6(self, frame: LazyEthernetFrame) -> None:
         try:
-            packet = IPv6Packet.decode(frame.payload)
+            packet = decode_ipv6_cached(frame.payload)
         except ValueError:
             return
-        if packet.next_header == IPProto.ICMPV6 and self._handle_ndp(frame, packet):
+        if packet.next_header == _IPPROTO_ICMPV6 and self._handle_ndp(frame, packet):
             return
         if packet.src != UNSPECIFIED_V6:
             self._learn_v6(packet.src, frame.src)
         if self.on_ipv6 is not None:
             self.on_ipv6(packet)
 
-    def _handle_ndp(self, frame: EthernetFrame, packet: IPv6Packet) -> bool:
+    def _handle_ndp(self, frame: LazyEthernetFrame, packet: LazyIPv6Packet) -> bool:
         """Returns True when the message was NDP and fully consumed."""
         try:
             message = decode_icmpv6(packet.payload, packet.src, packet.dst)

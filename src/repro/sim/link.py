@@ -8,8 +8,6 @@ failure-injection tests instead).
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.sim.engine import EventEngine
 
 __all__ = ["Link"]
@@ -44,7 +42,7 @@ class Link:
         if peer is None:
             return  # unplugged cable
         self.frames_carried += 1
-        self.engine.schedule(self.latency, lambda: peer.deliver(frame))
+        self.engine.schedule(self.latency, peer.deliver, frame)
 
     def disconnect(self) -> None:
         """Administratively down the link (cable pull)."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.net.addresses import (
     IPv4Address,
@@ -115,7 +115,7 @@ class Router(Node):
             )
             iface.send_ipv6(packet)
 
-        self.engine.schedule_every(config.interval, emit)
+        self.engine.schedule_every(config.interval, emit, immediate=True, coalesce="ra")
         return daemon
 
     # -- frame handling -----------------------------------------------------------

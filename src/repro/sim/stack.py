@@ -28,7 +28,6 @@ from repro.net.addresses import (
     IPv4Address,
     IPv4Network,
     IPv6Address,
-    IPv6Network,
     MacAddress,
     solicited_node_multicast,
 )
@@ -44,7 +43,7 @@ from repro.dhcp.client import DhcpClient, DhcpClientResult, DhcpClientState
 from repro.xlat.clat import Clat, ClatConfig
 from repro.xlat.siit import TranslationError
 from repro.sim.engine import EventEngine
-from repro.sim.iface import ALL_NODES_V6, IPV4_BROADCAST, L2Interface, UNSPECIFIED_V4, UNSPECIFIED_V6
+from repro.sim.iface import ALL_NODES_V6, IPV4_BROADCAST, L2Interface, UNSPECIFIED_V4
 from repro.sim.node import Node, Port
 
 __all__ = ["Ipv4Config", "StackConfig", "UdpSocket", "TcpConnection", "HostStack"]
@@ -52,6 +51,18 @@ __all__ = ["Ipv4Config", "StackConfig", "UdpSocket", "TcpConnection", "HostStack
 AnyAddress = Union[IPv4Address, IPv6Address]
 
 TCP_MSS = 1200
+
+# Plain-int TCP flag masks — IntFlag's operators dispatch through the
+# enum machinery, which is measurable in the per-segment hot path.
+_TCP_FIN = int(TcpFlags.FIN)
+_TCP_SYN = int(TcpFlags.SYN)
+_TCP_RST = int(TcpFlags.RST)
+_TCP_ACK = int(TcpFlags.ACK)
+_TCP_ACK_ONLY = TcpFlags.ACK
+_TCP_PSH_ACK = TcpFlags.PSH | TcpFlags.ACK
+_TCP_FIN_ACK = TcpFlags.FIN | TcpFlags.ACK
+_TCP_SYN_ACK = TcpFlags.SYN | TcpFlags.ACK
+_TCP_RST_ACK = TcpFlags.RST | TcpFlags.ACK
 
 
 @dataclass
@@ -143,12 +154,12 @@ class TcpConnection:
             raise RuntimeError(f"send on {self.state} connection")
         for off in range(0, len(data), TCP_MSS):
             chunk = data[off : off + TCP_MSS]
-            self._emit(TcpFlags.PSH | TcpFlags.ACK, chunk)
+            self._emit(_TCP_PSH_ACK, chunk)
             self.snd_nxt = (self.snd_nxt + len(chunk)) & 0xFFFFFFFF
 
     def close(self) -> None:
         if self.state in (self.ESTABLISHED, self.SYN_RCVD):
-            self._emit(TcpFlags.FIN | TcpFlags.ACK)
+            self._emit(_TCP_FIN_ACK)
             self.snd_nxt = (self.snd_nxt + 1) & 0xFFFFFFFF
             self.state = self.FIN_WAIT if not self.remote_closed else self.CLOSED
         else:
@@ -179,7 +190,8 @@ class TcpConnection:
         self.stack._send_tcp_segment(self.local_addr, self.remote_addr, segment)
 
     def _handle(self, segment: TcpSegment) -> None:
-        if segment.flags & TcpFlags.RST:
+        flags = int(segment.flags)
+        if flags & _TCP_RST:
             self.refused = self.state == self.SYN_SENT
             self.state = self.CLOSED
             self.remote_closed = True
@@ -187,29 +199,29 @@ class TcpConnection:
             if self.on_close:
                 self.on_close(self)
             return
-        if self.state == self.SYN_SENT and segment.flags & TcpFlags.SYN:
+        if self.state == self.SYN_SENT and flags & _TCP_SYN:
             self.rcv_nxt = (segment.seq + 1) & 0xFFFFFFFF
             self.snd_nxt = (self.snd_nxt + 1) & 0xFFFFFFFF
             self.state = self.ESTABLISHED
-            self._emit(TcpFlags.ACK)
+            self._emit(_TCP_ACK_ONLY)
             return
-        if self.state == self.SYN_RCVD and segment.flags & TcpFlags.ACK and not segment.payload:
+        if self.state == self.SYN_RCVD and flags & _TCP_ACK and not segment.payload:
             self.state = self.ESTABLISHED
             listener = self.stack._tcp_listeners.get(self.local_port)
             if listener is not None:
                 listener(self)
-            if not segment.payload and not (segment.flags & TcpFlags.FIN):
+            if not segment.payload and not (flags & _TCP_FIN):
                 return
         if segment.payload and segment.seq == self.rcv_nxt:
             self.rcv_nxt = (self.rcv_nxt + len(segment.payload)) & 0xFFFFFFFF
             self.recv_buffer += segment.payload
-            self._emit(TcpFlags.ACK)
+            self._emit(_TCP_ACK_ONLY)
             if self.on_data:
                 self.on_data(self)
-        if segment.flags & TcpFlags.FIN and segment.seq == self.rcv_nxt:
+        if flags & _TCP_FIN and segment.seq == self.rcv_nxt:
             self.rcv_nxt = (self.rcv_nxt + 1) & 0xFFFFFFFF
             self.remote_closed = True
-            self._emit(TcpFlags.ACK)
+            self._emit(_TCP_ACK_ONLY)
             if self.state == self.FIN_WAIT:
                 self.state = self.CLOSED
                 self.stack._forget_connection(self)
@@ -625,7 +637,8 @@ class HostStack(Node):
         if conn is not None:
             conn._handle(segment)
             return
-        if segment.flags & TcpFlags.SYN and not segment.flags & TcpFlags.ACK:
+        flags = int(segment.flags)
+        if flags & _TCP_SYN and not flags & _TCP_ACK:
             listener = self._tcp_listeners.get(segment.dst_port)
             if listener is None:
                 self._send_rst(dst, src, segment)
@@ -634,10 +647,10 @@ class HostStack(Node):
             self._tcp_conns[key] = conn
             conn.state = TcpConnection.SYN_RCVD
             conn.rcv_nxt = (segment.seq + 1) & 0xFFFFFFFF
-            conn._emit(TcpFlags.SYN | TcpFlags.ACK)
+            conn._emit(_TCP_SYN_ACK)
             conn.snd_nxt = (conn.snd_nxt + 1) & 0xFFFFFFFF
             return
-        if not segment.flags & TcpFlags.RST:
+        if not flags & _TCP_RST:
             self._send_rst(dst, src, segment)
 
     def _send_rst(self, src: AnyAddress, dst: AnyAddress, offending: TcpSegment) -> None:
@@ -646,7 +659,7 @@ class HostStack(Node):
             dst_port=offending.src_port,
             seq=offending.ack,
             ack=(offending.seq + 1) & 0xFFFFFFFF,
-            flags=TcpFlags.RST | TcpFlags.ACK,
+            flags=_TCP_RST_ACK,
         )
         self._send_tcp_segment(src, dst, rst)
 

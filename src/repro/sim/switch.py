@@ -7,17 +7,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.net.addresses import (
-    IPv6Address,
-    MacAddress,
-    link_local_from_mac,
-    MAC_BROADCAST,
-    multicast_mac_for_ipv6,
-)
+from repro.net.addresses import IPv6Address, MacAddress, link_local_from_mac, multicast_mac_for_ipv6
 from repro.net.ethernet import EtherType, EthernetFrame
 from repro.net.icmpv6 import encode_icmpv6
 from repro.net.ipv4 import IPProto
 from repro.net.ipv6 import IPv6Packet
+from repro.net.lazy import LazyEthernetFrame
 from repro.nd.ra import RaDaemon, RaDaemonConfig
 from repro.dhcp.snooping import DhcpSnooper, SnoopAction
 from repro.sim.engine import EventEngine
@@ -45,9 +40,12 @@ class ManagedSwitch(Node):
         mac: Optional[MacAddress] = None,
     ) -> None:
         super().__init__(engine, name)
-        self.mac_table: Dict[MacAddress, str] = {}
+        #: Learned forwarding table, keyed by raw 6-byte MAC — frames are
+        #: switched without ever constructing a :class:`MacAddress`.
+        self.mac_table: Dict[bytes, str] = {}
         self.snooper = DhcpSnooper(enabled=False)
         self.mac = mac or MacAddress(0x02_00_00_00_00_01)
+        self._mac_bytes = self.mac.to_bytes()
         self.link_local = link_local_from_mac(self.mac)
         self._ra_daemon: Optional[RaDaemon] = None
         self._ra_cancel = None
@@ -58,10 +56,10 @@ class ManagedSwitch(Node):
 
     def on_frame(self, port: Port, frame_bytes: bytes) -> None:
         try:
-            frame = EthernetFrame.decode(frame_bytes)
+            frame = LazyEthernetFrame(frame_bytes)
         except ValueError:
             return
-        self.mac_table[frame.src] = port.name
+        self.mac_table[bytes(frame_bytes[6:12])] = port.name
         if self.snooper.inspect(port.name, frame) is SnoopAction.DROP:
             return
         # The switch's RA daemon answers Router Solicitations promptly,
@@ -69,10 +67,11 @@ class ManagedSwitch(Node):
         # real routers on other ports see the RS too).
         if self._ra_daemon is not None and self._is_router_solicitation(frame):
             self.engine.schedule(0.0, self._emit_ra)
-        if frame.dst == self.mac:
+        dst = frame.dst_bytes
+        if dst == self._mac_bytes:
             return  # addressed to the switch management plane itself
-        if not frame.is_broadcast and not frame.is_multicast:
-            out_port = self.mac_table.get(frame.dst)
+        if not dst[0] & 1:  # unicast (the I/G bit covers broadcast too)
+            out_port = self.mac_table.get(dst)
             if out_port is not None and out_port != port.name:
                 self.forwarded += 1
                 self.ports[out_port].transmit(frame_bytes)
@@ -93,7 +92,9 @@ class ManagedSwitch(Node):
         """
         self.disable_ra_daemon()
         self._ra_daemon = RaDaemon(config, self.mac)
-        self._ra_cancel = self.engine.schedule_every(config.interval, self._emit_ra)
+        self._ra_cancel = self.engine.schedule_every(
+            config.interval, self._emit_ra, immediate=True, coalesce="ra"
+        )
         return self._ra_daemon
 
     def disable_ra_daemon(self) -> None:
@@ -125,14 +126,23 @@ class ManagedSwitch(Node):
             port.transmit(raw)
 
     @staticmethod
-    def _is_router_solicitation(frame: EthernetFrame) -> bool:
+    def _is_router_solicitation(frame: LazyEthernetFrame) -> bool:
+        """Cheap byte-level check; equivalent to decoding the IPv6 packet
+        and testing ``next_header == ICMPv6 and payload[0] == 133``, with
+        the same validation the full decoder applies first."""
         if frame.ethertype != EtherType.IPV6:
             return False
-        try:
-            packet = IPv6Packet.decode(frame.payload)
-        except ValueError:
+        data = frame.payload
+        if len(data) < IPv6Packet.HEADER_LEN or data[0] >> 4 != 6:
             return False
-        return packet.next_header == IPProto.ICMPV6 and bool(packet.payload) and packet.payload[0] == 133
+        payload_len = (data[4] << 8) | data[5]
+        if len(data) < IPv6Packet.HEADER_LEN + payload_len:
+            return False  # truncated: the full decoder would reject it
+        return (
+            data[6] == IPProto.ICMPV6
+            and payload_len > 0
+            and data[IPv6Packet.HEADER_LEN] == 133
+        )
 
     @property
     def ra_daemon(self) -> Optional[RaDaemon]:

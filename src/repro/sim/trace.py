@@ -8,7 +8,7 @@ answer ever reached the Windows 10 client").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.net.ethernet import EtherType, EthernetFrame

@@ -15,7 +15,7 @@ wire carries only IPv6.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.net.addresses import (
     IPv4Address,

@@ -17,8 +17,8 @@ overrides only the A path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.net.addresses import (
     IPv4Address,
@@ -71,6 +71,11 @@ class DNS64Resolver(DnsServer):
         self.config = config or Dns64Config()
         self.synthesized = 0
         self.passed_through = 0
+
+    _CACHE_COUNTERS = ("synthesized", "passed_through")
+
+    def _cache_epoch(self) -> object:
+        return (super()._cache_epoch(), self.config)
 
     def respond(self, query: DnsMessage, client: Optional[object] = None) -> DnsMessage:
         question = query.question

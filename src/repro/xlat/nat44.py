@@ -11,12 +11,12 @@ Internet access", §VI).  The Nintendo-Switch escape hatch of figure 6
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
 from repro.net.addresses import IPv4Address
 from repro.net.icmp import IcmpMessage
 from repro.net.ipv4 import IPProto, IPv4Packet
-from repro.net.tcp import TcpFlags, TcpSegment
+from repro.net.tcp import TcpSegment
 from repro.net.udp import UdpDatagram
 from repro.xlat.siit import TranslationError
 
@@ -157,7 +157,9 @@ class StatefulNat44:
                 m.icmp_type, m.code, ((ident & 0xFFFF) << 16) | m.echo_seq, m.body
             )
             payload = m.encode()
-        return replace(packet, src=new_src, dst=new_dst, payload=payload)
+        # materialize(): lazy packet views are not dataclasses, so convert
+        # before replace(); eager packets return themselves.
+        return replace(packet.materialize(), src=new_src, dst=new_dst, payload=payload)
 
     @property
     def session_count(self) -> int:

@@ -20,7 +20,7 @@ Implemented per RFC 6146:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.addresses import (

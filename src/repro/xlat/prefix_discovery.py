@@ -14,7 +14,7 @@ poisoner forwards AAAA queries untouched (§VI).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional
 
 from repro.net.addresses import (
     IPv4Address,

@@ -17,8 +17,6 @@ drop — the same observable behaviour as a real middlebox.
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
-
 from repro.net.addresses import IPv4Address, IPv6Address
 from repro.net.icmp import IcmpMessage, IcmpType
 from repro.net.icmpv6 import Icmpv6Message, Icmpv6Type, decode_icmpv6, encode_icmpv6

@@ -8,7 +8,7 @@ from repro.analysis.adoption import (
     sweep_table,
     windows_refresh_mixes,
 )
-from repro.clients.profiles import NINTENDO_SWITCH, WINDOWS_10, WINDOWS_11_RFC8925
+from repro.clients.profiles import NINTENDO_SWITCH, WINDOWS_11_RFC8925
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis.dnsstats import analyze_dns_logs
 from repro.clients.profiles import NINTENDO_SWITCH, WINDOWS_11, WINDOWS_XP
-from repro.core.testbed import TestbedConfig, build_testbed
 
 
 @pytest.fixture

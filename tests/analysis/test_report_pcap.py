@@ -4,7 +4,6 @@ import struct
 
 import pytest
 
-from repro.net.addresses import IPv4Address
 from repro.net.ethernet import EthernetFrame
 from repro.analysis.matrix import run_device_matrix
 from repro.analysis.report import (

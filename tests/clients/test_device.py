@@ -3,19 +3,14 @@ full testbed."""
 
 import pytest
 
-from repro.net.addresses import IPv4Address, IPv6Address
+from repro.net.addresses import IPv6Address
 from repro.dhcp.client import DhcpClientState
-from repro.dns.rdata import RCode, RRType
 from repro.clients.profiles import (
     ALL_PROFILES,
-    ANDROID,
-    DnsOrder,
-    IOS,
     LINUX,
     MACOS,
     NINTENDO_SWITCH,
     WINDOWS_10,
-    WINDOWS_10_V6_DISABLED,
     WINDOWS_11,
     WINDOWS_11_RFC8925,
     WINDOWS_XP,

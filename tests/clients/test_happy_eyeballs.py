@@ -6,7 +6,6 @@ from repro.net.addresses import IPv4Address, IPv6Address
 from repro.clients.happy_eyeballs import happy_eyeballs_connect
 from repro.clients.profiles import WINDOWS_10
 from repro.core.testbed import TestbedConfig, build_testbed
-from repro.xlat.siit import TranslationError
 
 
 @pytest.fixture
@@ -93,7 +92,6 @@ class TestFetchIntegration:
 
     def test_fetch_happy_eyeballs_falls_back_fast(self, world):
         testbed, client = world
-        blackhole = lambda packet: None
         # Blackhole only *forwarded* v6 (keep NDP/local so the stack
         # still believes it has v6 — the realistic breakage).
         original = testbed.gateway._lan_ipv6

@@ -1,8 +1,6 @@
 """Client lifecycle: polite disconnect with DHCPRELEASE."""
 
-import pytest
 
-from repro.net.addresses import IPv4Address
 from repro.clients.profiles import MACOS, NINTENDO_SWITCH
 
 

@@ -1,6 +1,5 @@
 """The enhanced-mirror advisor (paper §VII future work)."""
 
-import pytest
 
 from repro.clients.profiles import (
     MACOS,
@@ -10,7 +9,6 @@ from repro.clients.profiles import (
 )
 from repro.core.advisor import advise
 from repro.core.scoring import score_rfc8925_aware
-from repro.core.testbed import TestbedConfig, build_testbed
 from repro.services.testipv6 import run_test_ipv6
 
 

@@ -1,15 +1,13 @@
 """The figure-4 testbed builder: topology, workarounds, playbooks."""
 
-import pytest
 
-from repro.net.addresses import IPv4Address, IPv6Address
+from repro.net.addresses import IPv4Address
 from repro.dns.rdata import RRType
 from repro.clients.profiles import LINUX, MACOS, NINTENDO_SWITCH, WINDOWS_10
 from repro.core.testbed import (
     PI_HEALTHY_V4,
     PI_HEALTHY_V6,
     PI_POISON_V4,
-    Testbed,
     TestbedConfig,
     build_testbed,
 )

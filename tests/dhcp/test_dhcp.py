@@ -21,7 +21,7 @@ from repro.dhcp.options import (
     unpack_addresses,
     unpack_v6only_wait,
 )
-from repro.dhcp.server import DhcpPool, DhcpServer, Lease
+from repro.dhcp.server import DhcpPool, DhcpServer
 from repro.dhcp.snooping import DhcpSnooper, SnoopAction
 
 MAC = MacAddress.parse("00:00:59:aa:c6:ab")

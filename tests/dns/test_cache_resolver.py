@@ -3,7 +3,7 @@ failover and CNAME logic — tested against in-process servers."""
 
 import pytest
 
-from repro.net.addresses import IPv4Address, IPv6Address
+from repro.net.addresses import IPv4Address
 from repro.dns.cache import DnsCache
 from repro.dns.message import DnsMessage, ResourceRecord
 from repro.dns.name import DnsName

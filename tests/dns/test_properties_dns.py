@@ -7,7 +7,7 @@ from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.net.addresses import IPv4Address, IPv6Address
-from repro.dns.message import DnsHeader, DnsMessage, DnsQuestion, ResourceRecord
+from repro.dns.message import DnsMessage, ResourceRecord
 from repro.dns.name import DnsName
 from repro.dns.rdata import A, AAAA, RCode, RRType
 from repro.dns.zone import Zone

@@ -1,0 +1,102 @@
+"""The wire-template response cache must be observably transparent:
+identical answers, identical query logs and counters, invalidated the
+moment zone data or intervention policy changes."""
+
+from repro.core.intervention import InterventionConfig, PoisonedDNSServer
+from repro.dns.message import DnsMessage
+from repro.dns.rdata import RRType
+from repro.dns.server import DnsServer, ForwardingDnsServer
+from repro.dns.zone import Zone
+from repro.net.addresses import IPv4Address
+from repro.xlat.dns64 import DNS64Resolver
+
+
+def make_zone():
+    zone = Zone("example.test")
+    zone.add_a("web.example.test", "192.0.2.10")
+    zone.add_aaaa("web.example.test", "2001:db8::10")
+    return zone
+
+
+def query_wire(name, rrtype, ident=0x1234):
+    return DnsMessage.query(name, rrtype, ident=ident).encode()
+
+
+class TestResponseCache:
+    def test_repeat_query_hits_cache_with_identical_wire(self):
+        server = DnsServer([make_zone()])
+        wire = query_wire("web.example.test", RRType.A)
+        first = server.handle_query(wire)
+        second = server.handle_query(wire)
+        assert first == second
+        assert (server.cache_misses, server.cache_hits) == (1, 1)
+
+    def test_hit_patches_ident_only(self):
+        server = DnsServer([make_zone()])
+        first = server.handle_query(query_wire("web.example.test", RRType.A, ident=0x1111))
+        second = server.handle_query(query_wire("web.example.test", RRType.A, ident=0x2222))
+        assert first[:2] == b"\x11\x11" and second[:2] == b"\x22\x22"
+        assert first[2:] == second[2:]
+        assert server.cache_hits == 1
+
+    def test_query_log_replayed_per_hit_with_live_client(self):
+        server = DnsServer([make_zone()])
+        wire = query_wire("web.example.test", RRType.A)
+        server.handle_query(wire, client="alice")
+        server.handle_query(wire, client="bob")
+        assert [entry.client for entry in server.query_log] == ["alice", "bob"]
+        assert {entry.answered_from for entry in server.query_log} == {"zone"}
+
+    def test_zone_change_invalidates(self):
+        zone = make_zone()
+        server = DnsServer([zone])
+        wire = query_wire("new.example.test", RRType.A)
+        first = server.handle_query(wire)
+        zone.add_a("new.example.test", "192.0.2.77")
+        second = server.handle_query(wire)
+        assert first != second  # NXDOMAIN became an answer
+        assert server.cache_hits == 0 and server.cache_misses == 2
+
+    def test_policy_epoch_bump_invalidates(self):
+        server = DnsServer([make_zone()])
+        wire = query_wire("web.example.test", RRType.A)
+        server.handle_query(wire)
+        server.bump_policy_epoch()
+        server.handle_query(wire)
+        assert server.cache_hits == 0 and server.cache_misses == 2
+
+    def test_malformed_and_response_wires_not_cached(self):
+        server = DnsServer([make_zone()])
+        assert server.handle_query(b"\x00\x01") is None
+        response = DnsMessage.query("web.example.test", RRType.A).response()
+        assert server.handle_query(response.encode()) is None
+        assert server.cache_misses == 0 and not server._response_cache
+
+    def test_poison_counter_replayed_on_hits(self):
+        upstream = DnsServer([make_zone()])
+        poison = PoisonedDNSServer(
+            InterventionConfig(poison_address=IPv4Address("23.153.8.71")),
+            upstream.handle_query,
+        )
+        wire = query_wire("web.example.test", RRType.A)
+        for _ in range(3):
+            poison.handle_query(wire)
+        assert poison.poison_answers == 3
+
+    def test_dns64_counters_replayed_on_hits(self):
+        resolver = DNS64Resolver([make_zone()])
+        wire = query_wire("web.example.test", RRType.AAAA)
+        for _ in range(2):
+            assert resolver.handle_query(wire) is not None
+        uncached = DNS64Resolver([make_zone()])
+        uncached.handle_query(wire)
+        assert resolver.synthesized == 2 * uncached.synthesized
+        assert resolver.passed_through == 2 * uncached.passed_through
+
+    def test_forwarded_answers_bypass_cache(self):
+        upstream = DnsServer([make_zone()])
+        forwarder = ForwardingDnsServer(upstream.handle_query)
+        wire = query_wire("web.example.test", RRType.A)
+        forwarder.handle_query(wire)
+        forwarder.handle_query(wire)
+        assert forwarder.cache_hits == 0 and forwarder.forwarded == 2

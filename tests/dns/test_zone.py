@@ -3,7 +3,6 @@
 import pytest
 
 from repro.net.addresses import IPv4Address
-from repro.dns.name import DnsName
 from repro.dns.rdata import RCode, RRType
 from repro.dns.zone import Zone, ZoneError
 

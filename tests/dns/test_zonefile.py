@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.addresses import IPv4Address, IPv6Address
+from repro.net.addresses import IPv4Address
 from repro.dns.rdata import RCode, RRType
 from repro.dns.zonefile import ZoneFileError, parse_zone_text, zone_to_text
 from repro.core.intervention import InterventionConfig

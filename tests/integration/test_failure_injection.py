@@ -6,17 +6,11 @@ the healthy DNS64 dies behind the poisoner, when the DHCP Pi goes away,
 when the gateway reboots mid-session, or when the pool runs dry.
 """
 
-import pytest
 
 from repro.net.addresses import IPv4Address, IPv6Address
 from repro.dns.rdata import RCode, RRType
 from repro.clients.profiles import LINUX, MACOS, NINTENDO_SWITCH, WINDOWS_10, WINDOWS_XP
-from repro.core.testbed import (
-    PI_HEALTHY_V6,
-    SC24_WEB_V4,
-    TestbedConfig,
-    build_testbed,
-)
+from repro.core.testbed import PI_HEALTHY_V6, TestbedConfig, build_testbed
 
 
 class TestHealthyDns64Outage:

@@ -1,9 +1,7 @@
 """Operational dynamics the rollback story must survive: already-
 connected clients, DNS TTLs and lease renewal timing."""
 
-import pytest
 
-from repro.net.addresses import IPv4Address
 from repro.dns.rdata import RRType
 from repro.clients.profiles import NINTENDO_SWITCH, WINDOWS_10
 from repro.core.testbed import PI_HEALTHY_V4, PI_POISON_V4, TestbedConfig, build_testbed

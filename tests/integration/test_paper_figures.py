@@ -8,7 +8,7 @@ the *shape* of the paper's observation.
 import pytest
 
 from repro.net.addresses import IPv4Address, IPv6Address, is_gua, is_ula
-from repro.dns.rdata import RCode, RRType
+from repro.dns.rdata import RRType
 from repro.clients.apps import EcholinkApp
 from repro.clients.profiles import (
     LINUX,

@@ -1,6 +1,5 @@
 """SLAAC state, RA daemons and RFC 6724 address selection."""
 
-import pytest
 
 from repro.net.addresses import IPv4Address, IPv6Address, IPv6Network, MacAddress
 from repro.net.icmpv6 import (
@@ -11,7 +10,6 @@ from repro.net.icmpv6 import (
 )
 from repro.nd.addrsel import (
     CandidateAddress,
-    DEFAULT_POLICY_TABLE,
     order_destinations,
     precedence_and_label,
     select_source_address,

@@ -8,7 +8,6 @@ from repro.net.addresses import (
     IPv6Network,
     MacAddress,
     MAC_BROADCAST,
-    WELL_KNOWN_NAT64_PREFIX,
     embed_ipv4_in_nat64,
     eui64_interface_id,
     extract_ipv4_from_nat64,

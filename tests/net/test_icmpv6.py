@@ -6,7 +6,6 @@ from repro.net.addresses import IPv6Address, IPv6Network, MacAddress
 from repro.net.icmpv6 import (
     DnsslOption,
     Icmpv6Message,
-    Icmpv6Type,
     LinkLayerAddressOption,
     MtuOption,
     NdOption,

@@ -1,7 +1,7 @@
 """Hypothesis property tests for the wire codecs: every valid value
 round-trips, and checksums always verify."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.net.addresses import (

@@ -34,6 +34,14 @@ class TestScheduling:
         with pytest.raises(ValueError):
             EventEngine().schedule(-1.0, lambda: None)
 
+    def test_schedule_passes_args_to_callback(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule(1.0, seen.append, "frame")
+        engine.schedule(2.0, lambda a, b: seen.append((a, b)), 1, 2)
+        engine.run_until_idle()
+        assert seen == ["frame", (1, 2)]
+
     def test_events_scheduled_during_event(self):
         engine = EventEngine()
         order = []
@@ -74,7 +82,7 @@ class TestRunUntil:
         hits = []
         engine.schedule_every(1.0, lambda: hits.append(engine.now))
         engine.run_for(5.5)
-        assert len(hits) == 6  # t=0,1,2,3,4,5
+        assert hits == [1.0, 2.0, 3.0, 4.0, 5.0]  # first tick waits one interval
         assert engine.now == 5.5
 
     def test_queue_drain_returns_false(self):
@@ -100,7 +108,73 @@ class TestPeriodic:
         engine.run_for(3.5)
         cancel()
         engine.run_for(5.0)
-        assert len(hits) == 4
+        assert len(hits) == 3  # t=1,2,3
+
+    def test_immediate_flag_fires_at_t0(self):
+        engine = EventEngine()
+        hits = []
+        engine.schedule_every(1.0, lambda: hits.append(engine.now), immediate=True)
+        engine.run_for(2.5)
+        assert hits == [0.0, 1.0, 2.0]
+
+    def test_cancelled_timer_leaves_no_live_events(self):
+        engine = EventEngine()
+        cancel = engine.schedule_every(1.0, lambda: None)
+        cancel()
+        assert engine.pending_events == 0
+        before = engine.events_run
+        engine.run_for(10.0)
+        assert engine.events_run == before  # tombstones don't count
+
+    def test_cancellation_from_inside_callback(self):
+        engine = EventEngine()
+        hits = []
+        holder = {}
+
+        def tick():
+            hits.append(engine.now)
+            if len(hits) == 2:
+                holder["cancel"]()
+
+        holder["cancel"] = engine.schedule_every(1.0, tick)
+        engine.run_for(10.0)
+        assert hits == [1.0, 2.0]
+
+    def test_cancellation_respects_run_until_deadline(self):
+        # A tombstone at the heap head must not let run_until step past
+        # its deadline to the next live event.
+        engine = EventEngine()
+        cancel = engine.schedule_every(1.0, lambda: None)
+        cancel()
+        seen = []
+        engine.schedule(5.0, lambda: seen.append(engine.now))
+        engine.run_for(2.0)
+        assert engine.now == 2.0
+        assert seen == []
+
+    def test_coalesced_timers_share_one_event_per_period(self):
+        engine = EventEngine()
+        hits = []
+        for tag in "abc":
+            engine.schedule_every(1.0, lambda t=tag: hits.append(t), coalesce="tick")
+        engine.run_for(2.5)
+        assert hits == ["a", "b", "c", "a", "b", "c"]
+        # 3 members, 2 periods -> 2 timer events, not 6.
+        assert engine.events_run == 2
+
+    def test_coalesced_cancel_removes_member(self):
+        engine = EventEngine()
+        hits = []
+        cancel_a = engine.schedule_every(1.0, lambda: hits.append("a"), coalesce="g")
+        engine.schedule_every(1.0, lambda: hits.append("b"), coalesce="g")
+        engine.run_for(1.5)
+        cancel_a()
+        engine.run_for(1.0)
+        assert hits == ["a", "b", "b"]
+
+    def test_coalesce_rejects_jitter(self):
+        with pytest.raises(ValueError):
+            EventEngine().schedule_every(1.0, lambda: None, jitter=0.5, coalesce="g")
 
     def test_determinism_across_runs(self):
         def run():

@@ -3,19 +3,12 @@ exchanging real frames."""
 
 import pytest
 
-from repro.net.addresses import (
-    IPv4Address,
-    IPv4Network,
-    IPv6Address,
-    IPv6Network,
-    MacAddress,
-)
+from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, IPv6Network
 from repro.net.icmpv6 import RouterPreference
 from repro.nd.ra import RaDaemonConfig
-from repro.sim.engine import EventEngine
 from repro.sim.host import Host, ServerHost
 from repro.sim.node import connect
-from repro.sim.stack import Ipv4Config, StackConfig
+from repro.sim.stack import StackConfig
 from repro.sim.switch import ManagedSwitch
 
 LAN = IPv4Network("192.168.12.0/24")

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.net.addresses import IPv4Address, IPv6Address, embed_ipv4_in_nat64
-from repro.sim.engine import EventEngine
-from repro.sim.gateway5g import Gateway5GConfig, MobileGateway5G
+from repro.sim.gateway5g import MobileGateway5G
 from repro.sim.host import Host, ServerHost
 from repro.sim.node import connect
 from repro.sim.switch import ManagedSwitch

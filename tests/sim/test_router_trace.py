@@ -3,7 +3,6 @@
 import pytest
 
 from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, IPv6Network
-from repro.sim.engine import EventEngine
 from repro.sim.host import ServerHost
 from repro.sim.node import connect
 from repro.sim.router import AclRule, Router

@@ -7,7 +7,7 @@ peer emits.  Every handler must drop garbage, never raise.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, MacAddress
+from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address
 from repro.dhcp.server import DhcpPool, DhcpServer
 from repro.dns.zone import Zone
 from repro.xlat.dns64 import DNS64Resolver

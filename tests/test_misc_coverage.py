@@ -1,6 +1,5 @@
 """Targeted tests for paths the thematic suites don't reach."""
 
-import pytest
 
 from repro.net.addresses import (
     IPv4Address,
@@ -14,7 +13,6 @@ from repro.net.icmpv6 import RouterPreference
 from repro.dns.resolver import DualStackAnswer, ResolverConfig, ResolutionResult
 from repro.dns.rdata import RCode
 from repro.nd.ra import RaDaemonConfig
-from repro.sim.engine import EventEngine
 from repro.sim.host import Host, ServerHost
 from repro.sim.node import connect
 from repro.sim.router import Router

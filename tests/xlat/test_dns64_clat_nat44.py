@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.net.addresses import (
-    IPv4Address,
-    IPv6Address,
-    IPv6Network,
-    WELL_KNOWN_NAT64_PREFIX,
-    embed_ipv4_in_nat64,
-)
+from repro.net.addresses import IPv4Address, IPv6Address, IPv6Network, embed_ipv4_in_nat64
 from repro.net.ipv4 import IPProto, IPv4Packet
 from repro.net.ipv6 import IPv6Packet
 from repro.net.udp import UdpDatagram

@@ -1,14 +1,9 @@
 """Hypothesis property tests for the translation stack."""
 
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.net.addresses import (
-    IPv4Address,
-    IPv6Address,
-    embed_ipv4_in_nat64,
-    WELL_KNOWN_NAT64_PREFIX,
-)
+from repro.net.addresses import IPv4Address, IPv6Address, embed_ipv4_in_nat64
 from repro.net.ipv4 import IPProto, IPv4Packet
 from repro.net.ipv6 import IPv6Packet
 from repro.net.udp import UdpDatagram
