@@ -10,6 +10,7 @@ Usage::
     PYTHONPATH=src python benchmarks/harness.py            # full run
     PYTHONPATH=src python benchmarks/harness.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/harness.py --check    # exit 1 on regression
+    PYTHONPATH=src python benchmarks/harness.py --jobs 4   # shard sweeps over 4 workers
     PYTHONPATH=src python benchmarks/harness.py --update-baseline
 
 Metrics per scenario:
@@ -18,7 +19,10 @@ Metrics per scenario:
 - ``queries_per_sec`` — DNS queries served per wall-clock second;
 - ``p50_wall_s`` / ``p99_wall_s`` — wall time per round;
 - ``sim_per_wall_p50`` / ``sim_per_wall_p99`` — simulated seconds
-  advanced per wall second (higher is better).
+  advanced per wall second (higher is better);
+- ``jobs`` / ``parallel_speedup`` — worker count and effective
+  parallelism for scenarios sharded over :class:`repro.parallel`
+  (``parallel_speedup`` is null for serial scenarios).
 
 The emitted file also embeds ``seed_baseline`` — the numbers measured on
 the unoptimized seed tree — so every trajectory file records the
@@ -44,6 +48,7 @@ REPO = HERE.parent
 sys.path.insert(0, str(REPO / "src"))
 sys.path.insert(0, str(REPO))
 
+from repro.analysis.adoption import FleetMix, run_adoption_sweep_stats  # noqa: E402
 from repro.clients.profiles import (  # noqa: E402
     ANDROID,
     IOS,
@@ -60,6 +65,7 @@ from repro.dns.message import DnsMessage  # noqa: E402
 from repro.dns.rdata import RRType  # noqa: E402
 from repro.dns.zone import Zone  # noqa: E402
 from repro.net.addresses import IPv4Address  # noqa: E402
+from repro.parallel import SweepExecutor  # noqa: E402
 from repro.xlat.dns64 import DNS64Resolver  # noqa: E402
 
 BASELINE_PATH = HERE / "baseline.json"
@@ -78,12 +84,21 @@ SHOW_FLOOR = (
 
 
 class RoundResult:
-    """Raw observations from one scenario round."""
+    """Raw observations from one scenario round.
 
-    def __init__(self, events: int, sim_seconds: float, queries: int) -> None:
+    ``shard_wall`` is the summed worker wall clock when the round ran
+    sharded over a :class:`SweepExecutor` (0.0 for serial scenarios);
+    dividing it by the round's observed wall gives the effective
+    parallel speedup.
+    """
+
+    def __init__(
+        self, events: int, sim_seconds: float, queries: int, shard_wall: float = 0.0
+    ) -> None:
         self.events = events
         self.sim_seconds = sim_seconds
         self.queries = queries
+        self.shard_wall = shard_wall
         self.wall = 0.0
 
 
@@ -91,9 +106,10 @@ def _dns_queries_served(testbed: Testbed) -> int:
     return len(testbed.dns64.query_log) + len(testbed.poisoner.query_log)
 
 
-def scenario_show_floor(quick: bool) -> RoundResult:
+def scenario_show_floor(quick: bool, executor: SweepExecutor) -> RoundResult:
     """The test_bench_scale show-floor population: every device joins the
-    network and browses once."""
+    network and browses once.  One shared testbed — inherently serial."""
+    del executor
     scale = 1 if quick else 2
     testbed = Testbed(TestbedConfig())
     index = 0
@@ -108,37 +124,39 @@ def scenario_show_floor(quick: bool) -> RoundResult:
     )
 
 
-def scenario_adoption_sweep(quick: bool) -> RoundResult:
+def scenario_adoption_sweep(quick: bool, executor: SweepExecutor) -> RoundResult:
     """The test_bench_scale Windows-refresh adoption sweep: a fresh
-    testbed per refresh stage, live clients at each stage."""
+    testbed per refresh stage, live clients at each stage.  Stages are
+    independent shards, fanned out across the executor's pool."""
     fleet = 8 if quick else 15
     stages = (0.0, 0.5, 1.0) if quick else (0.0, 0.25, 0.5, 0.75, 1.0)
     windows_count = fleet - 3
-    events = 0
-    sim_seconds = 0.0
-    queries = 0
+    mixes = []
     for fraction in stages:
         upgraded = round(windows_count * fraction)
-        testbed = Testbed(TestbedConfig())
-        index = 0
-        for profile, count in (
-            (WINDOWS_10, windows_count - upgraded),
-            (WINDOWS_11_RFC8925, upgraded),
-            (MACOS, 2),
-        ):
-            for _ in range(count):
-                client = testbed.add_client(profile, f"dev-{index}")
-                index += 1
-                client.fetch("sc24.supercomputing.org")
-        events += testbed.engine.events_run
-        sim_seconds += testbed.engine.now
-        queries += _dns_queries_served(testbed)
-    return RoundResult(events, sim_seconds, queries)
+        mixes.append(
+            FleetMix(
+                devices=(
+                    (WINDOWS_10, windows_count - upgraded),
+                    (WINDOWS_11_RFC8925, upgraded),
+                    (MACOS, 2),
+                ),
+                label=f"{int(fraction * 100)}% refreshed",
+            )
+        )
+    _points, stats = run_adoption_sweep_stats(mixes, TestbedConfig(), executor=executor)
+    return RoundResult(
+        stats.total_events,
+        stats.total_sim_seconds,
+        stats.total_queries,
+        shard_wall=stats.shard_wall_s,
+    )
 
 
-def scenario_dns_fast_path(quick: bool) -> RoundResult:
+def scenario_dns_fast_path(quick: bool, executor: SweepExecutor) -> RoundResult:
     """The resolver-side per-query cost in isolation: poisoned A answers
     and DNS64 AAAA synthesis, straight through handle_query."""
+    del executor
     n = 2_000 if quick else 10_000
     zone = Zone("supercomputing.org")
     for i in range(50):
@@ -160,7 +178,7 @@ def scenario_dns_fast_path(quick: bool) -> RoundResult:
     return RoundResult(0, 0.0, queries)
 
 
-SCENARIOS: Dict[str, Callable[[bool], RoundResult]] = {
+SCENARIOS: Dict[str, Callable[[bool, SweepExecutor], RoundResult]] = {
     "show_floor": scenario_show_floor,
     "adoption_sweep": scenario_adoption_sweep,
     "dns_fast_path": scenario_dns_fast_path,
@@ -175,7 +193,13 @@ def _percentile(values: List[float], fraction: float) -> float:
     return ordered[rank]
 
 
-def run_scenario(name: str, fn: Callable[[bool], RoundResult], rounds: int, quick: bool) -> dict:
+def run_scenario(
+    name: str,
+    fn: Callable[[bool, SweepExecutor], RoundResult],
+    rounds: int,
+    quick: bool,
+    executor: SweepExecutor,
+) -> dict:
     """Run ``rounds`` rounds and report best-round throughput.
 
     The scenarios are deterministic, so every round does identical work;
@@ -187,24 +211,29 @@ def run_scenario(name: str, fn: Callable[[bool], RoundResult], rounds: int, quic
     """
     walls: List[float] = []
     ratios: List[float] = []
+    speedups: List[float] = []
     events = 0
     queries = 0
     for _ in range(rounds):
         start = time.perf_counter()
-        result = fn(quick)
+        result = fn(quick, executor)
         wall = time.perf_counter() - start
         walls.append(wall)
         events += result.events
         queries += result.queries
         if result.sim_seconds:
             ratios.append(result.sim_seconds / wall)
+        if result.shard_wall:
+            speedups.append(result.shard_wall / wall)
     total_wall = sum(walls)
     best_wall = min(walls)
     round_events = events // rounds
     round_queries = queries // rounds
+    sharded = bool(speedups)
     return {
         "rounds": rounds,
         "basis": "best-round",
+        "jobs": executor.jobs if sharded else 1,
         "total_wall_s": round(total_wall, 4),
         "events": events,
         "queries": queries,
@@ -214,6 +243,9 @@ def run_scenario(name: str, fn: Callable[[bool], RoundResult], rounds: int, quic
         "p99_wall_s": round(_percentile(walls, 0.99), 4),
         "sim_per_wall_p50": round(statistics.median(ratios), 2) if ratios else None,
         "sim_per_wall_p99": round(_percentile(ratios, 0.99), 2) if ratios else None,
+        # Effective parallelism (summed shard wall / observed wall) for
+        # scenarios that fanned out over the executor; None when serial.
+        "parallel_speedup": round(max(speedups), 2) if sharded else None,
     }
 
 
@@ -252,7 +284,11 @@ def compare(
         for metric in ("events_per_sec", "queries_per_sec"):
             now_value = stats.get(metric)
             base_value = base.get(metric)
-            if not now_value or not base_value:
+            # Event-less scenarios (e.g. dns_fast_path) report null for
+            # events_per_sec; skip null metrics explicitly rather than
+            # dividing by / comparing against None, and skip zero
+            # baselines — they cannot gate anything.
+            if now_value is None or base_value is None or base_value == 0:
                 continue
             floor = base_value * (1.0 - tolerance)
             if now_value < floor:
@@ -274,8 +310,11 @@ def improvement_vs_seed(current: Dict[str, dict], seed: Optional[dict]) -> Dict[
         for metric in ("events_per_sec", "queries_per_sec"):
             now_value = stats.get(metric)
             base_value = base.get(metric)
-            if now_value and base_value:
-                factors[f"{name}.{metric}"] = round(now_value / base_value, 2)
+            # Null metrics (event-less scenarios) and zero baselines have
+            # no meaningful improvement factor; skip them explicitly.
+            if now_value is None or base_value is None or base_value == 0:
+                continue
+            factors[f"{name}.{metric}"] = round(now_value / base_value, 2)
     return factors
 
 
@@ -298,23 +337,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--scenario", action="append", default=None, help="run only the named scenario(s)"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for sharded scenarios (default: $REPRO_JOBS or 1; 0 = all cores)",
+    )
     args = parser.parse_args(argv)
 
     rounds = args.rounds or (2 if args.quick else 3)
     names = args.scenario or list(SCENARIOS)
     current: Dict[str, dict] = {}
-    for name in names:
-        if name not in SCENARIOS:
-            parser.error(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
-        print(f"[harness] running {name} ({rounds} rounds, quick={args.quick}) ...")
-        current[name] = run_scenario(name, SCENARIOS[name], rounds, args.quick)
-        stats = current[name]
-        events_s = stats["events_per_sec"]
-        prefix = f"{events_s:,.0f} events/s, " if events_s else ""
-        print(
-            f"[harness]   {name}: {prefix}{stats['queries_per_sec']:,.0f} queries/s, "
-            f"p50 {stats['p50_wall_s']}s"
-        )
+    # One warm executor for the whole run: sharded scenarios reuse the
+    # worker pool across rounds instead of re-forking per round.
+    with SweepExecutor(jobs=args.jobs) as executor:
+        for name in names:
+            if name not in SCENARIOS:
+                parser.error(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
+            print(
+                f"[harness] running {name} ({rounds} rounds, quick={args.quick}, "
+                f"jobs={executor.jobs}) ..."
+            )
+            current[name] = run_scenario(name, SCENARIOS[name], rounds, args.quick, executor)
+            stats = current[name]
+            events_s = stats["events_per_sec"]
+            prefix = f"{events_s:,.0f} events/s, " if events_s is not None else ""
+            speedup = stats["parallel_speedup"]
+            suffix = f", {speedup:.2f}x parallel speedup" if speedup is not None else ""
+            print(
+                f"[harness]   {name}: {prefix}{stats['queries_per_sec']:,.0f} queries/s, "
+                f"p50 {stats['p50_wall_s']}s{suffix}"
+            )
+        jobs = executor.jobs
 
     baseline = _load_json(BASELINE_PATH)
     seed_baseline = _load_json(SEED_BASELINE_PATH)
@@ -325,6 +379,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "machine": platform.machine(),
         "quick": args.quick,
         "rounds": rounds,
+        "jobs": jobs,
         "scenarios": current,
         "improvement_vs_seed": improvement_vs_seed(current, seed_baseline),
         "seed_baseline": (seed_baseline or {}).get("scenarios"),

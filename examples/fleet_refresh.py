@@ -5,17 +5,31 @@ Windows 11 refresh cycle as a catalyst for sunsetting IPv4."
 
 Sweep a campus fleet through its refresh stages and watch IPv4 demand
 collapse while the accurate IPv6-only share climbs — every data point
-measured on a live simulated testbed, not interpolated.
+measured on a live simulated testbed, not interpolated.  Each stage is
+an independent testbed, so the sweep shards across worker processes
+with ``--jobs`` (the merged table is byte-identical at any job count).
 
-Run:  python examples/fleet_refresh.py
+Run:  python examples/fleet_refresh.py [--jobs N]
 """
+
+import argparse
+import sys
 
 from repro.analysis.adoption import run_adoption_sweep, sweep_table, windows_refresh_mixes
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description="Windows-refresh adoption sweep (§VII)")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (default: $REPRO_JOBS or 1; 0 = all cores)",
+    )
+    args = parser.parse_args([] if argv is None else argv)
+
     mixes = windows_refresh_mixes(fleet_size=23, stages=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0))
-    points = run_adoption_sweep(mixes)
+    points = run_adoption_sweep(mixes, jobs=args.jobs)
     print(sweep_table(points))
     print()
     first, last = points[0], points[-1]
@@ -27,4 +41,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])

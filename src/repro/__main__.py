@@ -23,14 +23,14 @@ __all__ = ["main"]
 
 def cmd_matrix(args) -> int:
     config = TestbedConfig(poisoned_dns=not args.no_intervention, use_rpz=args.rpz)
-    outcomes = run_device_matrix(config)
+    outcomes = run_device_matrix(config, jobs=args.jobs)
     print(matrix_table(outcomes))
     return 0
 
 
 def cmd_sweep(args) -> int:
     mixes = windows_refresh_mixes(fleet_size=args.fleet)
-    print(sweep_table(run_adoption_sweep(mixes)))
+    print(sweep_table(run_adoption_sweep(mixes, jobs=args.jobs)))
     return 0
 
 
@@ -113,13 +113,17 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    jobs_help = "worker processes for the sweep (default: $REPRO_JOBS or 1; 0 = all cores)"
+
     p_matrix = sub.add_parser("matrix", help="device outcome matrix (§V)")
     p_matrix.add_argument("--no-intervention", action="store_true")
     p_matrix.add_argument("--rpz", action="store_true", help="use the RPZ-style poisoner")
+    p_matrix.add_argument("--jobs", type=int, default=None, help=jobs_help)
     p_matrix.set_defaults(fn=cmd_matrix)
 
     p_sweep = sub.add_parser("sweep", help="Windows-refresh adoption sweep (§VII)")
     p_sweep.add_argument("--fleet", type=int, default=15)
+    p_sweep.add_argument("--jobs", type=int, default=None, help=jobs_help)
     p_sweep.set_defaults(fn=cmd_sweep)
 
     p_scores = sub.add_parser("scores", help="mirror scores, stock vs fixed (§VI)")

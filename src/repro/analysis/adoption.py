@@ -11,13 +11,21 @@ fresh testbed measures, with real clients, how many devices still need
 native IPv4, how many hit the intervention, and the accurate IPv6-only
 share.  The output is the adoption trajectory the paper's conclusion
 argues for.
+
+Each stage brings up its own testbed and shares no events with the
+others, so the sweep shards one-mix-per-shard over
+:class:`repro.parallel.SweepExecutor`: pass ``jobs=N`` (or set
+``REPRO_JOBS``) to fan stages out across worker processes.  Shard
+seeds follow :func:`repro.parallel.derive_seed`, so the merged table
+is byte-identical at any ``jobs``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
 
+from repro._compat import slotted_dataclass
 from repro.clients.profiles import (
     LEGACY_IOT,
     MACOS,
@@ -25,12 +33,21 @@ from repro.clients.profiles import (
     WINDOWS_10,
     WINDOWS_11_RFC8925,
 )
+from repro.core.metrics import SweepStats
 from repro.core.testbed import Testbed, TestbedConfig
+from repro.parallel import ShardPayload, ShardSpec, SweepExecutor, make_shards
 
-__all__ = ["FleetMix", "AdoptionPoint", "run_adoption_sweep", "sweep_table"]
+__all__ = [
+    "FleetMix",
+    "AdoptionPoint",
+    "run_adoption_sweep",
+    "run_adoption_sweep_stats",
+    "sweep_table",
+    "windows_refresh_mixes",
+]
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class FleetMix:
     """Device population for one refresh stage."""
 
@@ -43,7 +60,7 @@ class FleetMix:
         return sum(count for _p, count in self.devices)
 
 
-@dataclass
+@slotted_dataclass()
 class AdoptionPoint:
     label: str
     total: int
@@ -85,37 +102,68 @@ def windows_refresh_mixes(
     return mixes
 
 
+def _measure_mix(spec: ShardSpec) -> ShardPayload:
+    """Worker: one refresh stage on one fresh testbed (runs in-pool)."""
+    mix, config = spec.payload
+    testbed = Testbed(replace(config, seed=spec.seed))
+    intervened = 0
+    index = 0
+    for profile, count in mix.devices:
+        for _ in range(count):
+            client = testbed.add_client(profile, f"dev-{index}")
+            index += 1
+            outcome = client.fetch("sc24.supercomputing.org")
+            if outcome.landed_on == "ip6.me":
+                intervened += 1
+    census = testbed.census()
+    point = AdoptionPoint(
+        label=mix.label,
+        total=mix.total,
+        ipv4_leases=sum(1 for c in testbed.clients if c.host.ipv4_config is not None),
+        rfc8925_grants=sum(1 for c in testbed.clients if c.host.v6only_wait is not None),
+        intervened=intervened,
+        accurate_v6only=census.accurate_ipv6_only_count(),
+    )
+    return ShardPayload(
+        point,
+        events=testbed.engine.events_run,
+        sim_seconds=testbed.engine.now,
+        queries=len(testbed.dns64.query_log) + len(testbed.poisoner.query_log),
+    )
+
+
+def run_adoption_sweep_stats(
+    mixes: Sequence[FleetMix],
+    config: Optional[TestbedConfig] = None,
+    jobs: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> Tuple[List[AdoptionPoint], SweepStats]:
+    """Measure each stage on a fresh testbed; also return sweep stats.
+
+    One shard per mix.  With ``jobs=1`` (the default) this is exactly
+    the serial loop; with more jobs the stages run concurrently and the
+    merged points come back in mix order regardless of completion order.
+    """
+    config = config or TestbedConfig()
+    specs = make_shards([(mix, config) for mix in mixes], base_seed=config.seed)
+    own_executor = executor is None
+    executor = executor or SweepExecutor(jobs=jobs)
+    try:
+        points = executor.map(_measure_mix, specs, label="adoption sweep")
+    finally:
+        if own_executor:
+            executor.close()
+    return points, executor.last_stats
+
+
 def run_adoption_sweep(
-    mixes: Sequence[FleetMix], config: TestbedConfig | None = None
+    mixes: Sequence[FleetMix],
+    config: Optional[TestbedConfig] = None,
+    jobs: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[AdoptionPoint]:
     """Measure each stage on a fresh testbed with live clients."""
-    points = []
-    for mix in mixes:
-        testbed = Testbed(config or TestbedConfig())
-        intervened = 0
-        index = 0
-        for profile, count in mix.devices:
-            for _ in range(count):
-                client = testbed.add_client(profile, f"dev-{index}")
-                index += 1
-                outcome = client.fetch("sc24.supercomputing.org")
-                if outcome.landed_on == "ip6.me":
-                    intervened += 1
-        census = testbed.census()
-        points.append(
-            AdoptionPoint(
-                label=mix.label,
-                total=mix.total,
-                ipv4_leases=sum(
-                    1 for c in testbed.clients if c.host.ipv4_config is not None
-                ),
-                rfc8925_grants=sum(
-                    1 for c in testbed.clients if c.host.v6only_wait is not None
-                ),
-                intervened=intervened,
-                accurate_v6only=census.accurate_ipv6_only_count(),
-            )
-        )
+    points, _stats = run_adoption_sweep_stats(mixes, config, jobs=jobs, executor=executor)
     return points
 
 

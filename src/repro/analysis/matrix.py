@@ -8,21 +8,37 @@ does the OS connectivity probe say "online"?
 Run with the intervention on and off to see exactly which devices the
 poisoned DNS touches — the paper's central claim is that the set is
 "IPv4-only clients, and nothing else".
+
+With ``jobs>1`` the profile list is split into contiguous chunks, one
+fresh testbed per chunk, executed across a
+:class:`repro.parallel.SweepExecutor` worker pool.  Profiles never
+influence each other's outcomes (each client only talks to the
+infrastructure), so the merged table is byte-identical to the
+single-testbed serial run — and ``jobs=1`` keeps the original one
+testbed for the whole matrix.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
 
+from repro._compat import slotted_dataclass
 from repro.services.captive import ProbeOutcome, connectivity_probe
 from repro.clients.profiles import ALL_PROFILES, OsProfile
+from repro.core.metrics import SweepStats
 from repro.core.testbed import Testbed, TestbedConfig
+from repro.parallel import ShardPayload, ShardSpec, SweepExecutor, make_shards
 
-__all__ = ["DeviceOutcome", "run_device_matrix", "matrix_table"]
+__all__ = [
+    "DeviceOutcome",
+    "run_device_matrix",
+    "run_device_matrix_stats",
+    "matrix_table",
+]
 
 
-@dataclass
+@slotted_dataclass()
 class DeviceOutcome:
     profile: str
     got_ipv4_lease: bool
@@ -44,15 +60,13 @@ class DeviceOutcome:
         )
 
 
-def run_device_matrix(
-    config: Optional[TestbedConfig] = None,
-    profiles: Sequence[OsProfile] = ALL_PROFILES,
-    target_site: str = "sc24.supercomputing.org",
-) -> List[DeviceOutcome]:
-    """One fresh testbed, one client per profile, full outcome row each."""
-    testbed = Testbed(config or TestbedConfig())
+def _measure_profiles(spec: ShardSpec) -> ShardPayload:
+    """Worker: a fresh testbed, one client per profile in the chunk."""
+    config, profiles, start_index, target_site = spec.payload
+    testbed = Testbed(replace(config, seed=spec.seed))
     outcomes: List[DeviceOutcome] = []
-    for index, profile in enumerate(profiles):
+    for offset, profile in enumerate(profiles):
+        index = start_index + offset
         client = testbed.add_client(profile, f"dev-{index}-{profile.name}")
         probe = connectivity_probe(client)
         browse = client.fetch(target_site)
@@ -69,6 +83,73 @@ def run_device_matrix(
                 intervened=browse.landed_on == "ip6.me" and target_site != "ip6.me",
             )
         )
+    return ShardPayload(
+        outcomes,
+        events=testbed.engine.events_run,
+        sim_seconds=testbed.engine.now,
+        queries=len(testbed.dns64.query_log) + len(testbed.poisoner.query_log),
+    )
+
+
+def _chunk_profiles(
+    profiles: Sequence[OsProfile], shard_count: int
+) -> List[Tuple[Tuple[OsProfile, ...], int]]:
+    """Split into ``shard_count`` contiguous, balanced (chunk, start) pairs."""
+    total = len(profiles)
+    shard_count = max(1, min(shard_count, total))
+    base, extra = divmod(total, shard_count)
+    chunks = []
+    start = 0
+    for i in range(shard_count):
+        size = base + (1 if i < extra else 0)
+        chunks.append((tuple(profiles[start : start + size]), start))
+        start += size
+    return chunks
+
+
+def run_device_matrix_stats(
+    config: Optional[TestbedConfig] = None,
+    profiles: Sequence[OsProfile] = ALL_PROFILES,
+    target_site: str = "sc24.supercomputing.org",
+    jobs: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> Tuple[List[DeviceOutcome], SweepStats]:
+    """The device matrix plus its sweep-execution statistics.
+
+    ``jobs=1`` keeps the original shape — one testbed, one client per
+    profile; ``jobs=N`` runs ``N`` chunk-testbeds concurrently and
+    concatenates their rows in profile order.
+    """
+    config = config or TestbedConfig()
+    profiles = list(profiles)
+    own_executor = executor is None
+    executor = executor or SweepExecutor(jobs=jobs)
+    try:
+        chunks = _chunk_profiles(profiles, executor.jobs)
+        specs = make_shards(
+            [(config, chunk, start, target_site) for chunk, start in chunks],
+            base_seed=config.seed,
+        )
+        merged: List[DeviceOutcome] = []
+        for rows in executor.map(_measure_profiles, specs, label="device matrix"):
+            merged.extend(rows)
+    finally:
+        if own_executor:
+            executor.close()
+    return merged, executor.last_stats
+
+
+def run_device_matrix(
+    config: Optional[TestbedConfig] = None,
+    profiles: Sequence[OsProfile] = ALL_PROFILES,
+    target_site: str = "sc24.supercomputing.org",
+    jobs: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> List[DeviceOutcome]:
+    """One client per profile, full outcome row each (optionally sharded)."""
+    outcomes, _stats = run_device_matrix_stats(
+        config, profiles, target_site, jobs=jobs, executor=executor
+    )
     return outcomes
 
 

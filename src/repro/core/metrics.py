@@ -16,11 +16,17 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.net.addresses import MacAddress
 
-__all__ = ["ClientClass", "CensusRow", "ClientCensus"]
+__all__ = [
+    "ClientClass",
+    "CensusRow",
+    "ClientCensus",
+    "ShardStats",
+    "SweepStats",
+]
 
 
 class ClientClass(enum.Enum):
@@ -124,5 +130,93 @@ class ClientCensus:
         lines.append(
             f"naive v6-only count: {self.naive_ipv6_only_count()}   "
             f"accurate v6-only count: {self.accurate_ipv6_only_count()}"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# sweep execution statistics (repro.parallel folds its per-shard rows here)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardStats:
+    """Per-shard execution statistics from one sweep run.
+
+    ``wall_s`` is the worker-measured wall clock for the shard;
+    ``events``/``sim_seconds``/``queries`` come from the shard's
+    simulation engine when the worker reported them.  A non-``None``
+    ``error`` marks the shard's structured failure row (it exhausted
+    its one retry).
+    """
+
+    index: int
+    seed: int
+    wall_s: float
+    events: int = 0
+    sim_seconds: float = 0.0
+    queries: int = 0
+    attempts: int = 1
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepStats:
+    """Merged statistics for one sweep: shard rows plus pool-level view.
+
+    ``wall_s`` is the parent-observed elapsed time for the whole sweep;
+    the shards' summed wall clock divided by it is the *effective
+    parallelism* the pool achieved (≈1.0 serial, →``jobs`` ideally).
+    """
+
+    jobs: int
+    backend: str
+    wall_s: float
+    shards: List[ShardStats] = field(default_factory=list)
+
+    @property
+    def shard_wall_s(self) -> float:
+        return sum(s.wall_s for s in self.shards)
+
+    @property
+    def total_events(self) -> int:
+        return sum(s.events for s in self.shards)
+
+    @property
+    def total_sim_seconds(self) -> float:
+        return sum(s.sim_seconds for s in self.shards)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(s.queries for s in self.shards)
+
+    @property
+    def failures(self) -> List[ShardStats]:
+        return [s for s in self.shards if s.error is not None]
+
+    @property
+    def speedup(self) -> float:
+        """Effective parallelism: shard CPU-seconds per elapsed second."""
+        return self.shard_wall_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    def table(self) -> str:
+        lines = [
+            f"{'shard':>5s} {'seed':>20s} {'wall s':>8s} {'events':>9s} "
+            f"{'queries':>8s} {'tries':>5s} status"
+        ]
+        for s in self.shards:
+            status = "ok" if s.ok else f"FAILED: {s.error.strip().splitlines()[-1]}"
+            lines.append(
+                f"{s.index:>5d} {s.seed:>20d} {s.wall_s:>8.3f} {s.events:>9d} "
+                f"{s.queries:>8d} {s.attempts:>5d} {status}"
+            )
+        lines.append(
+            f"jobs={self.jobs} backend={self.backend} wall={self.wall_s:.3f}s "
+            f"shard-wall={self.shard_wall_s:.3f}s speedup={self.speedup:.2f}x "
+            f"failures={len(self.failures)}"
         )
         return "\n".join(lines)

@@ -27,8 +27,9 @@ over simulated Ethernet frames.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
+
+from repro._compat import slotted_dataclass
 
 from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, IPv6Network
 from repro.net.icmpv6 import RouterPreference
@@ -77,9 +78,13 @@ PROBE_V4 = IPv4Address("203.0.113.80")
 PROBE_V6 = IPv6Address("2001:db8:80::80")
 
 
-@dataclass
+@slotted_dataclass()
 class TestbedConfig:
-    """Build-time switches for the testbed."""
+    """Build-time switches for the testbed.
+
+    Instances are picklable and ship to sweep worker processes; keep
+    every field a value type (see :mod:`repro.parallel.shard`).
+    """
 
     __test__ = False  # not a pytest class, despite the name
 

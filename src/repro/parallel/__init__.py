@@ -1,0 +1,46 @@
+"""Sharded parallel sweep execution with deterministic merge.
+
+The paper's headline results are sweeps over *independent* testbeds —
+one fresh client fleet per refresh stage (§VII), one fresh client per
+OS profile (§V).  Independent testbeds share no simulated events, so
+the sweep parallelises as pure replication: this package fans the
+shards out over a reusable ``multiprocessing`` pool and merges the
+results in a way that is byte-identical to the serial run.
+
+Entry points:
+
+- :class:`SweepExecutor` — serial/process backends, warm pool reuse,
+  per-shard timeout, crash retry, structured failure rows;
+- :func:`derive_seed` — the one per-shard seed rule both backends
+  apply, so ``jobs=1`` and ``jobs=N`` agree byte-for-byte;
+- :func:`make_shards` / :class:`ShardSpec` / :class:`ShardPayload` /
+  :class:`ShardResult` — the picklable job protocol.
+"""
+
+from repro.parallel.executor import (
+    JOBS_ENV_VAR,
+    SweepExecutor,
+    ensure_ok,
+    fork_available,
+    resolve_jobs,
+)
+from repro.parallel.shard import (
+    ShardPayload,
+    ShardResult,
+    ShardSpec,
+    derive_seed,
+    make_shards,
+)
+
+__all__ = [
+    "JOBS_ENV_VAR",
+    "SweepExecutor",
+    "ShardPayload",
+    "ShardResult",
+    "ShardSpec",
+    "derive_seed",
+    "ensure_ok",
+    "fork_available",
+    "make_shards",
+    "resolve_jobs",
+]

@@ -1,0 +1,134 @@
+"""Parallel execution must be invisible in the results.
+
+The acceptance bar for the sharded sweep engine: ``jobs=1`` and
+``jobs=4`` produce byte-identical merged tables, and ``jobs=1``
+reproduces the original (pre-sharding) serial loop exactly.
+"""
+
+from repro.analysis.adoption import (
+    run_adoption_sweep,
+    run_adoption_sweep_stats,
+    sweep_table,
+    windows_refresh_mixes,
+)
+from repro.analysis.matrix import matrix_table, run_device_matrix, run_device_matrix_stats
+from repro.clients.profiles import ALL_PROFILES
+from repro.core.testbed import Testbed, TestbedConfig
+from repro.parallel import SweepExecutor, derive_seed
+from repro.services.captive import connectivity_probe
+
+MIXES = windows_refresh_mixes(fleet_size=6, stages=(0.0, 0.5, 1.0))
+
+
+class TestSweepDeterminism:
+    def test_jobs1_vs_jobs4_identical_tables(self):
+        serial = sweep_table(run_adoption_sweep(MIXES, jobs=1))
+        parallel = sweep_table(run_adoption_sweep(MIXES, jobs=4))
+        assert serial == parallel
+
+    def test_jobs1_matches_pre_sharding_serial_loop(self):
+        # The original run_adoption_sweep, inlined: one fresh testbed
+        # per mix, same config for every stage.
+        expected_rows = []
+        for mix in MIXES:
+            testbed = Testbed(TestbedConfig())
+            intervened = 0
+            index = 0
+            for profile, count in mix.devices:
+                for _ in range(count):
+                    client = testbed.add_client(profile, f"dev-{index}")
+                    index += 1
+                    if client.fetch("sc24.supercomputing.org").landed_on == "ip6.me":
+                        intervened += 1
+            census = testbed.census()
+            expected_rows.append(
+                (
+                    mix.label,
+                    mix.total,
+                    sum(1 for c in testbed.clients if c.host.ipv4_config is not None),
+                    sum(1 for c in testbed.clients if c.host.v6only_wait is not None),
+                    intervened,
+                    census.accurate_ipv6_only_count(),
+                )
+            )
+        points = run_adoption_sweep(MIXES, jobs=1)
+        got_rows = [
+            (p.label, p.total, p.ipv4_leases, p.rfc8925_grants, p.intervened, p.accurate_v6only)
+            for p in points
+        ]
+        assert got_rows == expected_rows
+
+    def test_shard_seeds_follow_derive_seed_at_any_jobs(self):
+        base = TestbedConfig().seed
+        for jobs in (1, 4):
+            _points, stats = run_adoption_sweep_stats(MIXES, jobs=jobs)
+            assert [s.seed for s in stats.shards] == [
+                derive_seed(base, i) for i in range(len(MIXES))
+            ]
+
+    def test_stats_report_engine_work(self):
+        _points, stats = run_adoption_sweep_stats(MIXES, jobs=1)
+        assert stats.total_events > 0
+        assert stats.total_queries > 0
+        assert stats.total_sim_seconds > 0
+        assert len(stats.shards) == len(MIXES)
+        assert not stats.failures
+
+
+class TestMatrixDeterminism:
+    def test_jobs1_vs_jobs4_identical_tables(self):
+        serial = matrix_table(run_device_matrix(jobs=1))
+        parallel = matrix_table(run_device_matrix(jobs=4))
+        assert serial == parallel
+
+    def test_jobs1_matches_pre_sharding_single_testbed(self):
+        # The original run_device_matrix, inlined: one shared testbed,
+        # one client per profile, sequential.
+        testbed = Testbed(TestbedConfig())
+        expected_rows = []
+        for index, profile in enumerate(ALL_PROFILES):
+            client = testbed.add_client(profile, f"dev-{index}-{profile.name}")
+            probe = connectivity_probe(client)
+            browse = client.fetch("sc24.supercomputing.org")
+            expected_rows.append(
+                (
+                    profile.name,
+                    client.host.ipv4_config is not None,
+                    client.host.v6only_wait is not None,
+                    bool(client.host.ipv6_global_addresses()),
+                    probe.outcome,
+                    browse.landed_on,
+                    browse.family,
+                )
+            )
+        outcomes = run_device_matrix(jobs=1)
+        got_rows = [
+            (
+                o.profile,
+                o.got_ipv4_lease,
+                o.got_option_108,
+                o.has_ipv6,
+                o.probe,
+                o.browse_landed_on,
+                o.browse_family,
+            )
+            for o in outcomes
+        ]
+        assert got_rows == expected_rows
+
+    def test_jobs1_uses_single_shard(self):
+        _outcomes, stats = run_device_matrix_stats(jobs=1)
+        assert len(stats.shards) == 1
+        assert stats.backend == "serial"
+
+    def test_jobs4_shards_and_merges_in_profile_order(self):
+        outcomes, stats = run_device_matrix_stats(jobs=4)
+        assert len(stats.shards) == 4
+        assert [o.profile for o in outcomes] == [p.name for p in ALL_PROFILES]
+
+    def test_shared_executor_reused_across_sweeps(self):
+        with SweepExecutor(jobs=2) as executor:
+            first = matrix_table(run_device_matrix(executor=executor))
+            second = sweep_table(run_adoption_sweep(MIXES, executor=executor))
+        assert first == matrix_table(run_device_matrix(jobs=1))
+        assert second == sweep_table(run_adoption_sweep(MIXES, jobs=1))

@@ -1,0 +1,235 @@
+"""The sweep executor: backends, retry, timeout, stats, job resolution.
+
+Worker functions live at module level so the process backend can pickle
+them by reference; with the ``fork`` start method the forked workers
+inherit this module already imported.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.metrics import SweepStats
+from repro.parallel import (
+    JOBS_ENV_VAR,
+    ShardPayload,
+    ShardSpec,
+    SweepExecutor,
+    derive_seed,
+    ensure_ok,
+    fork_available,
+    make_shards,
+    resolve_jobs,
+)
+from repro.parallel import executor as executor_module
+
+
+def _double(spec: ShardSpec):
+    return spec.payload * 2
+
+
+def _echo_seed(spec: ShardSpec):
+    return spec.seed
+
+
+def _with_stats(spec: ShardSpec):
+    return ShardPayload(spec.payload + 1, events=10, sim_seconds=2.0, queries=3)
+
+
+def _fail_always(spec: ShardSpec):
+    raise RuntimeError(f"shard {spec.index} exploded")
+
+
+def _fail_first_attempt(spec: ShardSpec):
+    # A sentinel file marks the first attempt; the retry finds it and
+    # succeeds.  Works identically in-process and across fork.
+    marker = spec.payload
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("attempt 1")
+        raise RuntimeError("first attempt crashes")
+    return "recovered"
+
+
+def _sleep_long(spec: ShardSpec):
+    # Long enough to trip any sane test timeout, short enough that the
+    # orphaned worker exits promptly after the pool is recycled.
+    time.sleep(5.0)
+    return "never"
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(2024, 5) == derive_seed(2024, 5)
+
+    def test_distinct_across_shards_and_bases(self):
+        seeds = {derive_seed(2024, i) for i in range(200)}
+        assert len(seeds) == 200
+        assert derive_seed(1, 0) != derive_seed(2, 0)
+
+    def test_range(self):
+        for i in range(50):
+            seed = derive_seed(0xDEADBEEF, i)
+            assert 0 <= seed < 1 << 63
+
+    def test_make_shards_applies_rule(self):
+        specs = make_shards(["a", "b", "c"], base_seed=7)
+        assert [s.index for s in specs] == [0, 1, 2]
+        assert [s.seed for s in specs] == [derive_seed(7, i) for i in range(3)]
+        assert [s.payload for s in specs] == ["a", "b", "c"]
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "5")
+        assert resolve_jobs(None) == 5
+
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_invalid_env_is_one(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "lots")
+        assert resolve_jobs(None) == 1
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(-1) == (os.cpu_count() or 1)
+
+
+class TestBackendSelection:
+    def test_jobs_one_is_serial(self):
+        assert SweepExecutor(jobs=1).backend == "serial"
+        assert SweepExecutor(jobs=1, backend="process").backend == "serial"
+
+    def test_jobs_many_is_process(self):
+        executor = SweepExecutor(jobs=2)
+        assert executor.backend == ("process" if fork_available() else "serial")
+        executor.close()
+
+    def test_fallback_without_fork(self, monkeypatch):
+        monkeypatch.setattr(executor_module, "fork_available", lambda: False)
+        assert executor_module.SweepExecutor(jobs=4, backend="process").backend == "serial"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(jobs=2, backend="threads")
+
+
+@pytest.mark.parametrize("jobs", [1, 3])
+class TestRunBothBackends:
+    def test_values_in_spec_order(self, jobs):
+        specs = make_shards(list(range(10)), base_seed=1)
+        with SweepExecutor(jobs=jobs) as executor:
+            results = executor.run(_double, specs)
+        assert [r.index for r in results] == list(range(10))
+        assert [r.value for r in results] == [i * 2 for i in range(10)]
+        assert all(r.ok and r.attempts == 1 for r in results)
+
+    def test_seeds_identical_across_backends(self, jobs):
+        # The per-shard seed is carried by the spec, not the backend:
+        # any jobs count observes the same derive_seed stream.
+        specs = make_shards([None] * 6, base_seed=2024)
+        with SweepExecutor(jobs=jobs) as executor:
+            seeds = executor.map(_echo_seed, specs)
+        assert seeds == [derive_seed(2024, i) for i in range(6)]
+
+    def test_payload_stats_folded(self, jobs):
+        specs = make_shards([10, 20, 30], base_seed=0)
+        with SweepExecutor(jobs=jobs) as executor:
+            results = executor.run(_with_stats, specs)
+            stats = executor.last_stats
+        assert [r.value for r in results] == [11, 21, 31]
+        assert isinstance(stats, SweepStats)
+        assert stats.total_events == 30
+        assert stats.total_queries == 9
+        assert stats.total_sim_seconds == pytest.approx(6.0)
+        assert stats.shard_wall_s > 0
+        assert len(stats.shards) == 3
+
+    def test_crash_retried_once_then_fails(self, jobs):
+        specs = make_shards(["x"], base_seed=0)
+        with SweepExecutor(jobs=jobs) as executor:
+            results = executor.run(_fail_always, specs)
+        (result,) = results
+        assert not result.ok
+        assert result.attempts == 2
+        assert "exploded" in result.error
+        with pytest.raises(RuntimeError, match="1 of 1 shards failed"):
+            ensure_ok(results, "unit sweep")
+
+    def test_crash_recovered_on_retry(self, jobs, tmp_path):
+        markers = [str(tmp_path / f"marker-{jobs}-{i}") for i in range(3)]
+        specs = make_shards(markers, base_seed=0)
+        # chunk_size=1 so each shard's first attempt runs exactly once
+        # before its retry (a chunked rerun would double-run neighbours).
+        with SweepExecutor(jobs=jobs, chunk_size=1) as executor:
+            results = executor.run(_fail_first_attempt, specs)
+        assert [r.value for r in results] == ["recovered"] * 3
+        assert all(r.ok and r.attempts == 2 for r in results)
+
+    def test_empty_specs(self, jobs):
+        with SweepExecutor(jobs=jobs) as executor:
+            assert executor.run(_double, []) == []
+            assert executor.last_stats.shards == []
+
+
+class TestProcessBackend:
+    pytestmark = pytest.mark.skipif(not fork_available(), reason="needs fork")
+
+    def test_warm_pool_reused_across_runs(self):
+        with SweepExecutor(jobs=2) as executor:
+            executor.run(_double, make_shards(range(4), base_seed=0))
+            pool_first = executor._pool
+            executor.run(_double, make_shards(range(4), base_seed=0))
+            assert executor._pool is pool_first
+            assert pool_first is not None
+
+    def test_timeout_is_structured_failure(self):
+        # Two shards because a single spec short-circuits to the serial
+        # path (which cannot preempt); chunk_size=1 keeps each sleeper
+        # in its own chunk.
+        specs = make_shards(["sleep", "sleep"], base_seed=0)
+        with SweepExecutor(jobs=2, timeout=0.3, chunk_size=1) as executor:
+            results = executor.run(_sleep_long, specs)
+        assert all(not r.ok for r in results)
+        assert any("timed out" in r.error for r in results)
+
+    def test_unpicklable_payload_is_structured_failure(self):
+        specs = [
+            ShardSpec(index=0, seed=1, payload=lambda: None),  # lambdas don't pickle
+            ShardSpec(index=1, seed=2, payload=3),
+        ]
+        with SweepExecutor(jobs=2, chunk_size=1) as executor:
+            results = executor.run(_double, specs)
+        assert not results[0].ok
+        assert results[1].ok and results[1].value == 6
+
+    def test_stats_speedup_and_table(self):
+        specs = make_shards(range(6), base_seed=0)
+        with SweepExecutor(jobs=2) as executor:
+            executor.run(_with_stats, specs)
+            stats = executor.last_stats
+        assert stats.jobs == 2
+        assert stats.backend == "process"
+        assert stats.speedup >= 0
+        table = stats.table()
+        assert "jobs=2" in table
+        assert "failures=0" in table
+
+
+class TestSweepStatsTable:
+    def test_failure_rows_marked(self):
+        specs = make_shards(["x", "y"], base_seed=0)
+        with SweepExecutor(jobs=1) as executor:
+            executor.run(_fail_always, specs)
+            stats = executor.last_stats
+        assert len(stats.failures) == 2
+        table = stats.table()
+        assert "FAILED" in table
+        assert "failures=2" in table

@@ -31,6 +31,18 @@ class TestCli:
         out = capsys.readouterr().out
         assert "100% refreshed" in out
 
+    def test_sweep_jobs_matches_serial(self, capsys):
+        assert main(["sweep", "--fleet", "6", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["sweep", "--fleet", "6", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_matrix_jobs_matches_serial(self, capsys):
+        assert main(["matrix", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["matrix", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
     def test_scores(self, capsys):
         assert main(["scores"]) == 0
         out = capsys.readouterr().out

@@ -1,0 +1,62 @@
+"""The benchmark harness' regression gate and seed-improvement maths.
+
+Event-less scenarios (``dns_fast_path``) report ``events_per_sec:
+null``; the gate must skip null metrics explicitly instead of warning
+or dividing by ``None``/zero.
+"""
+
+import warnings
+
+from benchmarks.harness import compare, improvement_vs_seed
+
+
+def _baseline(scenarios):
+    return {"git_commit": "abc1234", "scenarios": scenarios}
+
+
+class TestCompareGate:
+    def test_null_metrics_skipped(self):
+        current = {
+            "dns_fast_path": {"events_per_sec": None, "queries_per_sec": 1000.0},
+        }
+        baseline = _baseline(
+            {"dns_fast_path": {"events_per_sec": None, "queries_per_sec": 1000.0}}
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert compare(current, baseline, tolerance=0.25) == []
+
+    def test_null_current_vs_numeric_baseline_skipped(self):
+        current = {"s": {"events_per_sec": None, "queries_per_sec": 500.0}}
+        baseline = _baseline({"s": {"events_per_sec": 4000.0, "queries_per_sec": 500.0}})
+        assert compare(current, baseline, tolerance=0.25) == []
+
+    def test_zero_baseline_cannot_gate(self):
+        current = {"s": {"events_per_sec": 10.0, "queries_per_sec": 10.0}}
+        baseline = _baseline({"s": {"events_per_sec": 0, "queries_per_sec": 0}})
+        assert compare(current, baseline, tolerance=0.25) == []
+
+    def test_real_regression_still_caught(self):
+        current = {"s": {"events_per_sec": 100.0, "queries_per_sec": 500.0}}
+        baseline = _baseline({"s": {"events_per_sec": 1000.0, "queries_per_sec": 500.0}})
+        problems = compare(current, baseline, tolerance=0.25)
+        assert len(problems) == 1
+        assert "s.events_per_sec" in problems[0]
+
+    def test_no_baseline_is_clean(self):
+        assert compare({"s": {"events_per_sec": 1.0, "queries_per_sec": 1.0}}, None, 0.25) == []
+
+
+class TestImprovementVsSeed:
+    def test_null_metrics_skipped(self):
+        current = {"dns_fast_path": {"events_per_sec": None, "queries_per_sec": 2000.0}}
+        seed = _baseline(
+            {"dns_fast_path": {"events_per_sec": None, "queries_per_sec": 1000.0}}
+        )
+        factors = improvement_vs_seed(current, seed)
+        assert factors == {"dns_fast_path.queries_per_sec": 2.0}
+
+    def test_zero_seed_baseline_skipped(self):
+        current = {"s": {"events_per_sec": 10.0, "queries_per_sec": 10.0}}
+        seed = _baseline({"s": {"events_per_sec": 0, "queries_per_sec": 5.0}})
+        assert improvement_vs_seed(current, seed) == {"s.queries_per_sec": 2.0}
