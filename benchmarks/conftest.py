@@ -9,7 +9,7 @@ reproduction claim.
 
 import pytest
 
-from repro.core.testbed import TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, TestbedConfig
 
 
 def report(title, lines):

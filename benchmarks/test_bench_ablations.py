@@ -3,15 +3,15 @@ the testbed is switched off and the observable consequence measured —
 the evidence for why the paper's §IV.A criteria needed every piece.
 """
 
-from repro.net.addresses import IPv4Address
-from repro.dns.message import DnsMessage
-from repro.dns.rdata import RRType
 from repro.clients.profiles import LINUX, MACOS, NINTENDO_SWITCH, WINDOWS_10
 from repro.core.intervention import InterventionConfig, PoisonedDNSServer
 from repro.core.rpz import RpzConfig, RPZPolicyServer
-from repro.core.testbed import PI_HEALTHY_V6, TestbedConfig, build_testbed
-from repro.xlat.dns64 import DNS64Resolver
+from repro.core.testbed import build_testbed, PI_HEALTHY_V6, TestbedConfig
+from repro.dns.message import DnsMessage
+from repro.dns.rdata import RRType
 from repro.dns.zone import Zone
+from repro.net.addresses import IPv4Address
+from repro.xlat.dns64 import DNS64Resolver
 
 from benchmarks.conftest import report
 

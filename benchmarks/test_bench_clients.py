@@ -2,10 +2,10 @@
 E10 (figure 10): Windows 10's RDNSS preference shields it from poison.
 """
 
-from repro.dns.rdata import RRType
 from repro.clients.apps import EcholinkApp
 from repro.clients.profiles import WINDOWS_10, WINDOWS_11
-from repro.core.testbed import SC24_WEB_V4, TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, SC24_WEB_V4, TestbedConfig
+from repro.dns.rdata import RRType
 
 from benchmarks.conftest import report
 

@@ -7,13 +7,13 @@
 - E20: the enhanced-mirror advisories (§VII future work).
 """
 
-from repro.net.addresses import IPv4Address, IPv6Address, IPv6Network
 from repro.analysis.dnsstats import analyze_dns_logs
 from repro.clients.happy_eyeballs import happy_eyeballs_connect
 from repro.clients.profiles import MACOS, NINTENDO_SWITCH, WINDOWS_10, WINDOWS_XP
 from repro.core.advisor import advise
 from repro.core.scoring import score_rfc8925_aware
-from repro.core.testbed import TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, TestbedConfig
+from repro.net.addresses import IPv4Address, IPv6Address, IPv6Network
 from repro.services.testipv6 import run_test_ipv6
 
 from benchmarks.conftest import report

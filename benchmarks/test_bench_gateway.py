@@ -1,10 +1,10 @@
 """E3 (figure 3): the 5G gateway's RA quirks and the workaround."""
 
-from repro.net.addresses import IPv6Address
+from repro.clients.profiles import LINUX
+from repro.core.testbed import build_testbed, PI_HEALTHY_V6, TestbedConfig
 from repro.dns.message import DnsMessage
 from repro.dns.rdata import RRType
-from repro.clients.profiles import LINUX
-from repro.core.testbed import PI_HEALTHY_V6, TestbedConfig, build_testbed
+from repro.net.addresses import IPv6Address
 
 from benchmarks.conftest import report
 

@@ -3,7 +3,7 @@ clients — success parity and latency deltas with the intervention on
 and off."""
 
 from repro.clients.profiles import LINUX, MACOS, WINDOWS_10, WINDOWS_11_RFC8925
-from repro.core.testbed import TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, TestbedConfig
 
 from benchmarks.conftest import report
 

@@ -3,10 +3,10 @@ E9 (figure 9): poisoned A for a nonexistent FQDN via suffix search.
 E13 (§VII): the RPZ alternative fixes E9.
 """
 
-from repro.net.addresses import IPv4Address, IPv6Address
 from repro.clients.profiles import NINTENDO_SWITCH, WINDOWS_11
-from repro.core.testbed import CARRIER_DNS_V4, TestbedConfig, build_testbed
-from repro.services.captive import ProbeOutcome, connectivity_probe
+from repro.core.testbed import build_testbed, CARRIER_DNS_V4, TestbedConfig
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.services.captive import connectivity_probe, ProbeOutcome
 
 from benchmarks.conftest import report
 

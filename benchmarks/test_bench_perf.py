@@ -7,22 +7,18 @@ synthesis, NAT64/NAT44/SIIT translation, codec and checksum costs.
 
 import pytest
 
-from repro.net.addresses import (
-    IPv4Address,
-    IPv6Address,
-    embed_ipv4_in_nat64,
-)
+from repro.core.intervention import InterventionConfig, PoisonedDNSServer
+from repro.dns.message import DnsMessage
+from repro.dns.rdata import RRType
+from repro.dns.zone import Zone
+from repro.net.addresses import embed_ipv4_in_nat64, IPv4Address, IPv6Address
 from repro.net.checksum import internet_checksum
 from repro.net.ipv4 import IPProto, IPv4Packet
 from repro.net.ipv6 import IPv6Packet
 from repro.net.udp import UdpDatagram
-from repro.dns.message import DnsMessage
-from repro.dns.rdata import RRType
-from repro.dns.zone import Zone
 from repro.xlat.dns64 import DNS64Resolver
 from repro.xlat.nat44 import StatefulNat44
 from repro.xlat.nat64 import Nat64Config, StatefulNAT64
-from repro.core.intervention import InterventionConfig, PoisonedDNSServer
 
 
 class Clock:

@@ -1,7 +1,7 @@
 """E16 (§VII): deploy/remove playbooks — the Ansible-equivalent drill."""
 
 from repro.clients.profiles import NINTENDO_SWITCH
-from repro.core.testbed import TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, TestbedConfig
 
 from benchmarks.conftest import report
 

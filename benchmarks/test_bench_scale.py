@@ -14,7 +14,7 @@ from repro.clients.profiles import (
     WINDOWS_10,
     WINDOWS_11,
 )
-from repro.core.testbed import TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, TestbedConfig
 
 from benchmarks.conftest import report
 

@@ -6,7 +6,7 @@ E14 (§VI): the RFC 8925-only-10/10 scoring fix.
 from repro.clients.profiles import MACOS, WINDOWS_10, WINDOWS_10_V6_DISABLED
 from repro.clients.vpn import SplitTunnelVPN, VpnAwareClient, VpnMode
 from repro.core.scoring import score_rfc8925_aware, score_stock
-from repro.core.testbed import CARRIER_DNS_V4, CONCENTRATOR_V4, TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, CARRIER_DNS_V4, CONCENTRATOR_V4, TestbedConfig
 from repro.services.testipv6 import run_test_ipv6
 
 from benchmarks.conftest import report

@@ -4,14 +4,14 @@ E4 (figure 4): the SC24v6 testbed build + convergence.
 
 import pytest
 
+from repro.clients.profiles import LINUX, MACOS, NINTENDO_SWITCH
+from repro.core.testbed import build_testbed, TestbedConfig
 from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, IPv6Network
 from repro.sim.engine import EventEngine
 from repro.sim.host import ServerHost
 from repro.sim.node import connect
 from repro.sim.router import Router
 from repro.sim.switch import ManagedSwitch
-from repro.clients.profiles import LINUX, MACOS, NINTENDO_SWITCH
-from repro.core.testbed import TestbedConfig, build_testbed
 
 from benchmarks.conftest import report
 

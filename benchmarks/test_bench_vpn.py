@@ -2,13 +2,7 @@
 
 from repro.clients.profiles import WINDOWS_10
 from repro.clients.vpn import SplitTunnelVPN, VpnMode
-from repro.core.testbed import (
-    CARRIER_DNS_V4,
-    CONCENTRATOR_V4,
-    TestbedConfig,
-    VTC_V4,
-    build_testbed,
-)
+from repro.core.testbed import build_testbed, CARRIER_DNS_V4, CONCENTRATOR_V4, TestbedConfig, VTC_V4
 from repro.xlat.siit import TranslationError
 
 from benchmarks.conftest import report

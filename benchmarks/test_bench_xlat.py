@@ -1,8 +1,8 @@
 """E7 (figure 7): Windows XP via the poisoned DNS64 + NAT64."""
 
-from repro.net.addresses import IPv6Address
 from repro.clients.profiles import WINDOWS_XP
-from repro.core.testbed import PI_POISON_V4, TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, PI_POISON_V4, TestbedConfig
+from repro.net.addresses import IPv6Address
 
 from benchmarks.conftest import report
 

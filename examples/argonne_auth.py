@@ -7,7 +7,7 @@ Run:  python examples/argonne_auth.py
 """
 
 from repro.clients.profiles import LEGACY_IOT, MACOS, WINDOWS_10
-from repro.core.testbed import TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, TestbedConfig
 
 
 def main() -> None:

@@ -7,7 +7,7 @@ Run:  python examples/device_lab.py
 """
 
 from repro.clients.profiles import NINTENDO_SWITCH, WINDOWS_10, WINDOWS_11, WINDOWS_XP
-from repro.core.testbed import CARRIER_DNS_V4, TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, CARRIER_DNS_V4, TestbedConfig
 from repro.services.captive import connectivity_probe
 
 

@@ -6,7 +6,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.clients.profiles import MACOS, NINTENDO_SWITCH, WINDOWS_10
-from repro.core.testbed import TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, TestbedConfig
 from repro.services.captive import connectivity_probe
 
 

@@ -8,7 +8,7 @@ Run:  python examples/rollout_drill.py
 """
 
 from repro.clients.profiles import NINTENDO_SWITCH, WINDOWS_10
-from repro.core.testbed import TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, TestbedConfig
 
 
 def check(testbed, tag):

@@ -9,7 +9,7 @@ Run:  python examples/sc24v6_conference.py
 
 from repro.clients.profiles import ALL_PROFILES
 from repro.core.scoring import score_rfc8925_aware, score_stock
-from repro.core.testbed import TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, TestbedConfig
 from repro.services.testipv6 import run_test_ipv6
 
 

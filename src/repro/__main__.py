@@ -7,6 +7,8 @@ Commands:
 - ``scores``      — mirror scores per device class, stock vs fixed
 - ``demo``        — the quickstart walk-through
 - ``experiments`` — one-line status for every paper experiment (E1-E16)
+- ``lint``        — determinism & wire-contract static analysis (repro.lint)
+- ``sanitize``    — runtime determinism sanitizer (hash-salt + sharding diff)
 """
 
 from __future__ import annotations
@@ -16,7 +18,7 @@ import sys
 
 from repro.analysis.adoption import run_adoption_sweep, sweep_table, windows_refresh_mixes
 from repro.analysis.matrix import matrix_table, run_device_matrix
-from repro.core.testbed import TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, TestbedConfig
 
 __all__ = ["main"]
 
@@ -106,7 +108,25 @@ def cmd_experiments(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_sanitize(args) -> int:
+    from repro.lint.sanitize import main as sanitize_main
+
+    forwarded = []
+    if args.quick:
+        forwarded.append("--quick")
+    forwarded += ["--jobs", str(args.jobs), "--timeout", str(args.timeout)]
+    return sanitize_main(forwarded)
+
+
 def main(argv=None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    # ``lint`` forwards everything verbatim to the repro.lint CLI.  Done
+    # before argparse: REMAINDER mis-parses a leading option (bpo-17050).
+    if arguments and arguments[0] == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(arguments[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="v6shift: RFC 8925 + IPv4 DNS interventions, simulated (SC 2024 reproduction)",
@@ -137,7 +157,19 @@ def main(argv=None) -> int:
     p_exp = sub.add_parser("experiments", help="fast pass over the paper experiments")
     p_exp.set_defaults(fn=cmd_experiments)
 
-    args = parser.parse_args(argv)
+    # ``lint`` is handled above (verbatim forwarding); registered here
+    # only so it shows in --help.
+    sub.add_parser("lint", help="determinism & wire-contract static analysis (repro.lint)")
+
+    p_sanitize = sub.add_parser(
+        "sanitize", help="runtime determinism sanitizer (PYTHONHASHSEED + --jobs diff)"
+    )
+    p_sanitize.add_argument("--quick", action="store_true", help="CI smoke variant")
+    p_sanitize.add_argument("--jobs", type=int, default=4, help="workers for sharded probes")
+    p_sanitize.add_argument("--timeout", type=float, default=600.0)
+    p_sanitize.set_defaults(fn=cmd_sanitize)
+
+    args = parser.parse_args(arguments)
     try:
         return args.fn(args)
     except BrokenPipeError:

@@ -1,7 +1,6 @@
 """Experiment analysis: the device-outcome matrix, fleet-refresh
 adoption sweeps and report rendering."""
 
-from repro.analysis.matrix import DeviceOutcome, run_device_matrix, matrix_table
 from repro.analysis.adoption import (
     AdoptionPoint,
     FleetMix,
@@ -9,6 +8,7 @@ from repro.analysis.adoption import (
     sweep_table,
     windows_refresh_mixes,
 )
+from repro.analysis.matrix import DeviceOutcome, matrix_table, run_device_matrix
 from repro.analysis.report import (
     census_markdown,
     device_matrix_markdown,

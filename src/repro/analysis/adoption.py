@@ -26,16 +26,10 @@ from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro._compat import slotted_dataclass
-from repro.clients.profiles import (
-    LEGACY_IOT,
-    MACOS,
-    OsProfile,
-    WINDOWS_10,
-    WINDOWS_11_RFC8925,
-)
+from repro.clients.profiles import LEGACY_IOT, MACOS, OsProfile, WINDOWS_10, WINDOWS_11_RFC8925
 from repro.core.metrics import SweepStats
 from repro.core.testbed import Testbed, TestbedConfig
-from repro.parallel import ShardPayload, ShardSpec, SweepExecutor, make_shards
+from repro.parallel import make_shards, ShardPayload, ShardSpec, SweepExecutor
 
 __all__ = [
     "FleetMix",

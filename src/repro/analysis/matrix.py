@@ -24,11 +24,11 @@ from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro._compat import slotted_dataclass
-from repro.services.captive import ProbeOutcome, connectivity_probe
 from repro.clients.profiles import ALL_PROFILES, OsProfile
 from repro.core.metrics import SweepStats
 from repro.core.testbed import Testbed, TestbedConfig
-from repro.parallel import ShardPayload, ShardSpec, SweepExecutor, make_shards
+from repro.parallel import make_shards, ShardPayload, ShardSpec, SweepExecutor
+from repro.services.captive import connectivity_probe, ProbeOutcome
 
 __all__ = [
     "DeviceOutcome",

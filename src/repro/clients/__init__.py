@@ -3,24 +3,24 @@ applies them, and the applications the paper observed (Echolink-style
 IPv4-literal apps, split-tunnel VPNs).
 """
 
+from repro.clients.apps import AppResult, EcholinkApp
+from repro.clients.device import ClientDevice, FetchOutcome
 from repro.clients.profiles import (
+    ALL_PROFILES,
+    ANDROID,
     DnsOrder,
+    IOS,
+    LEGACY_IOT,
+    LINUX,
+    MACOS,
+    NINTENDO_SWITCH,
     OsProfile,
-    WINDOWS_XP,
     WINDOWS_10,
     WINDOWS_10_V6_DISABLED,
     WINDOWS_11,
     WINDOWS_11_RFC8925,
-    LINUX,
-    MACOS,
-    IOS,
-    ANDROID,
-    NINTENDO_SWITCH,
-    LEGACY_IOT,
-    ALL_PROFILES,
+    WINDOWS_XP,
 )
-from repro.clients.device import ClientDevice, FetchOutcome
-from repro.clients.apps import EcholinkApp, AppResult
 from repro.clients.vpn import SplitTunnelVPN, VpnMode
 
 __all__ = [

@@ -15,8 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.net.addresses import IPv4Address
 from repro.clients.device import ClientDevice
+from repro.net.addresses import IPv4Address
 
 __all__ = ["AppResult", "EcholinkApp"]
 

@@ -18,21 +18,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
-from repro.net.addresses import IPv4Address, IPv6Address
+from repro.clients.profiles import DnsOrder, OsProfile
 from repro.dns.rdata import RRType
 from repro.dns.resolver import (
     DnsTransportError,
-    ResolverConfig,
     ResolutionResult,
+    ResolverConfig,
     SearchOrder,
     StubResolver,
 )
 from repro.nd.addrsel import CandidateAddress, order_destinations
+from repro.net.addresses import IPv4Address, IPv6Address
+from repro.services.http import http_get, HttpResponse
 from repro.sim.engine import EventEngine
 from repro.sim.host import Host
 from repro.sim.stack import StackConfig
-from repro.services.http import HttpResponse, http_get
-from repro.clients.profiles import DnsOrder, OsProfile
 
 __all__ = ["FetchOutcome", "ClientDevice"]
 

@@ -23,12 +23,12 @@ from __future__ import annotations
 import enum
 from typing import Optional, Sequence, Union
 
-from repro.net.addresses import IPv4Address, IPv6Address
+from repro.clients.device import ClientDevice, FetchOutcome
 from repro.dns.rdata import RRType
 from repro.dns.resolver import DnsTransportError, ResolverConfig, StubResolver
-from repro.sim.host import ServerHost
+from repro.net.addresses import IPv4Address, IPv6Address
 from repro.services.http import http_get
-from repro.clients.device import ClientDevice, FetchOutcome
+from repro.sim.host import ServerHost
 
 __all__ = ["VpnMode", "SplitTunnelVPN"]
 

@@ -3,14 +3,14 @@ networks, their policy and rollback machinery, the scoring fix, and the
 one-call testbed builder.
 """
 
-from repro.core.intervention import PoisonedDNSServer, InterventionConfig
-from repro.core.rpz import RPZPolicyServer, RpzConfig
-from repro.core.policy import InterventionPolicy, PolicyDecision, PolicyDhcpServer
-from repro.core.scoring import score_stock, score_rfc8925_aware, ScoringContext, ScoreBreakdown
-from repro.core.rollback import Playbook, Task, PlaybookRun
-from repro.core.testbed import Testbed, TestbedConfig, build_testbed
+from repro.core.advisor import Advice, advise, AdvisoryReport
+from repro.core.intervention import InterventionConfig, PoisonedDNSServer
 from repro.core.metrics import ClientCensus, ClientClass
-from repro.core.advisor import Advice, AdvisoryReport, advise
+from repro.core.policy import InterventionPolicy, PolicyDecision, PolicyDhcpServer
+from repro.core.rollback import Playbook, PlaybookRun, Task
+from repro.core.rpz import RpzConfig, RPZPolicyServer
+from repro.core.scoring import score_rfc8925_aware, score_stock, ScoreBreakdown, ScoringContext
+from repro.core.testbed import build_testbed, Testbed, TestbedConfig
 
 __all__ = [
     "PoisonedDNSServer",

@@ -13,16 +13,17 @@ it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import List, Optional
 
+from repro._compat import slotted_dataclass
 from repro.core.scoring import ScoreBreakdown
 from repro.services.testipv6 import SubtestResult, TestReport
 
 __all__ = ["Advice", "AdvisoryReport", "advise"]
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class Advice:
     """One recommendation, ordered by severity (lower = more urgent)."""
 
@@ -35,7 +36,7 @@ class Advice:
         return f"[{self.severity}] {self.title}\n      {self.detail}\n      evidence: {self.evidence}"
 
 
-@dataclass
+@slotted_dataclass()
 class AdvisoryReport:
     client_name: str
     score: ScoreBreakdown

@@ -15,19 +15,19 @@ the RPZ alternative (:mod:`repro.core.rpz`) later fixes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
-from repro.net.addresses import IPv4Address
-from repro.dns.message import DnsMessage, ResourceRecord
+from repro._compat import slotted_dataclass
+from repro.dns.message import DnsMessage, DnsQuestion, ResourceRecord
 from repro.dns.name import DnsName
 from repro.dns.rdata import A, RCode, RRType
 from repro.dns.server import DnsServer
+from repro.net.addresses import IPv4Address
 
 __all__ = ["InterventionConfig", "PoisonedDNSServer"]
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class InterventionConfig:
     """The two-line dnsmasq configuration, as data.
 
@@ -89,7 +89,7 @@ class InterventionConfig:
         )
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class ParsedDnsmasqConfig:
     """Result of :meth:`InterventionConfig.from_dnsmasq_lines`."""
 
@@ -122,7 +122,7 @@ class PoisonedDNSServer(DnsServer):
 
     _CACHE_COUNTERS = ("poison_answers",)
 
-    def _cacheable(self, question) -> bool:
+    def _cacheable(self, question: DnsQuestion) -> bool:
         # The poison answer is identical for every A query under the
         # same config; forwarded types depend on the upstream.
         return question.rrtype == RRType.A and not self._exempt(question.name)

@@ -15,9 +15,10 @@ operator has.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import Dict, List, Optional
 
+from repro._compat import slotted_dataclass
 from repro.net.addresses import MacAddress
 
 __all__ = [
@@ -43,7 +44,7 @@ class ClientClass(enum.Enum):
         return self in (ClientClass.IPV6_ONLY_RFC8925, ClientClass.IPV6_ONLY_NATIVE)
 
 
-@dataclass
+@slotted_dataclass()
 class CensusRow:
     name: str
     mac: MacAddress
@@ -54,7 +55,7 @@ class CensusRow:
     sent_v6_flows: bool
 
 
-@dataclass
+@slotted_dataclass()
 class ClientCensus:
     """Aggregates classification over a set of observed clients."""
 
@@ -139,7 +140,7 @@ class ClientCensus:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@slotted_dataclass()
 class ShardStats:
     """Per-shard execution statistics from one sweep run.
 
@@ -164,7 +165,7 @@ class ShardStats:
         return self.error is None
 
 
-@dataclass
+@slotted_dataclass()
 class SweepStats:
     """Merged statistics for one sweep: shard rows plus pool-level view.
 

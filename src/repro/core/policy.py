@@ -16,18 +16,19 @@ poisoned or the healthy resolver.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Sequence, Set
+from dataclasses import field
+from typing import Any, Dict, Sequence, Set
 
-from repro.net.addresses import IPv4Address, MacAddress
+from repro._compat import slotted_dataclass
 from repro.dhcp.message import DhcpMessage
 from repro.dhcp.options import DhcpOptionCode, pack_addresses
 from repro.dhcp.server import DhcpServer
+from repro.net.addresses import IPv4Address, MacAddress
 
 __all__ = ["PolicyDecision", "InterventionPolicy", "PolicyDhcpServer"]
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class PolicyDecision:
     """What one client gets from the network."""
 
@@ -36,7 +37,7 @@ class PolicyDecision:
     reason: str
 
 
-@dataclass
+@slotted_dataclass()
 class InterventionPolicy:
     """The decision table.
 
@@ -84,7 +85,7 @@ class PolicyDhcpServer(DhcpServer):
     """A DHCP server that consults an :class:`InterventionPolicy` per
     client before answering."""
 
-    def __init__(self, policy: InterventionPolicy, *args, **kwargs) -> None:
+    def __init__(self, policy: InterventionPolicy, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.policy = policy
 

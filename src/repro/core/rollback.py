@@ -14,8 +14,10 @@ playbooks for deploying and removing the intervention live in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import Callable, List, Optional
+
+from repro._compat import slotted_dataclass
 
 __all__ = ["Task", "PlaybookRun", "Playbook", "PlaybookError"]
 
@@ -24,7 +26,7 @@ class PlaybookError(Exception):
     """A task failed to apply; partial work has been reverted."""
 
 
-@dataclass
+@slotted_dataclass()
 class Task:
     """One reversible configuration change."""
 
@@ -34,7 +36,7 @@ class Task:
     check: Optional[Callable[[], bool]] = None  # post-apply verification
 
 
-@dataclass
+@slotted_dataclass()
 class PlaybookRun:
     """The record of one execution, the unit rollback() operates on."""
 

@@ -14,19 +14,19 @@ the intervention page for every *real* name they look up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
-from repro.net.addresses import IPv4Address
-from repro.dns.message import DnsMessage, ResourceRecord
+from repro._compat import slotted_dataclass
+from repro.dns.message import DnsMessage, DnsQuestion, ResourceRecord
 from repro.dns.name import DnsName
 from repro.dns.rdata import A, RCode, RRType
 from repro.dns.server import DnsServer
+from repro.net.addresses import IPv4Address
 
 __all__ = ["RpzConfig", "RPZPolicyServer"]
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class RpzConfig:
     """RPZ rewrite policy.
 
@@ -69,7 +69,7 @@ class RPZPolicyServer(DnsServer):
         self.passed_negative = 0
         self.forwarded = 0
 
-    def _cacheable(self, question) -> bool:
+    def _cacheable(self, question: DnsQuestion) -> bool:
         # Every answer is derived from a live upstream exchange — the
         # whole point of RPZ over dnsmasq — so nothing is cacheable.
         return False

@@ -21,9 +21,10 @@ Two scorers consume the same :class:`~repro.services.testipv6.TestReport`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import List, Optional, Sequence, Union
 
+from repro._compat import slotted_dataclass
 from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address
 from repro.services.testipv6 import SubtestResult, TestReport
 
@@ -44,7 +45,7 @@ _EXPECTED_FAMILY = {
 }
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class ScoringContext:
     """Server-side knowledge available to the fixed scorer."""
 
@@ -58,7 +59,7 @@ class ScoringContext:
         return any(address in net for net in self.nat64_egress)
 
 
-@dataclass
+@slotted_dataclass()
 class ScoreBreakdown:
     score: int
     max_score: int

@@ -27,28 +27,9 @@ over simulated Ethernet frames.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro._compat import slotted_dataclass
-
-from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, IPv6Network
-from repro.net.icmpv6 import RouterPreference
-from repro.dns.server import DnsServer
-from repro.dns.zone import Zone
-from repro.dhcp.server import DhcpPool
-from repro.nd.ra import RaDaemonConfig
-from repro.xlat.dns64 import DNS64Resolver
-from repro.sim.engine import EventEngine
-from repro.sim.gateway5g import Gateway5GConfig, MobileGateway5G
-from repro.sim.host import ServerHost
-from repro.sim.node import connect
-from repro.sim.switch import ManagedSwitch
-from repro.sim.trace import PacketTrace
-from repro.services.captive import PROBE_BODY, PROBE_HOST, PROBE_PATH
-from repro.services.http import HttpRequest, HttpResponse
-from repro.services.ip6me import IP6ME_V4, IP6ME_V6, Ip6MeService
-from repro.services.testipv6 import TestIpv6Mirror
-from repro.services.web import WebService
 from repro.clients.device import ClientDevice, FetchOutcome
 from repro.clients.profiles import OsProfile
 from repro.core.intervention import InterventionConfig, PoisonedDNSServer
@@ -57,6 +38,24 @@ from repro.core.policy import InterventionPolicy, PolicyDhcpServer
 from repro.core.rollback import Playbook
 from repro.core.rpz import RpzConfig, RPZPolicyServer
 from repro.core.scoring import ScoringContext
+from repro.dhcp.server import DhcpPool
+from repro.dns.server import DnsServer
+from repro.dns.zone import Zone
+from repro.nd.ra import RaDaemonConfig
+from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, IPv6Network
+from repro.net.icmpv6 import RouterPreference
+from repro.services.captive import PROBE_BODY, PROBE_HOST, PROBE_PATH
+from repro.services.http import HttpRequest, HttpResponse
+from repro.services.ip6me import IP6ME_V4, IP6ME_V6, Ip6MeService
+from repro.services.testipv6 import TestIpv6Mirror
+from repro.services.web import WebService
+from repro.sim.engine import EventEngine
+from repro.sim.gateway5g import Gateway5GConfig, MobileGateway5G
+from repro.sim.host import ServerHost
+from repro.sim.node import connect
+from repro.sim.switch import ManagedSwitch
+from repro.sim.trace import PacketTrace
+from repro.xlat.dns64 import DNS64Resolver
 
 __all__ = ["TestbedConfig", "Testbed", "build_testbed"]
 
@@ -325,7 +324,9 @@ class Testbed:
         self.pi_dhcp.udp_serve(67, self._dhcp_handler)
         connect(engine, self.pi_dhcp.port("eth0"), self.switch.add_port("p-pi-dhcp"))
 
-    def _dhcp_handler(self, payload: bytes, src, sport):
+    def _dhcp_handler(
+        self, payload: bytes, src: object, sport: int
+    ) -> Optional[Tuple[IPv4Address, int, bytes]]:
         reply = self.dhcp_server.handle_message(payload)
         if reply is None:
             return None

@@ -8,10 +8,10 @@ blocked at the switch by :mod:`repro.dhcp.snooping`, exactly as the
 testbed did.
 """
 
-from repro.dhcp.options import DhcpOptionCode, DhcpMessageType, V6ONLY_WAIT_DEFAULT, MIN_V6ONLY_WAIT
-from repro.dhcp.message import DhcpMessage, DHCP_CLIENT_PORT, DHCP_SERVER_PORT
-from repro.dhcp.server import DhcpServer, DhcpPool, Lease
-from repro.dhcp.client import DhcpClient, DhcpClientState, DhcpClientResult
+from repro.dhcp.client import DhcpClient, DhcpClientResult, DhcpClientState
+from repro.dhcp.message import DHCP_CLIENT_PORT, DHCP_SERVER_PORT, DhcpMessage
+from repro.dhcp.options import DhcpMessageType, DhcpOptionCode, MIN_V6ONLY_WAIT, V6ONLY_WAIT_DEFAULT
+from repro.dhcp.server import DhcpPool, DhcpServer, Lease
 from repro.dhcp.snooping import DhcpSnooper, SnoopAction
 
 __all__ = [

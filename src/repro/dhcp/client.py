@@ -18,9 +18,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from repro.net.addresses import IPv4Address, MacAddress
 from repro.dhcp.message import DhcpMessage
 from repro.dhcp.options import DhcpMessageType
+from repro.net.addresses import IPv4Address, MacAddress
 
 __all__ = ["DhcpClientState", "DhcpClientResult", "DhcpClient"]
 

@@ -11,15 +11,15 @@ import struct
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.net.addresses import IPv4Address, MacAddress
 from repro.dhcp.options import (
+    decode_options,
     DhcpMessageType,
     DhcpOptionCode,
-    decode_options,
     encode_options,
     unpack_addresses,
     unpack_v6only_wait,
 )
+from repro.net.addresses import IPv4Address, MacAddress
 
 __all__ = ["DhcpMessage", "DHCP_CLIENT_PORT", "DHCP_SERVER_PORT", "MAGIC_COOKIE"]
 

@@ -15,14 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
-from repro.net.addresses import IPv4Address, IPv4Network, MacAddress
 from repro.dhcp.message import DhcpMessage
-from repro.dhcp.options import (
-    DhcpMessageType,
-    DhcpOptionCode,
-    pack_addresses,
-    pack_v6only_wait,
-)
+from repro.dhcp.options import DhcpMessageType, DhcpOptionCode, pack_addresses, pack_v6only_wait
+from repro.net.addresses import IPv4Address, IPv4Network, MacAddress
 
 __all__ = ["DhcpPool", "Lease", "DhcpServer"]
 

@@ -16,11 +16,11 @@ import enum
 from dataclasses import dataclass, field
 from typing import Set
 
-from repro.net.ethernet import EtherType, EthernetFrame
+from repro.dhcp.message import DHCP_SERVER_PORT
+from repro.net.ethernet import EthernetFrame, EtherType
 from repro.net.ipv4 import IPProto
 from repro.net.lazy import LazyIPv4Packet
 from repro.net.udp import UdpDatagram
-from repro.dhcp.message import DHCP_SERVER_PORT
 
 __all__ = ["SnoopAction", "DhcpSnooper"]
 

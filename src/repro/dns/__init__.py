@@ -9,28 +9,28 @@ the RPZ alternative (:class:`repro.core.rpz.RPZPolicyServer`) all speak
 the wire format defined here.
 """
 
+from repro.dns.cache import DnsCache
+from repro.dns.message import DnsHeader, DnsMessage, DnsQuestion, ResourceRecord
 from repro.dns.name import DnsName
 from repro.dns.rdata import (
-    RRType,
-    RRClass,
-    RCode,
     A,
     AAAA,
     CNAME,
-    NS,
-    PTR,
-    SOA,
     MX,
-    TXT,
-    SRV,
+    NS,
     OpaqueRData,
+    PTR,
+    RCode,
+    RRClass,
+    RRType,
+    SOA,
+    SRV,
+    TXT,
 )
-from repro.dns.message import DnsHeader, DnsQuestion, ResourceRecord, DnsMessage
-from repro.dns.zone import Zone, ZoneError
-from repro.dns.cache import DnsCache
-from repro.dns.resolver import StubResolver, ResolverConfig, ResolutionResult, DnsTransportError
+from repro.dns.resolver import DnsTransportError, ResolutionResult, ResolverConfig, StubResolver
 from repro.dns.server import DnsServer, ForwardingDnsServer
-from repro.dns.zonefile import ZoneFileError, parse_zone_text, zone_to_text
+from repro.dns.zone import Zone, ZoneError
+from repro.dns.zonefile import parse_zone_text, zone_to_text, ZoneFileError
 
 __all__ = [
     "DnsName",

@@ -10,8 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.dns.name import DnsName
 from repro.dns.message import ResourceRecord
+from repro.dns.name import DnsName
 from repro.dns.rdata import RCode
 
 __all__ = ["DnsCache", "CacheEntry"]

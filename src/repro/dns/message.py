@@ -9,7 +9,7 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
 from repro.dns.name import DnsName, NameCompressor
-from repro.dns.rdata import RCode, RRClass, RRType, decode_rdata
+from repro.dns.rdata import decode_rdata, RCode, RRClass, RRType
 
 __all__ = ["DnsHeader", "DnsQuestion", "ResourceRecord", "DnsMessage"]
 

@@ -156,9 +156,13 @@ class DnsName:
         return f"DnsName('{self}')"
 
 
-class NameCompressor:
+class NameCompressor:  # repro: allow[RL201]
     """Tracks name→offset mappings while building one DNS message,
-    emitting RFC 1035 §4.1.4 compression pointers for repeated suffixes."""
+    emitting RFC 1035 §4.1.4 compression pointers for repeated suffixes.
+
+    One-sided by design (hence the RL201 pragma): compression state only
+    exists while *writing* a message; the decode direction lives in
+    :meth:`DnsName.decode`, which follows pointers statelessly."""
 
     def __init__(self) -> None:
         self._offsets: Dict[Tuple[str, ...], int] = {}

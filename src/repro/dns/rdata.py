@@ -12,8 +12,8 @@ import struct
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.net.addresses import IPv4Address, IPv6Address
 from repro.dns.name import DnsName, NameCompressor
+from repro.net.addresses import IPv4Address, IPv6Address
 
 __all__ = [
     "RRType",
@@ -265,6 +265,12 @@ class OpaqueRData:
         del compressor
         return self.data
 
+    @classmethod
+    def decode(cls, rrtype: int, message: bytes, offset: int, rdlength: int) -> "OpaqueRData":
+        """RFC 3597: unknown RDATA is preserved byte-for-byte, never
+        decompressed — re-encoding emits exactly the wire bytes seen."""
+        return cls(rrtype, bytes(message[offset : offset + rdlength]))
+
 
 _RDATA_CLASSES = {
     RRType.A: A,
@@ -283,5 +289,5 @@ def decode_rdata(rrtype: int, message: bytes, offset: int, rdlength: int):
     """Decode RDATA for ``rrtype`` from ``message`` at ``offset``."""
     cls = _RDATA_CLASSES.get(rrtype)
     if cls is None:
-        return OpaqueRData(rrtype, bytes(message[offset : offset + rdlength]))
+        return OpaqueRData.decode(rrtype, message, offset, rdlength)
     return cls.decode(message, offset, rdlength)

@@ -27,11 +27,11 @@ import itertools
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Union
 
-from repro.net.addresses import IPv4Address, IPv6Address
 from repro.dns.cache import DnsCache
 from repro.dns.message import DnsMessage, ResourceRecord
 from repro.dns.name import DnsName
 from repro.dns.rdata import RCode, RRType
+from repro.net.addresses import IPv4Address, IPv6Address
 
 __all__ = [
     "SearchOrder",

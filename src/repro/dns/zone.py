@@ -12,10 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.net.addresses import IPv4Address, IPv6Address
-from repro.dns.name import DnsName
 from repro.dns.message import ResourceRecord
+from repro.dns.name import DnsName
 from repro.dns.rdata import A, AAAA, CNAME, NS, RCode, RRType, SOA
+from repro.net.addresses import IPv4Address, IPv6Address
 
 __all__ = ["Zone", "ZoneError", "LookupResult"]
 

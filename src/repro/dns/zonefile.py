@@ -12,10 +12,10 @@ from __future__ import annotations
 import shlex
 from typing import List, Optional
 
-from repro.net.addresses import IPv4Address, IPv6Address
 from repro.dns.name import DnsName
 from repro.dns.rdata import A, AAAA, CNAME, MX, NS, PTR, RRType, SOA, SRV, TXT
 from repro.dns.zone import Zone, ZoneError
+from repro.net.addresses import IPv4Address, IPv6Address
 
 __all__ = ["parse_zone_text", "zone_to_text", "ZoneFileError"]
 

@@ -1,0 +1,48 @@
+"""Per-path rule allowlist.
+
+Policy: an entry here must name the *narrowest* path that needs the
+exception and carry a justification.  Prefer an inline
+``# repro: allow[CODE]`` pragma for single-line exceptions; use this
+table only when a whole file legitimately lives outside a rule (and
+would otherwise sprout a pragma per function).
+
+Paths are matched on their POSIX form with :func:`fnmatch.fnmatch`
+against the *suffix* anchored at ``repro/`` (so entries stay valid no
+matter where the repository is checked out).
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, Set, Tuple
+
+__all__ = ["ALLOWLIST", "allowed_codes_for"]
+
+#: path glob (anchored at ``repro/``) -> codes permitted there.
+ALLOWLIST: Dict[str, Tuple[str, ...]] = {
+    # The executor reads the host wall clock for per-shard statistics
+    # (ShardStats.wall_s).  Wall time never feeds simulation state or
+    # result tables — the determinism smoke in CI diffs serial vs
+    # parallel output precisely to prove that — so the timing ban does
+    # not apply to this file.
+    "repro/parallel/executor.py": ("RL101",),
+}
+
+
+def _anchored(path: Path) -> str:
+    """``.../src/repro/dns/zone.py`` -> ``repro/dns/zone.py``."""
+    parts = list(path.parts)
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[anchor:])
+    return path.as_posix()
+
+
+def allowed_codes_for(path: Path) -> Set[str]:
+    anchored = _anchored(path)
+    out: Set[str] = set()
+    for pattern, codes in ALLOWLIST.items():
+        if fnmatch(anchored, pattern):
+            out.update(codes)
+    return out

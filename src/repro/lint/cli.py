@@ -1,0 +1,83 @@
+"""``python -m repro.lint`` — the static analysis entry point."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.core import all_rules, lint_paths
+
+__all__ = ["main"]
+
+
+def _default_paths() -> List[Path]:
+    """``src`` when run from a checkout, else the installed package dir."""
+    src = Path("src")
+    if src.is_dir() and (src / "repro").is_dir():
+        return [src]
+    return [Path(__file__).resolve().parent.parent]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="determinism & wire-contract static analysis for the repro tree",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the src tree)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    parser.add_argument(
+        "--no-hints",
+        action="store_true",
+        help="omit fix-it hints from the report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.scope) if rule.scope else "all files"
+            print(f"{rule.code}  {rule.name:26s} [{scope}]")
+            print(f"       {rule.summary}")
+        return 0
+
+    select = None
+    if args.select:
+        select = {code.strip() for code in args.select.split(",") if code.strip()}
+
+    paths = args.paths or _default_paths()
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"repro.lint: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+
+    findings = lint_paths(paths, select=select)
+    for finding in findings:
+        if args.no_hints:
+            print(f"{finding.path}:{finding.line}:{finding.col}: {finding.code} {finding.message}")
+        else:
+            print(finding.render())
+    if findings:
+        codes = sorted({f.code for f in findings})
+        print(f"\nrepro.lint: {len(findings)} finding(s) [{', '.join(codes)}]")
+        return 1
+    print("repro.lint: clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,252 @@
+"""The analysis driver: file discovery, pragma handling, rule dispatch.
+
+The linter is a plain single-pass ``ast`` walker — no third-party
+dependencies — organised around small rule plugins (see
+:mod:`repro.lint.rules`).  Each rule owns one error code, a scope (the
+dotted module prefixes it applies to) and a ``check(ctx)`` that appends
+:class:`Finding` objects.  Suppression happens in exactly two places:
+
+- an inline pragma ``# repro: allow[CODE]`` on the flagged line (or on
+  the first line of the flagged statement), for one-off exceptions that
+  deserve a justification comment right where they live;
+- the per-path allowlist table in :mod:`repro.lint.allowlist`, for
+  whole-file policy decisions (e.g. the parallel executor may read the
+  wall clock for shard statistics).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "module_name_for",
+    "lint_file",
+    "lint_paths",
+]
+
+#: ``# repro: allow[RL101]`` — also accepts a comma list: ``allow[RL101,RL103]``.
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9_,\s]+)\]")
+
+#: Optional fixture directive overriding the module scope derived from
+#: the file path (a comment line starting ``# repro-lint-module:``
+#: within the first few lines).  Lets the test corpus exercise
+#: package-scoped rules from ``tests/lint/``.
+_MODULE_DIRECTIVE_RE = re.compile(r"^# repro-lint-module:\s*([A-Za-z0-9_.]+)\s*$", re.MULTILINE)
+_MODULE_DIRECTIVE_WINDOW = 5  # lines from the top of the file
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        if self.hint:
+            text += f"\n    fix: {self.hint}"
+        return text
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs to inspect one file."""
+
+    path: Path
+    module: str
+    tree: ast.Module
+    source: str
+    lines: List[str] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+    #: Codes allowlisted for this path (from :mod:`repro.lint.allowlist`).
+    allowed_codes: Set[str] = field(default_factory=set)
+    #: line number -> codes suppressed by an inline pragma on that line.
+    pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+    #: line -> first line of the statement that contains it (pragmas on a
+    #: multi-line statement's first line cover the whole statement).
+    statement_starts: Dict[int, int] = field(default_factory=dict)
+
+    def in_module(self, prefixes: Sequence[str]) -> bool:
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        for probe in (line, self.statement_starts.get(line, line)):
+            codes = self.pragmas.get(probe)
+            if codes is not None and (code in codes or "*" in codes):
+                return True
+        return code in self.allowed_codes
+
+    def add(self, node: ast.AST, code: str, message: str, hint: str = "") -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self.is_suppressed(line, code):
+            return
+        self.findings.append(
+            Finding(str(self.path), line, col, code, message, hint)
+        )
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`code`, :attr:`name`, :attr:`scope` (dotted
+    module prefixes the rule applies to; empty = every file) and
+    implement :meth:`check`.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    #: Dotted module prefixes this rule fires in; () applies everywhere.
+    scope: Tuple[str, ...] = ()
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return not self.scope or ctx.in_module(self.scope)
+
+    def check(self, ctx: LintContext) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule, sorted by code."""
+    from repro.lint import rules as _rules  # noqa: F401  (triggers registration)
+
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module path for ``path``, anchored at the ``repro`` package.
+
+    Files outside a ``repro`` package tree (tests, examples) get their
+    bare stem — package-scoped rules then simply don't apply, unless the
+    file carries a ``# repro-lint-module:`` directive (see fixtures).
+    """
+    parts = list(path.parts)
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = parts[anchor:]
+        if dotted[-1].endswith(".py"):
+            dotted[-1] = dotted[-1][:-3]
+        if dotted[-1] == "__init__":
+            dotted = dotted[:-1]
+        return ".".join(dotted)
+    return path.stem
+
+
+def _collect_pragmas(source: str) -> Dict[int, Set[str]]:
+    pragmas: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match:
+            codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+            pragmas.setdefault(lineno, set()).update(codes)
+    return pragmas
+
+
+def _collect_statement_starts(tree: ast.Module) -> Dict[int, int]:
+    starts: Dict[int, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt):
+            end = getattr(node, "end_lineno", node.lineno) or node.lineno
+            for line in range(node.lineno, end + 1):
+                # Innermost statement wins: later (deeper) assignments
+                # overwrite only when they start later.
+                if line not in starts or node.lineno > starts[line]:
+                    starts[line] = node.lineno
+    return starts
+
+
+def lint_file(
+    path: Path,
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Run every applicable rule over one file."""
+    from repro.lint.allowlist import allowed_codes_for
+
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                str(path),
+                exc.lineno or 1,
+                exc.offset or 0,
+                "RL000",
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    module = module_name_for(path)
+    header = "\n".join(source.splitlines()[:_MODULE_DIRECTIVE_WINDOW])
+    directive = _MODULE_DIRECTIVE_RE.search(header)
+    if directive:
+        module = directive.group(1)
+    ctx = LintContext(
+        path=path,
+        module=module,
+        tree=tree,
+        source=source,
+        lines=source.splitlines(),
+        allowed_codes=allowed_codes_for(path),
+        pragmas=_collect_pragmas(source),
+        statement_starts=_collect_statement_starts(tree),
+    )
+    for rule in rules if rules is not None else all_rules():
+        if select is not None and rule.code not in select:
+            continue
+        if rule.applies_to(ctx):
+            rule.check(ctx)
+    ctx.findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return ctx.findings
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(sorted(p for p in path.rglob("*.py") if "__pycache__" not in p.parts))
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    select: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; deterministic order."""
+    rules = all_rules()
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules=rules, select=select))
+    return findings

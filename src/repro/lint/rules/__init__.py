@@ -1,0 +1,13 @@
+"""Rule plugins.
+
+Importing this package registers every rule with the core registry.
+Modules are imported in sorted order so registration — and therefore
+``--list-rules`` output — is deterministic (the linter holds itself to
+its own RL103 standard).
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import determinism, hygiene, wire
+
+__all__ = ["determinism", "wire", "hygiene"]

@@ -1,0 +1,101 @@
+"""Shared AST helpers for the rule plugins."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+__all__ = ["import_aliases", "resolve_call_target", "dotted_name", "slice_width"]
+
+#: ``from X import Y`` targets that rules care about resolving.  Maps a
+#: bare imported name back to its defining module so ``perf_counter()``
+#: resolves to ``time.perf_counter`` no matter how it was imported.
+_INTERESTING_MODULES = {
+    "time",
+    "datetime",
+    "random",
+    "os",
+    "uuid",
+    "secrets",
+    "struct",
+}
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted path they were imported as.
+
+    Covers module imports (``import time``, ``import struct as _s``)
+    and from-imports out of the modules rules inspect
+    (``from time import perf_counter``, ``from datetime import datetime``).
+    Function-level imports are included — ``ast.walk`` visits them all.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            root = node.module.split(".")[0]
+            if root in _INTERESTING_MODULES:
+                for alias in node.names:
+                    aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_call_target(func: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Fully-qualified dotted target of a call, through import aliases.
+
+    ``perf_counter()`` with ``from time import perf_counter`` resolves
+    to ``time.perf_counter``; ``dt.now()`` with
+    ``from datetime import datetime as dt`` to ``datetime.datetime.now``.
+    """
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    resolved_head = aliases.get(head)
+    if resolved_head is None:
+        return dotted
+    return f"{resolved_head}.{rest}" if rest else resolved_head
+
+
+def slice_width(node: ast.expr) -> Optional[int]:
+    """Byte width of a literal-bounded slice expression, if derivable.
+
+    Handles ``x[:8]``, ``x[2:8]`` and the running-offset idiom
+    ``x[off : off + 6]`` (width 6).  Returns None when the bounds are
+    not statically comparable.
+    """
+    if not isinstance(node, ast.Subscript) or not isinstance(node.slice, ast.Slice):
+        return None
+    lower, upper = node.slice.lower, node.slice.upper
+    if node.slice.step is not None or upper is None:
+        return None
+    if isinstance(upper, ast.Constant) and isinstance(upper.value, int):
+        if lower is None:
+            return upper.value
+        if isinstance(lower, ast.Constant) and isinstance(lower.value, int):
+            return upper.value - lower.value
+        return None
+    if (
+        lower is not None
+        and isinstance(upper, ast.BinOp)
+        and isinstance(upper.op, ast.Add)
+        and isinstance(upper.right, ast.Constant)
+        and isinstance(upper.right.value, int)
+        and ast.dump(upper.left) == ast.dump(lower)
+    ):
+        return upper.right.value
+    return None

@@ -1,0 +1,109 @@
+"""RL2xx — wire-contract rules.
+
+The codecs promise byte-accurate round-trips: everything that can be
+encoded can be decoded back, and every ``struct`` format agrees with
+the slice of wire bytes it consumes.  These are the invariants the
+property tests fuzz dynamically; the rules here catch the one-sided
+codec or off-by-one width at review time, before a fuzzer has to.
+"""
+
+from __future__ import annotations
+
+import ast
+import struct as _struct
+from typing import Tuple
+
+from repro.lint.core import LintContext, register_rule, Rule
+from repro.lint.rules._util import import_aliases, resolve_call_target, slice_width
+
+__all__ = ["CODEC_PACKAGES", "UnpairedCodec", "StructWidthMismatch"]
+
+CODEC_PACKAGES: Tuple[str, ...] = ("repro.net", "repro.dns", "repro.dhcp")
+
+_ENCODERS = ("encode", "to_bytes")
+_DECODERS = ("decode", "from_bytes")
+
+
+@register_rule
+class UnpairedCodec(Rule):
+    code = "RL201"
+    name = "unpaired-codec"
+    summary = "encode/to_bytes without decode/from_bytes (or vice versa)"
+    scope = CODEC_PACKAGES
+
+    def check(self, ctx: LintContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            encoders = sorted(m for m in _ENCODERS if m in methods)
+            decoders = sorted(m for m in _DECODERS if m in methods)
+            if encoders and not decoders:
+                ctx.add(
+                    node,
+                    self.code,
+                    f"class `{node.name}` defines {'/'.join(encoders)} but no "
+                    "decode/from_bytes — wire bytes it emits cannot be read back",
+                    "add the paired decoder (a classmethod) so round-trip "
+                    "property tests can cover the class; if decoding is "
+                    "handled by a shared dispatcher by design, pragma this "
+                    "class with a justification",
+                )
+            elif decoders and not encoders:
+                ctx.add(
+                    node,
+                    self.code,
+                    f"class `{node.name}` defines {'/'.join(decoders)} but no "
+                    "encode/to_bytes — parsed objects cannot be re-emitted",
+                    "add the paired encoder so traffic can be replayed "
+                    "byte-identically",
+                )
+
+
+@register_rule
+class StructWidthMismatch(Rule):
+    code = "RL202"
+    name = "struct-width-mismatch"
+    summary = "struct format width disagrees with the literal slice it reads"
+    scope = CODEC_PACKAGES
+
+    def check(self, ctx: LintContext) -> None:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node.func, aliases)
+            if target not in ("struct.unpack", "struct.unpack_from"):
+                continue
+            if len(node.args) < 2:
+                continue
+            fmt_node = node.args[0]
+            if not (isinstance(fmt_node, ast.Constant) and isinstance(fmt_node.value, str)):
+                continue
+            try:
+                expected = _struct.calcsize(fmt_node.value)
+            except _struct.error:
+                ctx.add(
+                    node,
+                    self.code,
+                    f"invalid struct format {fmt_node.value!r}",
+                    "fix the format string",
+                )
+                continue
+            if target == "struct.unpack_from":
+                continue  # length comes from the format itself; no slice to check
+            width = slice_width(node.args[1])
+            if width is not None and width != expected:
+                ctx.add(
+                    node,
+                    self.code,
+                    f"struct format {fmt_node.value!r} is {expected} bytes but "
+                    f"the slice passed to unpack is {width} bytes",
+                    "make the slice bounds match struct.calcsize(fmt) — a "
+                    "mismatch either truncates fields or raises at runtime "
+                    "on exactly-sized buffers",
+                )

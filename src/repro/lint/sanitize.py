@@ -1,0 +1,165 @@
+"""Runtime determinism sanitizer — ``python -m repro sanitize``.
+
+The static rules in :mod:`repro.lint.rules` ban the *known* sources of
+nondeterminism; this module checks the property itself.  It runs the
+same workload (a traced scenario, an adoption-sweep shard, the device
+matrix — see :mod:`repro.lint._probe`) in fresh interpreters under:
+
+- two different ``PYTHONHASHSEED`` values (string-hash salting is the
+  classic way set/dict iteration order leaks into output), and
+- serial vs sharded execution (``--jobs 1`` vs ``--jobs 4``), covering
+  the parallel engine's "byte-identical tables at any jobs" guarantee
+  from the sweep-engine PR.
+
+All dumps must be byte-for-byte identical.  On divergence the first
+differing record is reported and a full unified diff is written to
+``sanitize-diff.txt`` (uploaded as a CI artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, NamedTuple, Optional, Tuple
+
+__all__ = ["main", "run_sanitizer"]
+
+#: Two arbitrary but fixed salts; any pair of distinct values works.
+HASH_SEEDS = ("1", "31337")
+DIFF_ARTIFACT = "sanitize-diff.txt"
+
+
+class ProbeRun(NamedTuple):
+    label: str
+    hash_seed: str
+    jobs: int
+    output: bytes
+
+
+def _run_probe(hash_seed: str, jobs: int, quick: bool, timeout: float) -> ProbeRun:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    src_dir = str(Path(__file__).resolve().parent.parent.parent)
+    env["PYTHONPATH"] = src_dir + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [sys.executable, "-m", "repro.lint._probe", "--jobs", str(jobs)]
+    if quick:
+        command.append("--quick")
+    result = subprocess.run(
+        command,
+        env=env,
+        capture_output=True,
+        timeout=timeout,
+    )
+    label = f"PYTHONHASHSEED={hash_seed} --jobs={jobs}"
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"probe [{label}] exited {result.returncode}:\n"
+            f"{result.stderr.decode(errors='replace')}"
+        )
+    return ProbeRun(label, hash_seed, jobs, result.stdout)
+
+
+def _first_divergence(reference: bytes, other: bytes) -> Tuple[int, str, str]:
+    """(1-based line, reference line, other line) of the first difference."""
+    ref_lines = reference.decode(errors="replace").splitlines()
+    other_lines = other.decode(errors="replace").splitlines()
+    for index, (left, right) in enumerate(zip(ref_lines, other_lines), start=1):
+        if left != right:
+            return index, left, right
+    longer = max(len(ref_lines), len(other_lines))
+    shorter = min(len(ref_lines), len(other_lines))
+    if longer != shorter:
+        side = ref_lines if len(ref_lines) > shorter else other_lines
+        return shorter + 1, "<end of dump>", side[shorter]
+    return 0, "", ""
+
+
+def run_sanitizer(
+    quick: bool = False,
+    jobs: int = 4,
+    timeout: float = 600.0,
+    artifact_dir: Optional[Path] = None,
+) -> int:
+    """Run all probe combinations and byte-compare.  Returns exit code."""
+    combos = [
+        (HASH_SEEDS[0], 1),  # reference
+        (HASH_SEEDS[1], 1),  # hash-salt sensitivity, serial
+        (HASH_SEEDS[0], jobs),  # sharding sensitivity
+        (HASH_SEEDS[1], jobs),  # both at once
+    ]
+    runs: List[ProbeRun] = []
+    for hash_seed, job_count in combos:
+        print(f"sanitize: probing PYTHONHASHSEED={hash_seed} --jobs={job_count} ...", flush=True)
+        runs.append(_run_probe(hash_seed, job_count, quick, timeout))
+
+    reference = runs[0]
+    failures = 0
+    for run in runs[1:]:
+        if run.output == reference.output:
+            print(f"sanitize: [{run.label}] identical to [{reference.label}] "
+                  f"({len(run.output)} bytes)")
+            continue
+        failures += 1
+        line, ref_line, other_line = _first_divergence(reference.output, run.output)
+        print(f"sanitize: DIVERGENCE [{reference.label}] vs [{run.label}]")
+        print(f"  first divergent record (line {line}):")
+        print(f"    {reference.label}: {ref_line}")
+        print(f"    {run.label}: {other_line}")
+        diff = difflib.unified_diff(
+            reference.output.decode(errors="replace").splitlines(keepends=True),
+            run.output.decode(errors="replace").splitlines(keepends=True),
+            fromfile=reference.label,
+            tofile=run.label,
+        )
+        artifact = (artifact_dir or Path(".")) / DIFF_ARTIFACT
+        with open(artifact, "a", encoding="utf-8") as handle:
+            handle.writelines(diff)
+        print(f"  full diff appended to {artifact}")
+
+    if failures:
+        print(f"sanitize: FAIL — {failures}/{len(runs) - 1} probe(s) diverged")
+        return 1
+    print(
+        f"sanitize: OK — {len(runs)} probes byte-identical across "
+        f"PYTHONHASHSEED {{{', '.join(HASH_SEEDS)}}} and --jobs {{1, {jobs}}}"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro sanitize",
+        description="runtime determinism sanitizer (hash-salt + sharding byte-diff)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller scenario/fleet and no matrix (CI smoke)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker count for the sharded probes (default 4)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="per-probe timeout in seconds",
+    )
+    args = parser.parse_args(argv)
+    stale = Path(DIFF_ARTIFACT)
+    if stale.exists():
+        stale.unlink()
+    return run_sanitizer(quick=args.quick, jobs=args.jobs, timeout=args.timeout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -8,16 +8,16 @@ IPv6 connectivity, [and] the only clients relying on the A records
 should be clients with IPv4-only connectivity" (paper §IV.A).
 """
 
-from repro.nd.ra import RaDaemonConfig, RaDaemon
-from repro.nd.slaac import SlaacState, LearnedPrefix, LearnedRouter
 from repro.nd.addrsel import (
-    PolicyEntry,
+    CandidateAddress,
     DEFAULT_POLICY_TABLE,
+    order_destinations,
+    PolicyEntry,
     precedence_and_label,
     select_source_address,
-    order_destinations,
-    CandidateAddress,
 )
+from repro.nd.ra import RaDaemon, RaDaemonConfig
+from repro.nd.slaac import LearnedPrefix, LearnedRouter, SlaacState
 
 __all__ = [
     "RaDaemonConfig",

@@ -22,13 +22,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.net.addresses import (
-    IPv4Address,
-    IPv6Address,
-    IPv6Network,
-    ipv4_scope,
-    ipv6_scope,
-)
+from repro.net.addresses import ipv4_scope, IPv4Address, ipv6_scope, IPv6Address, IPv6Network
 
 __all__ = [
     "PolicyEntry",

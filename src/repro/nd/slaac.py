@@ -18,8 +18,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.net.addresses import (
     IPv6Address,
     IPv6Network,
-    MacAddress,
     link_local_from_mac,
+    MacAddress,
     slaac_address,
 )
 from repro.net.icmpv6 import RouterAdvertisement, RouterPreference

@@ -10,7 +10,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.net.addresses import MacAddress, MAC_BROADCAST
+from repro.net.addresses import MAC_BROADCAST, MacAddress
 
 __all__ = ["EtherType", "EthernetFrame", "MAC_BROADCAST"]
 

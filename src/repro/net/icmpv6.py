@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.net.addresses import IPv6Address, IPv6Network, MacAddress
 from repro.net.checksum import internet_checksum, pseudo_sum_v6
@@ -104,6 +104,11 @@ class NdOption:
         if total % 8:
             raise ValueError("ND option length must be a multiple of 8")
         return struct.pack("!BB", self.option_type, total // 8) + self.body
+
+    @classmethod
+    def decode(cls, option_type: int, body: bytes) -> "NdOption":
+        """The opaque carrier round-trips the body bytes verbatim."""
+        return cls(option_type, bytes(body))
 
 
 @dataclass(frozen=True)
@@ -251,7 +256,7 @@ class DnsslOption:
 AnyNdOption = object  # documentation alias; options are duck-typed on .encode()
 
 
-def _decode_options(data: bytes):
+def _decode_options(data: bytes) -> List[Any]:
     """Decode a concatenated ND options block into typed option objects."""
     options = []
     off = 0
@@ -279,12 +284,12 @@ def _decode_options(data: bytes):
         elif opt_type == NdOptionType.DNSSL:
             options.append(DnsslOption.decode(body))
         else:
-            options.append(NdOption(opt_type, body))
+            options.append(NdOption.decode(opt_type, body))
         off += total
     return options
 
 
-def _encode_options(options) -> bytes:
+def _encode_options(options: Sequence[Any]) -> bytes:
     return b"".join(opt.encode() for opt in options)
 
 
@@ -538,7 +543,7 @@ _DECODE_CACHE: dict = {}
 _CODEC_CACHE_LIMIT = 8192
 
 
-def encode_icmpv6(message, src: IPv6Address, dst: IPv6Address) -> bytes:
+def encode_icmpv6(message: Any, src: IPv6Address, dst: IPv6Address) -> bytes:
     """Serialize any ICMPv6/ND message with a correct pseudo-header checksum."""
     try:
         key = (message, src, dst)
@@ -562,7 +567,9 @@ def encode_icmpv6(message, src: IPv6Address, dst: IPv6Address) -> bytes:
     return wire
 
 
-def decode_icmpv6(data: bytes, src: IPv6Address, dst: IPv6Address, verify: bool = True):
+def decode_icmpv6(
+    data: bytes, src: IPv6Address, dst: IPv6Address, verify: bool = True
+) -> Any:
     """Parse ICMPv6 bytes into the appropriate typed message.
 
     ND types decode into their rich classes; everything else becomes a

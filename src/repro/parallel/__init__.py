@@ -18,19 +18,13 @@ Entry points:
 """
 
 from repro.parallel.executor import (
-    JOBS_ENV_VAR,
-    SweepExecutor,
     ensure_ok,
     fork_available,
+    JOBS_ENV_VAR,
     resolve_jobs,
+    SweepExecutor,
 )
-from repro.parallel.shard import (
-    ShardPayload,
-    ShardResult,
-    ShardSpec,
-    derive_seed,
-    make_shards,
-)
+from repro.parallel.shard import derive_seed, make_shards, ShardPayload, ShardResult, ShardSpec
 
 __all__ = [
     "JOBS_ENV_VAR",

@@ -2,11 +2,11 @@
 services, ip6.me, the test-ipv6.com mirror and OS captive-portal probes.
 """
 
-from repro.services.http import HttpRequest, HttpResponse, serve_http, http_get
-from repro.services.web import WebService
-from repro.services.ip6me import Ip6MeService
-from repro.services.testipv6 import TestIpv6Mirror, SubtestResult, TestReport, run_test_ipv6
 from repro.services.captive import connectivity_probe, ProbeOutcome
+from repro.services.http import http_get, HttpRequest, HttpResponse, serve_http
+from repro.services.ip6me import Ip6MeService
+from repro.services.testipv6 import run_test_ipv6, SubtestResult, TestIpv6Mirror, TestReport
+from repro.services.web import WebService
 
 __all__ = [
     "HttpRequest",

@@ -13,9 +13,9 @@ assert on.
 from __future__ import annotations
 
 from repro.net.addresses import IPv4Address, IPv6Address
-from repro.sim.engine import EventEngine
 from repro.services.http import HttpRequest, HttpResponse
 from repro.services.web import WebService
+from repro.sim.engine import EventEngine
 
 __all__ = ["Ip6MeService", "IP6ME_V4", "IP6ME_V6"]
 

@@ -29,9 +29,9 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 from repro.net.addresses import IPv4Address, IPv6Address
-from repro.sim.engine import EventEngine
 from repro.services.http import HttpRequest, HttpResponse
 from repro.services.web import WebService
+from repro.sim.engine import EventEngine
 
 __all__ = ["TestIpv6Mirror", "SubtestResult", "TestReport", "run_test_ipv6", "SUBTEST_NAMES"]
 

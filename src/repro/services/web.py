@@ -12,9 +12,9 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Union
 
 from repro.net.addresses import IPv4Address, IPv6Address
+from repro.services.http import HttpRequest, HttpResponse, serve_http
 from repro.sim.engine import EventEngine
 from repro.sim.host import ServerHost
-from repro.services.http import HttpRequest, HttpResponse, serve_http
 
 __all__ = ["WebService"]
 

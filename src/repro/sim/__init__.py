@@ -13,14 +13,14 @@ the experiment scripts and benchmarks use.
 """
 
 from repro.sim.engine import EventEngine
-from repro.sim.trace import PacketTrace, TraceEntry
+from repro.sim.gateway5g import Gateway5GConfig, MobileGateway5G
+from repro.sim.host import Host, ServerHost
 from repro.sim.link import Link
 from repro.sim.node import Node, Port
-from repro.sim.switch import ManagedSwitch
 from repro.sim.router import Router
-from repro.sim.gateway5g import MobileGateway5G, Gateway5GConfig
 from repro.sim.stack import HostStack, Ipv4Config, StackConfig
-from repro.sim.host import Host, ServerHost
+from repro.sim.switch import ManagedSwitch
+from repro.sim.trace import PacketTrace, TraceEntry
 
 __all__ = [
     "EventEngine",

@@ -19,9 +19,12 @@ the paper's §II.B mentions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro._compat import slotted_dataclass
+from repro.dhcp.message import DHCP_CLIENT_PORT, DHCP_SERVER_PORT
+from repro.dhcp.server import DhcpPool, DhcpServer
+from repro.nd.ra import RaDaemon, RaDaemonConfig
 from repro.net.addresses import (
     IPv4Address,
     IPv4Network,
@@ -31,25 +34,22 @@ from repro.net.addresses import (
     WELL_KNOWN_NAT64_PREFIX,
 )
 from repro.net.icmp import IcmpMessage, IcmpType
-from repro.net.icmpv6 import Icmpv6Message, Icmpv6Type, decode_icmpv6, encode_icmpv6
+from repro.net.icmpv6 import RouterPreference
+from repro.net.icmpv6 import decode_icmpv6, encode_icmpv6, Icmpv6Message, Icmpv6Type
 from repro.net.ipv4 import IPProto, IPv4Packet
 from repro.net.ipv6 import IPv6Packet
 from repro.net.udp import UdpDatagram
-from repro.nd.ra import RaDaemon, RaDaemonConfig
-from repro.net.icmpv6 import RouterPreference
-from repro.dhcp.message import DHCP_CLIENT_PORT, DHCP_SERVER_PORT
-from repro.dhcp.server import DhcpPool, DhcpServer
-from repro.xlat.nat44 import StatefulNat44
-from repro.xlat.nat64 import Nat64Config, StatefulNAT64
-from repro.xlat.siit import TranslationError
 from repro.sim.engine import EventEngine
 from repro.sim.iface import ALL_NODES_V6, IPV4_BROADCAST, L2Interface
 from repro.sim.node import Node, Port
+from repro.xlat.nat44 import StatefulNat44
+from repro.xlat.nat64 import Nat64Config, StatefulNAT64
+from repro.xlat.siit import TranslationError
 
 __all__ = ["Gateway5GConfig", "MobileGateway5G"]
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class Gateway5GConfig:
     """Knobs for the gateway model (defaults mirror the paper's device)."""
 

@@ -7,13 +7,7 @@ from __future__ import annotations
 import zlib
 from typing import Optional, Union
 
-from repro.net.addresses import (
-    IPv4Address,
-    IPv4Network,
-    IPv6Address,
-    IPv6Network,
-    MacAddress,
-)
+from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, IPv6Network, MacAddress
 from repro.sim.engine import EventEngine
 from repro.sim.stack import HostStack, Ipv4Config, StackConfig
 

@@ -17,25 +17,25 @@ from repro.net.addresses import (
     IPv4Network,
     IPv6Address,
     IPv6Network,
-    MacAddress,
-    MAC_BROADCAST,
     link_local_from_mac,
+    MAC_BROADCAST,
+    MacAddress,
     multicast_mac_for_ipv6,
     solicited_node_multicast,
 )
 from repro.net.arp import ArpOp, ArpPacket
-from repro.net.ethernet import EtherType, EthernetFrame
+from repro.net.ethernet import EthernetFrame, EtherType
 from repro.net.icmpv6 import (
+    decode_icmpv6,
+    encode_icmpv6,
     NeighborAdvertisement,
     NeighborSolicitation,
     RouterAdvertisement,
     RouterSolicitation,
-    decode_icmpv6,
-    encode_icmpv6,
 )
 from repro.net.ipv4 import IPProto, IPv4Packet
 from repro.net.ipv6 import IPv6Packet
-from repro.net.lazy import LazyEthernetFrame, LazyIPv6Packet, decode_ipv4_cached, decode_ipv6_cached
+from repro.net.lazy import decode_ipv4_cached, decode_ipv6_cached, LazyEthernetFrame, LazyIPv6Packet
 from repro.sim.engine import EventEngine
 from repro.sim.node import Port
 

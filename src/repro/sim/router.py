@@ -10,21 +10,15 @@ administratively-prohibited to the source.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.net.addresses import (
-    IPv4Address,
-    IPv4Network,
-    IPv6Address,
-    IPv6Network,
-    MacAddress,
-)
+from repro._compat import slotted_dataclass
+from repro.nd.ra import RaDaemon, RaDaemonConfig
+from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, IPv6Network, MacAddress
 from repro.net.icmp import IcmpMessage, IcmpType
-from repro.net.icmpv6 import Icmpv6Message, Icmpv6Type, decode_icmpv6, encode_icmpv6
+from repro.net.icmpv6 import decode_icmpv6, encode_icmpv6, Icmpv6Message, Icmpv6Type
 from repro.net.ipv4 import IPProto, IPv4Packet
 from repro.net.ipv6 import IPv6Packet
-from repro.nd.ra import RaDaemon, RaDaemonConfig
 from repro.sim.engine import EventEngine
 from repro.sim.iface import ALL_NODES_V6, L2Interface
 from repro.sim.node import Node, Port
@@ -34,7 +28,7 @@ __all__ = ["Router", "AclRule"]
 AnyNetwork = Union[IPv4Network, IPv6Network]
 
 
-@dataclass
+@slotted_dataclass()
 class AclRule:
     """A deny rule: drop packets whose src and dst match the networks."""
 

@@ -19,11 +19,15 @@ engine until a reply or a simulated timeout.
 
 from __future__ import annotations
 
-import zlib
 import itertools
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro._compat import slotted_dataclass
+from repro.dhcp.client import DhcpClient, DhcpClientResult, DhcpClientState
+from repro.nd.addrsel import select_source_address
+from repro.nd.slaac import SlaacState
 from repro.net.addresses import (
     IPv4Address,
     IPv4Network,
@@ -32,19 +36,16 @@ from repro.net.addresses import (
     solicited_node_multicast,
 )
 from repro.net.icmp import IcmpMessage, IcmpType
-from repro.net.icmpv6 import Icmpv6Message, Icmpv6Type, decode_icmpv6, encode_icmpv6
+from repro.net.icmpv6 import decode_icmpv6, encode_icmpv6, Icmpv6Message, Icmpv6Type
 from repro.net.ipv4 import IPProto, IPv4Packet
 from repro.net.ipv6 import IPv6Packet
 from repro.net.tcp import TcpFlags, TcpSegment
 from repro.net.udp import UdpDatagram
-from repro.nd.addrsel import select_source_address
-from repro.nd.slaac import SlaacState
-from repro.dhcp.client import DhcpClient, DhcpClientResult, DhcpClientState
-from repro.xlat.clat import Clat, ClatConfig
-from repro.xlat.siit import TranslationError
 from repro.sim.engine import EventEngine
 from repro.sim.iface import ALL_NODES_V6, IPV4_BROADCAST, L2Interface, UNSPECIFIED_V4
 from repro.sim.node import Node, Port
+from repro.xlat.clat import Clat, ClatConfig
+from repro.xlat.siit import TranslationError
 
 __all__ = ["Ipv4Config", "StackConfig", "UdpSocket", "TcpConnection", "HostStack"]
 
@@ -65,7 +66,7 @@ _TCP_SYN_ACK = TcpFlags.SYN | TcpFlags.ACK
 _TCP_RST_ACK = TcpFlags.RST | TcpFlags.ACK
 
 
-@dataclass
+@slotted_dataclass()
 class Ipv4Config:
     address: IPv4Address
     network: IPv4Network
@@ -74,7 +75,7 @@ class Ipv4Config:
     domain_name: Optional[str] = None
 
 
-@dataclass
+@slotted_dataclass()
 class StackConfig:
     """Static stack properties (the OS profile sets these)."""
 

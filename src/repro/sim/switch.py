@@ -7,14 +7,14 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.net.addresses import IPv6Address, MacAddress, link_local_from_mac, multicast_mac_for_ipv6
-from repro.net.ethernet import EtherType, EthernetFrame
+from repro.dhcp.snooping import DhcpSnooper, SnoopAction
+from repro.nd.ra import RaDaemon, RaDaemonConfig
+from repro.net.addresses import IPv6Address, link_local_from_mac, MacAddress, multicast_mac_for_ipv6
+from repro.net.ethernet import EthernetFrame, EtherType
 from repro.net.icmpv6 import encode_icmpv6
 from repro.net.ipv4 import IPProto
 from repro.net.ipv6 import IPv6Packet
 from repro.net.lazy import LazyEthernetFrame
-from repro.nd.ra import RaDaemon, RaDaemonConfig
-from repro.dhcp.snooping import DhcpSnooper, SnoopAction
 from repro.sim.engine import EventEngine
 from repro.sim.node import Node, Port
 

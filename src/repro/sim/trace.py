@@ -8,10 +8,10 @@ answer ever reached the Windows 10 client").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from repro.net.ethernet import EtherType, EthernetFrame
+from repro._compat import slotted_dataclass
+from repro.net.ethernet import EthernetFrame, EtherType
 from repro.net.ipv4 import IPProto, IPv4Packet
 from repro.net.ipv6 import IPv6Packet
 from repro.net.udp import UdpDatagram
@@ -19,7 +19,7 @@ from repro.net.udp import UdpDatagram
 __all__ = ["TraceEntry", "PacketTrace"]
 
 
-@dataclass
+@slotted_dataclass()
 class TraceEntry:
     time: float
     node: str

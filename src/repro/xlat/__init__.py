@@ -10,14 +10,10 @@ IPv6-only client reach the IPv4 internet.
   (RFC 6877) that RFC 8925 option 108 activates on clients.
 """
 
-from repro.xlat.siit import (
-    translate_v4_to_v6,
-    translate_v6_to_v4,
-    TranslationError,
-)
-from repro.xlat.nat64 import StatefulNAT64, Nat64Config, Nat64Session
-from repro.xlat.dns64 import DNS64Resolver, Dns64Config
 from repro.xlat.clat import Clat, ClatConfig
+from repro.xlat.dns64 import Dns64Config, DNS64Resolver
+from repro.xlat.nat64 import Nat64Config, Nat64Session, StatefulNAT64
+from repro.xlat.siit import translate_v4_to_v6, translate_v6_to_v4, TranslationError
 
 __all__ = [
     "translate_v4_to_v6",

@@ -18,15 +18,15 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.net.addresses import (
+    embed_ipv4_in_nat64,
     IPv4Address,
     IPv6Address,
     IPv6Network,
     WELL_KNOWN_NAT64_PREFIX,
-    embed_ipv4_in_nat64,
 )
 from repro.net.ipv4 import IPv4Packet
 from repro.net.ipv6 import IPv6Packet
-from repro.xlat.siit import TranslationError, translate_v4_to_v6, translate_v6_to_v4
+from repro.xlat.siit import translate_v4_to_v6, translate_v6_to_v4, TranslationError
 
 __all__ = ["ClatConfig", "Clat"]
 

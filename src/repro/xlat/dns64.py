@@ -20,17 +20,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.net.addresses import (
-    IPv4Address,
-    IPv4Network,
-    IPv6Network,
-    WELL_KNOWN_NAT64_PREFIX,
-    embed_ipv4_in_nat64,
-)
 from repro.dns.message import DnsMessage, ResourceRecord
 from repro.dns.rdata import AAAA, RCode, RRType
 from repro.dns.server import DnsServer
 from repro.dns.zone import Zone
+from repro.net.addresses import (
+    embed_ipv4_in_nat64,
+    IPv4Address,
+    IPv4Network,
+    IPv6Network,
+    WELL_KNOWN_NAT64_PREFIX,
+)
 
 __all__ = ["Dns64Config", "DNS64Resolver"]
 

@@ -24,19 +24,19 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.addresses import (
+    extract_ipv4_from_nat64,
     IPv4Address,
     IPv6Address,
     IPv6Network,
     WELL_KNOWN_NAT64_PREFIX,
-    extract_ipv4_from_nat64,
 )
 from repro.net.icmp import IcmpMessage
-from repro.net.icmpv6 import Icmpv6Message, decode_icmpv6
+from repro.net.icmpv6 import decode_icmpv6, Icmpv6Message
 from repro.net.ipv4 import IPProto, IPv4Packet
 from repro.net.ipv6 import IPv6Packet
 from repro.net.tcp import TcpFlags, TcpSegment
 from repro.net.udp import UdpDatagram
-from repro.xlat.siit import TranslationError, translate_v4_to_v6, translate_v6_to_v4
+from repro.xlat.siit import translate_v4_to_v6, translate_v6_to_v4, TranslationError
 
 __all__ = ["Nat64Config", "Nat64Session", "StatefulNAT64"]
 

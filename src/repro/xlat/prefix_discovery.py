@@ -16,14 +16,14 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.dns.rdata import RRType
 from repro.net.addresses import (
+    extract_ipv4_from_nat64,
     IPv4Address,
     IPv6Address,
     IPv6Network,
     RFC6052_PREFIX_LENGTHS,
-    extract_ipv4_from_nat64,
 )
-from repro.dns.rdata import RRType
 
 __all__ = [
     "WELL_KNOWN_IPV4ONLY_NAME",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from repro.net.addresses import IPv4Address, IPv6Address
 from repro.net.icmp import IcmpMessage, IcmpType
-from repro.net.icmpv6 import Icmpv6Message, Icmpv6Type, decode_icmpv6, encode_icmpv6
+from repro.net.icmpv6 import decode_icmpv6, encode_icmpv6, Icmpv6Message, Icmpv6Type
 from repro.net.ipv4 import IPProto, IPv4Packet
 from repro.net.ipv6 import IPv6Packet
 from repro.net.tcp import TcpSegment

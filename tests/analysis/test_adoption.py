@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.analysis.adoption import (
-    FleetMix,
-    run_adoption_sweep,
-    sweep_table,
-    windows_refresh_mixes,
-)
+from repro.analysis.adoption import FleetMix, run_adoption_sweep, sweep_table, windows_refresh_mixes
 from repro.clients.profiles import NINTENDO_SWITCH, WINDOWS_11_RFC8925
 
 

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.clients.profiles import ALL_PROFILES
 from repro.analysis.matrix import matrix_table, run_device_matrix
+from repro.clients.profiles import ALL_PROFILES
 from repro.core.testbed import TestbedConfig
 from repro.services.captive import ProbeOutcome
 

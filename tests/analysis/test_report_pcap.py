@@ -4,7 +4,6 @@ import struct
 
 import pytest
 
-from repro.net.ethernet import EthernetFrame
 from repro.analysis.matrix import run_device_matrix
 from repro.analysis.report import (
     census_markdown,
@@ -14,7 +13,8 @@ from repro.analysis.report import (
 )
 from repro.clients.profiles import MACOS, NINTENDO_SWITCH, WINDOWS_10
 from repro.core.scoring import score_rfc8925_aware, score_stock
-from repro.core.testbed import TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, TestbedConfig
+from repro.net.ethernet import EthernetFrame
 from repro.services.testipv6 import run_test_ipv6
 
 

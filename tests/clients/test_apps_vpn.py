@@ -3,16 +3,11 @@
 
 import pytest
 
-from repro.net.addresses import IPv4Address, IPv6Address
 from repro.clients.apps import EcholinkApp
 from repro.clients.profiles import MACOS, NINTENDO_SWITCH, WINDOWS_10
 from repro.clients.vpn import SplitTunnelVPN, VpnAwareClient, VpnMode
-from repro.core.testbed import (
-    CARRIER_DNS_V4,
-    CONCENTRATOR_V4,
-    SC24_WEB_V4,
-    VTC_V4,
-)
+from repro.core.testbed import CARRIER_DNS_V4, CONCENTRATOR_V4, SC24_WEB_V4, VTC_V4
+from repro.net.addresses import IPv4Address, IPv6Address
 
 
 @pytest.fixture

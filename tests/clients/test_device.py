@@ -3,8 +3,6 @@ full testbed."""
 
 import pytest
 
-from repro.net.addresses import IPv6Address
-from repro.dhcp.client import DhcpClientState
 from repro.clients.profiles import (
     ALL_PROFILES,
     LINUX,
@@ -16,6 +14,8 @@ from repro.clients.profiles import (
     WINDOWS_XP,
 )
 from repro.core.testbed import PI_HEALTHY_V4, PI_HEALTHY_V6, PI_POISON_V4
+from repro.dhcp.client import DhcpClientState
+from repro.net.addresses import IPv6Address
 
 
 class TestBringUp:

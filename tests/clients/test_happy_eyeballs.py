@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.net.addresses import IPv4Address, IPv6Address
 from repro.clients.happy_eyeballs import happy_eyeballs_connect
 from repro.clients.profiles import WINDOWS_10
-from repro.core.testbed import TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, TestbedConfig
+from repro.net.addresses import IPv4Address, IPv6Address
 
 
 @pytest.fixture

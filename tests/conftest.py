@@ -2,8 +2,8 @@
 
 import pytest
 
+from repro.core.testbed import build_testbed, TestbedConfig
 from repro.sim.engine import EventEngine
-from repro.core.testbed import TestbedConfig, build_testbed
 
 
 @pytest.fixture

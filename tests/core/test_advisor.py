@@ -1,12 +1,7 @@
 """The enhanced-mirror advisor (paper §VII future work)."""
 
 
-from repro.clients.profiles import (
-    MACOS,
-    NINTENDO_SWITCH,
-    WINDOWS_10,
-    WINDOWS_10_V6_DISABLED,
-)
+from repro.clients.profiles import MACOS, NINTENDO_SWITCH, WINDOWS_10, WINDOWS_10_V6_DISABLED
 from repro.core.advisor import advise
 from repro.core.scoring import score_rfc8925_aware
 from repro.services.testipv6 import run_test_ipv6

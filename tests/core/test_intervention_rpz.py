@@ -3,13 +3,13 @@ tested standalone against an in-process healthy DNS64 upstream."""
 
 import pytest
 
-from repro.net.addresses import IPv4Address, IPv6Address
+from repro.core.intervention import InterventionConfig, PoisonedDNSServer
+from repro.core.rpz import RpzConfig, RPZPolicyServer
 from repro.dns.message import DnsMessage
 from repro.dns.rdata import RCode, RRType
 from repro.dns.zone import Zone
+from repro.net.addresses import IPv4Address, IPv6Address
 from repro.xlat.dns64 import DNS64Resolver
-from repro.core.intervention import InterventionConfig, PoisonedDNSServer
-from repro.core.rpz import RpzConfig, RPZPolicyServer
 
 POISON = IPv4Address("23.153.8.71")
 

@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.net.addresses import IPv4Address, IPv4Network, MacAddress
-from repro.dhcp.message import DhcpMessage
-from repro.dhcp.server import DhcpPool
 from repro.core.metrics import ClientCensus, ClientClass
 from repro.core.policy import InterventionPolicy, PolicyDhcpServer
 from repro.core.rollback import Playbook, PlaybookError
+from repro.dhcp.message import DhcpMessage
+from repro.dhcp.server import DhcpPool
+from repro.net.addresses import IPv4Address, IPv4Network, MacAddress
 
 POISONED = IPv4Address("192.168.12.252")
 HEALTHY = IPv4Address("192.168.12.251")

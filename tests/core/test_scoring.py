@@ -2,8 +2,8 @@
 
 import pytest
 
+from repro.core.scoring import score_rfc8925_aware, score_stock, ScoringContext
 from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address
-from repro.core.scoring import ScoringContext, score_rfc8925_aware, score_stock
 from repro.services.testipv6 import SCORED_SUBTESTS, SUBTEST_NAMES, SubtestResult, TestReport
 
 NAT64_EGRESS = IPv4Address("100.66.0.2")

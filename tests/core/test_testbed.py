@@ -1,16 +1,16 @@
 """The figure-4 testbed builder: topology, workarounds, playbooks."""
 
 
-from repro.net.addresses import IPv4Address
-from repro.dns.rdata import RRType
 from repro.clients.profiles import LINUX, MACOS, NINTENDO_SWITCH, WINDOWS_10
 from repro.core.testbed import (
+    build_testbed,
     PI_HEALTHY_V4,
     PI_HEALTHY_V6,
     PI_POISON_V4,
     TestbedConfig,
-    build_testbed,
 )
+from repro.dns.rdata import RRType
+from repro.net.addresses import IPv4Address
 
 
 class TestTopology:

@@ -3,26 +3,26 @@ DORA behaviour, client state machine and snooping."""
 
 import pytest
 
-from repro.net.addresses import IPv4Address, IPv4Network, MacAddress
-from repro.net.ethernet import EtherType, EthernetFrame
-from repro.net.ipv4 import IPProto, IPv4Packet
-from repro.net.udp import UdpDatagram
 from repro.dhcp.client import DhcpClient, DhcpClientState
-from repro.dhcp.message import DhcpMessage, DHCP_CLIENT_PORT, DHCP_SERVER_PORT
+from repro.dhcp.message import DHCP_CLIENT_PORT, DHCP_SERVER_PORT, DhcpMessage
 from repro.dhcp.options import (
+    decode_options,
     DhcpMessageType,
     DhcpOptionCode,
-    MIN_V6ONLY_WAIT,
-    V6ONLY_WAIT_DEFAULT,
-    decode_options,
     encode_options,
+    MIN_V6ONLY_WAIT,
     pack_addresses,
     pack_v6only_wait,
     unpack_addresses,
     unpack_v6only_wait,
+    V6ONLY_WAIT_DEFAULT,
 )
 from repro.dhcp.server import DhcpPool, DhcpServer
 from repro.dhcp.snooping import DhcpSnooper, SnoopAction
+from repro.net.addresses import IPv4Address, IPv4Network, MacAddress
+from repro.net.ethernet import EthernetFrame, EtherType
+from repro.net.ipv4 import IPProto, IPv4Packet
+from repro.net.udp import UdpDatagram
 
 MAC = MacAddress.parse("00:00:59:aa:c6:ab")
 NET = IPv4Network("192.168.12.0/24")

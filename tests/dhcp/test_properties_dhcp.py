@@ -4,11 +4,11 @@ and the RFC 6724 selection algorithms."""
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, MacAddress
 from repro.dhcp.message import DhcpMessage
 from repro.dhcp.options import DhcpMessageType
 from repro.dhcp.server import DhcpPool, DhcpServer
 from repro.nd.addrsel import CandidateAddress, order_destinations, select_source_address
+from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, MacAddress
 
 NET = IPv4Network("192.168.12.0/24")
 SERVER_ID = IPv4Address("192.168.12.250")

@@ -3,19 +3,14 @@ failover and CNAME logic — tested against in-process servers."""
 
 import pytest
 
-from repro.net.addresses import IPv4Address
 from repro.dns.cache import DnsCache
 from repro.dns.message import DnsMessage, ResourceRecord
 from repro.dns.name import DnsName
 from repro.dns.rdata import A, RCode, RRType
-from repro.dns.resolver import (
-    DnsTransportError,
-    ResolverConfig,
-    SearchOrder,
-    StubResolver,
-)
+from repro.dns.resolver import DnsTransportError, ResolverConfig, SearchOrder, StubResolver
 from repro.dns.server import DnsServer, ForwardingDnsServer
 from repro.dns.zone import Zone
+from repro.net.addresses import IPv4Address
 
 
 class FakeClock:

@@ -2,24 +2,24 @@
 
 import pytest
 
-from repro.net.addresses import IPv4Address, IPv6Address
 from repro.dns.message import DnsHeader, DnsMessage, DnsQuestion, ResourceRecord
 from repro.dns.name import DnsName
 from repro.dns.rdata import (
     A,
     AAAA,
     CNAME,
+    decode_rdata,
     MX,
     NS,
+    OpaqueRData,
     PTR,
     RCode,
     RRType,
     SOA,
     SRV,
     TXT,
-    OpaqueRData,
-    decode_rdata,
 )
+from repro.net.addresses import IPv4Address, IPv6Address
 
 
 class TestHeader:

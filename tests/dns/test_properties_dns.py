@@ -6,13 +6,13 @@ import string
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro.net.addresses import IPv4Address, IPv6Address
+from repro.core.intervention import InterventionConfig, PoisonedDNSServer
+from repro.core.rpz import RpzConfig, RPZPolicyServer
 from repro.dns.message import DnsMessage, ResourceRecord
 from repro.dns.name import DnsName
 from repro.dns.rdata import A, AAAA, RCode, RRType
 from repro.dns.zone import Zone
-from repro.core.intervention import InterventionConfig, PoisonedDNSServer
-from repro.core.rpz import RpzConfig, RPZPolicyServer
+from repro.net.addresses import IPv4Address, IPv6Address
 from repro.xlat.dns64 import DNS64Resolver
 
 label = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=12)

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.net.addresses import IPv4Address
 from repro.dns.rdata import RCode, RRType
 from repro.dns.zone import Zone, ZoneError
+from repro.net.addresses import IPv4Address
 
 
 @pytest.fixture

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.net.addresses import IPv4Address
-from repro.dns.rdata import RCode, RRType
-from repro.dns.zonefile import ZoneFileError, parse_zone_text, zone_to_text
 from repro.core.intervention import InterventionConfig
+from repro.dns.rdata import RCode, RRType
+from repro.dns.zonefile import parse_zone_text, zone_to_text, ZoneFileError
+from repro.net.addresses import IPv4Address
 
 SAMPLE = """
 $ORIGIN supercomputing.org.

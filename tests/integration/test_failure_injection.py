@@ -7,10 +7,10 @@ when the gateway reboots mid-session, or when the pool runs dry.
 """
 
 
-from repro.net.addresses import IPv4Address, IPv6Address
-from repro.dns.rdata import RCode, RRType
 from repro.clients.profiles import LINUX, MACOS, NINTENDO_SWITCH, WINDOWS_10, WINDOWS_XP
-from repro.core.testbed import PI_HEALTHY_V6, TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, PI_HEALTHY_V6, TestbedConfig
+from repro.dns.rdata import RCode, RRType
+from repro.net.addresses import IPv4Address, IPv6Address
 
 
 class TestHealthyDns64Outage:

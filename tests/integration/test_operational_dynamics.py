@@ -2,9 +2,9 @@
 connected clients, DNS TTLs and lease renewal timing."""
 
 
-from repro.dns.rdata import RRType
 from repro.clients.profiles import NINTENDO_SWITCH, WINDOWS_10
-from repro.core.testbed import PI_HEALTHY_V4, PI_POISON_V4, TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, PI_HEALTHY_V4, PI_POISON_V4, TestbedConfig
+from repro.dns.rdata import RRType
 
 
 class TestRemovalAndConnectedClients:

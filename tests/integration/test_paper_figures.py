@@ -7,8 +7,6 @@ the *shape* of the paper's observation.
 
 import pytest
 
-from repro.net.addresses import IPv4Address, IPv6Address, is_gua, is_ula
-from repro.dns.rdata import RRType
 from repro.clients.apps import EcholinkApp
 from repro.clients.profiles import (
     LINUX,
@@ -23,6 +21,7 @@ from repro.clients.profiles import (
 from repro.clients.vpn import SplitTunnelVPN, VpnAwareClient, VpnMode
 from repro.core.scoring import score_rfc8925_aware, score_stock
 from repro.core.testbed import (
+    build_testbed,
     CARRIER_DNS_V4,
     CONCENTRATOR_V4,
     PI_HEALTHY_V6,
@@ -30,9 +29,10 @@ from repro.core.testbed import (
     SC24_WEB_V4,
     TestbedConfig,
     VTC_V4,
-    build_testbed,
 )
-from repro.services.captive import ProbeOutcome, connectivity_probe
+from repro.dns.rdata import RRType
+from repro.net.addresses import IPv4Address, IPv6Address, is_gua, is_ula
+from repro.services.captive import connectivity_probe, ProbeOutcome
 from repro.services.testipv6 import run_test_ipv6
 
 

@@ -16,8 +16,8 @@ from repro.clients.profiles import (
     WINDOWS_XP,
 )
 from repro.core.scoring import score_rfc8925_aware, score_stock
-from repro.core.testbed import TestbedConfig, build_testbed
-from repro.services.captive import ProbeOutcome, connectivity_probe
+from repro.core.testbed import build_testbed, TestbedConfig
+from repro.services.captive import connectivity_probe, ProbeOutcome
 from repro.services.testipv6 import run_test_ipv6
 
 

@@ -1,0 +1,7 @@
+# repro-lint-module: repro.sim.fixture
+"""RL101 positive: reads the host wall clock inside the simulation."""
+import time
+
+
+def stamp_event() -> float:
+    return time.time()

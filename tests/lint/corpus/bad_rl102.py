@@ -1,0 +1,7 @@
+# repro-lint-module: repro.sim.fixture
+"""RL102 positive: module-level RNG draws ambient entropy."""
+import random
+
+
+def pick_backoff() -> float:
+    return random.uniform(0.0, 1.0)

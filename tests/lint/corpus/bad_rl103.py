@@ -1,0 +1,6 @@
+# repro-lint-module: repro.sim.fixture
+"""RL103 positive: set iteration order leaks into emitted rows."""
+
+
+def emit_rows(pending: set) -> list:
+    return [f"row {name}" for name in pending]

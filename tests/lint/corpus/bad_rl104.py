@@ -1,0 +1,6 @@
+# repro-lint-module: repro.sim.fixture
+"""RL104 positive: ordering keyed on object identity."""
+
+
+def stable_order(entries: list) -> list:
+    return sorted(entries, key=id)

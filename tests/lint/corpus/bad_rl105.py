@@ -1,0 +1,6 @@
+# repro-lint-module: repro.sim.fixture
+"""RL105 positive: bucketing by salted string hash."""
+
+
+def bucket_for(name: str, buckets: int) -> int:
+    return hash(name) % buckets

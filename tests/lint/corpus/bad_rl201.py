@@ -1,0 +1,10 @@
+# repro-lint-module: repro.net.fixture
+"""RL201 positive: encoder with no matching decoder."""
+
+
+class Header:
+    def __init__(self, kind: int) -> None:
+        self.kind = kind
+
+    def encode(self) -> bytes:
+        return bytes([self.kind])

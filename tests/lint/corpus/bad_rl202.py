@@ -1,0 +1,7 @@
+# repro-lint-module: repro.net.fixture
+"""RL202 positive: 4-byte format fed a 6-byte slice."""
+import struct
+
+
+def parse(data: bytes) -> tuple:
+    return struct.unpack("!HH", data[:6])

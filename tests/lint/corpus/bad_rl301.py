@@ -1,0 +1,9 @@
+# repro-lint-module: repro.sim.fixture
+"""RL301 positive: plain dataclass on a hot path."""
+from dataclasses import dataclass
+
+
+@dataclass
+class Row:
+    name: str
+    value: int

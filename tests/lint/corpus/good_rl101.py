@@ -1,0 +1,6 @@
+# repro-lint-module: repro.sim.fixture
+"""RL101 negative: time comes from the simulated clock."""
+
+
+def stamp_event(engine) -> float:
+    return engine.now

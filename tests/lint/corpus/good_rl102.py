@@ -1,0 +1,7 @@
+# repro-lint-module: repro.sim.fixture
+"""RL102 negative: a seeded random.Random instance is deterministic."""
+import random
+
+
+def pick_backoff(seed: int) -> float:
+    return random.Random(seed).uniform(0.0, 1.0)

@@ -1,0 +1,9 @@
+# repro-lint-module: repro.sim.fixture
+"""RL103 negative: sorted() pins the order; any() is order-insensitive."""
+
+
+def emit_rows(pending: set) -> list:
+    rows = [f"row {name}" for name in sorted(pending)]
+    if any(name.startswith("x") for name in pending):
+        rows.append("has-x")
+    return rows

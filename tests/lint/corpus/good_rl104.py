@@ -1,0 +1,6 @@
+# repro-lint-module: repro.sim.fixture
+"""RL104 negative: ordering keyed on a stable field."""
+
+
+def stable_order(entries: list) -> list:
+    return sorted(entries, key=lambda entry: entry.sequence)

@@ -1,0 +1,13 @@
+# repro-lint-module: repro.sim.fixture
+"""RL105 negative: hash() delegation inside __hash__ is legitimate."""
+
+
+class Key:
+    def __init__(self, value: str) -> None:
+        self.value = value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def bucket_for(self, buckets: int) -> int:
+        return sum(self.value.encode()) % buckets

@@ -1,0 +1,14 @@
+# repro-lint-module: repro.net.fixture
+"""RL201 negative: paired encode/decode."""
+
+
+class Header:
+    def __init__(self, kind: int) -> None:
+        self.kind = kind
+
+    def encode(self) -> bytes:
+        return bytes([self.kind])
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Header":
+        return cls(data[0])

@@ -1,0 +1,9 @@
+# repro-lint-module: repro.net.fixture
+"""RL202 negative: format width matches the slice, including offsets."""
+import struct
+
+
+def parse(data: bytes, off: int) -> tuple:
+    first = struct.unpack("!HH", data[:4])
+    second = struct.unpack("!HHH", data[off : off + 6])
+    return first + second

@@ -1,0 +1,9 @@
+# repro-lint-module: repro.sim.fixture
+"""RL301 negative: the slotted wrapper from repro._compat."""
+from repro._compat import slotted_dataclass
+
+
+@slotted_dataclass(frozen=True)
+class Row:
+    name: str
+    value: int

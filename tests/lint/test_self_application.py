@@ -1,0 +1,87 @@
+"""The linter applied to its own repository: the committed tree must be
+clean, and the CLI must fail loudly on the deliberately-broken corpus.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import all_rules, lint_paths
+
+REPO_ROOT = Path(__file__).parents[2]
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def _run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_src_tree_lints_clean_via_cli():
+    result = _run_cli("src")
+    assert result.returncode == 0, f"tree not clean:\n{result.stdout}"
+    assert "repro.lint: clean" in result.stdout
+
+
+def test_src_tree_lints_clean_in_process():
+    assert lint_paths([REPO_ROOT / "src"]) == []
+
+
+def test_broken_corpus_fails_with_every_code():
+    bad_files = sorted(str(p) for p in CORPUS.glob("bad_*.py"))
+    result = _run_cli(*bad_files)
+    assert result.returncode == 1
+    for rule in all_rules():
+        assert rule.code in result.stdout, f"{rule.code} missing from CLI output"
+
+
+def test_cli_select_filters_codes():
+    result = _run_cli("--select", "RL301", str(CORPUS / "bad_rl301.py"))
+    assert result.returncode == 1
+    assert "RL301" in result.stdout
+    result = _run_cli("--select", "RL101", str(CORPUS / "bad_rl301.py"))
+    assert result.returncode == 0
+
+
+def test_cli_list_rules():
+    result = _run_cli("--list-rules")
+    assert result.returncode == 0
+    for rule in all_rules():
+        assert rule.code in result.stdout
+
+
+def test_cli_missing_path_is_usage_error():
+    result = _run_cli("does/not/exist.py")
+    assert result.returncode == 2
+
+
+def test_repro_lint_subcommand_forwards():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--list-rules"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0
+    assert "RL101" in result.stdout

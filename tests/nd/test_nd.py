@@ -1,13 +1,6 @@
 """SLAAC state, RA daemons and RFC 6724 address selection."""
 
 
-from repro.net.addresses import IPv4Address, IPv6Address, IPv6Network, MacAddress
-from repro.net.icmpv6 import (
-    PrefixInformation,
-    RdnssOption,
-    RouterAdvertisement,
-    RouterPreference,
-)
 from repro.nd.addrsel import (
     CandidateAddress,
     order_destinations,
@@ -16,6 +9,8 @@ from repro.nd.addrsel import (
 )
 from repro.nd.ra import RaDaemon, RaDaemonConfig
 from repro.nd.slaac import SlaacState
+from repro.net.addresses import IPv4Address, IPv6Address, IPv6Network, MacAddress
+from repro.net.icmpv6 import PrefixInformation, RdnssOption, RouterAdvertisement, RouterPreference
 
 MAC = MacAddress.parse("00:00:59:aa:c6:ab")
 GW_LL = IPv6Address("fe80::50:ff:fe00:1")

@@ -3,16 +3,14 @@
 import pytest
 
 from repro.net.addresses import (
-    IPv4Address,
-    IPv6Address,
-    IPv6Network,
-    MacAddress,
-    MAC_BROADCAST,
     embed_ipv4_in_nat64,
     eui64_interface_id,
     extract_ipv4_from_nat64,
     ipv4_scope,
+    IPv4Address,
     ipv6_scope,
+    IPv6Address,
+    IPv6Network,
     is_6to4,
     is_gua,
     is_nat64_synthesized,
@@ -20,6 +18,8 @@ from repro.net.addresses import (
     is_ula,
     is_v4mapped,
     link_local_from_mac,
+    MAC_BROADCAST,
+    MacAddress,
     multicast_mac_for_ipv4,
     multicast_mac_for_ipv6,
     slaac_address,

@@ -5,15 +5,15 @@ a capture from this simulator is what a real sniffer would show."""
 
 import pytest
 
+from repro.dhcp.message import DhcpMessage
+from repro.dhcp.options import DhcpOptionCode
+from repro.dns.message import DnsMessage
+from repro.dns.rdata import RRType
 from repro.net.addresses import IPv4Address, IPv6Address, MacAddress
 from repro.net.arp import ArpPacket
 from repro.net.checksum import internet_checksum
-from repro.net.ethernet import EtherType, EthernetFrame
+from repro.net.ethernet import EthernetFrame, EtherType
 from repro.net.ipv4 import IPv4Packet
-from repro.dns.message import DnsMessage
-from repro.dns.rdata import RRType
-from repro.dhcp.message import DhcpMessage
-from repro.dhcp.options import DhcpOptionCode
 
 
 class TestIpv4ChecksumGolden:

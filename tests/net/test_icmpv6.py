@@ -4,7 +4,9 @@ import pytest
 
 from repro.net.addresses import IPv6Address, IPv6Network, MacAddress
 from repro.net.icmpv6 import (
+    decode_icmpv6,
     DnsslOption,
+    encode_icmpv6,
     Icmpv6Message,
     LinkLayerAddressOption,
     MtuOption,
@@ -17,8 +19,6 @@ from repro.net.icmpv6 import (
     RouterAdvertisement,
     RouterPreference,
     RouterSolicitation,
-    decode_icmpv6,
-    encode_icmpv6,
 )
 
 SRC = IPv6Address("fe80::200:59ff:feaa:c6ab")

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.net.addresses import IPv4Address, IPv6Address, MacAddress, MAC_BROADCAST
+from repro.net.addresses import IPv4Address, IPv6Address, MAC_BROADCAST, MacAddress
 from repro.net.arp import ArpOp, ArpPacket
-from repro.net.ethernet import EtherType, EthernetFrame
+from repro.net.ethernet import EthernetFrame, EtherType
 from repro.net.ipv4 import IPProto, IPv4Packet
 from repro.net.ipv6 import IPv6Packet
 

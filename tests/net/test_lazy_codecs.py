@@ -7,17 +7,17 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.net.arp import ArpOp, ArpPacket
 from repro.net.addresses import IPv4Address, IPv6Address, MacAddress
+from repro.net.arp import ArpOp, ArpPacket
 from repro.net.ethernet import EthernetFrame
 from repro.net.ipv4 import IPv4Packet
 from repro.net.ipv6 import IPv6Packet
 from repro.net.lazy import (
+    decode_ipv4_cached,
+    decode_ipv6_cached,
     LazyEthernetFrame,
     LazyIPv4Packet,
     LazyIPv6Packet,
-    decode_ipv4_cached,
-    decode_ipv6_cached,
 )
 from repro.net.udp import UdpDatagram
 

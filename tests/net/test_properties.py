@@ -5,13 +5,13 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.net.addresses import (
+    embed_ipv4_in_nat64,
+    eui64_interface_id,
+    extract_ipv4_from_nat64,
     IPv4Address,
     IPv6Address,
     IPv6Network,
     MacAddress,
-    embed_ipv4_in_nat64,
-    extract_ipv4_from_nat64,
-    eui64_interface_id,
 )
 from repro.net.checksum import internet_checksum, verify_checksum
 from repro.net.ethernet import EthernetFrame

@@ -14,7 +14,7 @@ from repro.analysis.adoption import (
 from repro.analysis.matrix import matrix_table, run_device_matrix, run_device_matrix_stats
 from repro.clients.profiles import ALL_PROFILES
 from repro.core.testbed import Testbed, TestbedConfig
-from repro.parallel import SweepExecutor, derive_seed
+from repro.parallel import derive_seed, SweepExecutor
 from repro.services.captive import connectivity_probe
 
 MIXES = windows_refresh_mixes(fleet_size=6, stages=(0.0, 0.5, 1.0))

@@ -12,15 +12,15 @@ import pytest
 
 from repro.core.metrics import SweepStats
 from repro.parallel import (
-    JOBS_ENV_VAR,
-    ShardPayload,
-    ShardSpec,
-    SweepExecutor,
     derive_seed,
     ensure_ok,
     fork_available,
+    JOBS_ENV_VAR,
     make_shards,
     resolve_jobs,
+    ShardPayload,
+    ShardSpec,
+    SweepExecutor,
 )
 from repro.parallel import executor as executor_module
 

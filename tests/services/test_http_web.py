@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net.addresses import IPv4Address, IPv6Address
-from repro.services.http import HttpRequest, HttpResponse, http_get, serve_http
+from repro.services.http import http_get, HttpRequest, HttpResponse, serve_http
 from repro.services.ip6me import IP6ME_V4, IP6ME_V6, Ip6MeService
 from repro.services.web import WebService
 from repro.sim.host import ServerHost

@@ -3,9 +3,9 @@ exchanging real frames."""
 
 import pytest
 
+from repro.nd.ra import RaDaemonConfig
 from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, IPv6Network
 from repro.net.icmpv6 import RouterPreference
-from repro.nd.ra import RaDaemonConfig
 from repro.sim.host import Host, ServerHost
 from repro.sim.node import connect
 from repro.sim.stack import StackConfig

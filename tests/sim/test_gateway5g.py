@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.addresses import IPv4Address, IPv6Address, embed_ipv4_in_nat64
+from repro.net.addresses import embed_ipv4_in_nat64, IPv4Address, IPv6Address
 from repro.sim.gateway5g import MobileGateway5G
 from repro.sim.host import Host, ServerHost
 from repro.sim.node import connect

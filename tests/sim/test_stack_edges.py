@@ -3,9 +3,9 @@ pending-queue expiry, proxy ARP/ND."""
 
 import pytest
 
-from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, IPv6Network
 from repro.clients.profiles import MACOS
-from repro.core.testbed import TestbedConfig, build_testbed
+from repro.core.testbed import build_testbed, TestbedConfig
+from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, IPv6Network
 from repro.sim.host import Host, ServerHost
 from repro.sim.node import connect
 from repro.sim.switch import ManagedSwitch

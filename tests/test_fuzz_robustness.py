@@ -7,16 +7,16 @@ peer emits.  Every handler must drop garbage, never raise.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address
-from repro.dhcp.server import DhcpPool, DhcpServer
-from repro.dns.zone import Zone
-from repro.xlat.dns64 import DNS64Resolver
 from repro.core.intervention import InterventionConfig, PoisonedDNSServer
 from repro.core.rpz import RpzConfig, RPZPolicyServer
+from repro.dhcp.server import DhcpPool, DhcpServer
+from repro.dns.zone import Zone
+from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address
 from repro.sim.engine import EventEngine
 from repro.sim.host import Host, ServerHost
 from repro.sim.node import connect
 from repro.sim.switch import ManagedSwitch
+from repro.xlat.dns64 import DNS64Resolver
 
 garbage = st.binary(min_size=0, max_size=600)
 

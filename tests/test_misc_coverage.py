@@ -1,18 +1,12 @@
 """Targeted tests for paths the thematic suites don't reach."""
 
 
-from repro.net.addresses import (
-    IPv4Address,
-    IPv4Network,
-    IPv6Address,
-    IPv6Network,
-    MacAddress,
-)
-from repro.net.ethernet import EtherType, EthernetFrame
-from repro.net.icmpv6 import RouterPreference
-from repro.dns.resolver import DualStackAnswer, ResolverConfig, ResolutionResult
 from repro.dns.rdata import RCode
+from repro.dns.resolver import DualStackAnswer, ResolutionResult, ResolverConfig
 from repro.nd.ra import RaDaemonConfig
+from repro.net.addresses import IPv4Address, IPv4Network, IPv6Address, IPv6Network, MacAddress
+from repro.net.ethernet import EthernetFrame, EtherType
+from repro.net.icmpv6 import RouterPreference
 from repro.sim.host import Host, ServerHost
 from repro.sim.node import connect
 from repro.sim.router import Router

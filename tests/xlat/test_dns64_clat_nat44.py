@@ -2,14 +2,14 @@
 
 import pytest
 
-from repro.net.addresses import IPv4Address, IPv6Address, IPv6Network, embed_ipv4_in_nat64
-from repro.net.ipv4 import IPProto, IPv4Packet
-from repro.net.ipv6 import IPv6Packet
-from repro.net.udp import UdpDatagram
 from repro.dns.message import DnsMessage
 from repro.dns.rdata import RCode, RRType
 from repro.dns.zone import Zone
-from repro.xlat.clat import Clat, ClatConfig, CLAT_IPV4_ADDRESS
+from repro.net.addresses import embed_ipv4_in_nat64, IPv4Address, IPv6Address, IPv6Network
+from repro.net.ipv4 import IPProto, IPv4Packet
+from repro.net.ipv6 import IPv6Packet
+from repro.net.udp import UdpDatagram
+from repro.xlat.clat import Clat, CLAT_IPV4_ADDRESS, ClatConfig
 from repro.xlat.dns64 import Dns64Config, DNS64Resolver
 from repro.xlat.nat44 import StatefulNat44
 from repro.xlat.siit import TranslationError

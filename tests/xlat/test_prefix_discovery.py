@@ -2,20 +2,17 @@
 
 import pytest
 
+from repro.clients.profiles import MACOS, WINDOWS_10
+from repro.core.testbed import build_testbed, TestbedConfig
+from repro.dhcp.client import DhcpClientState
 from repro.net.addresses import (
+    embed_ipv4_in_nat64,
     IPv4Address,
     IPv6Address,
     IPv6Network,
     WELL_KNOWN_NAT64_PREFIX,
-    embed_ipv4_in_nat64,
 )
-from repro.dhcp.client import DhcpClientState
-from repro.clients.profiles import MACOS, WINDOWS_10
-from repro.core.testbed import TestbedConfig, build_testbed
-from repro.xlat.prefix_discovery import (
-    WELL_KNOWN_IPV4ONLY_ADDRESSES,
-    prefix_from_synthesized,
-)
+from repro.xlat.prefix_discovery import prefix_from_synthesized, WELL_KNOWN_IPV4ONLY_ADDRESSES
 
 CUSTOM_PREFIX = IPv6Network("2001:db8:64::/96")
 

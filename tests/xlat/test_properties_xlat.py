@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.net.addresses import IPv4Address, IPv6Address, embed_ipv4_in_nat64
+from repro.net.addresses import embed_ipv4_in_nat64, IPv4Address, IPv6Address
 from repro.net.ipv4 import IPProto, IPv4Packet
 from repro.net.ipv6 import IPv6Packet
 from repro.net.udp import UdpDatagram

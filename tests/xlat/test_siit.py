@@ -4,12 +4,12 @@ import pytest
 
 from repro.net.addresses import IPv4Address, IPv6Address
 from repro.net.icmp import IcmpMessage, IcmpType
-from repro.net.icmpv6 import Icmpv6Message, Icmpv6Type, decode_icmpv6
+from repro.net.icmpv6 import decode_icmpv6, Icmpv6Message, Icmpv6Type
 from repro.net.ipv4 import IPProto, IPv4Packet
 from repro.net.ipv6 import IPv6Packet
 from repro.net.tcp import TcpFlags, TcpSegment
 from repro.net.udp import UdpDatagram
-from repro.xlat.siit import TranslationError, translate_v4_to_v6, translate_v6_to_v4
+from repro.xlat.siit import translate_v4_to_v6, translate_v6_to_v4, TranslationError
 
 V4_SRC, V4_DST = IPv4Address("192.0.0.1"), IPv4Address("190.92.158.4")
 V6_SRC = IPv6Address("2607:fb90:9bda:a425::10")
