@@ -27,14 +27,22 @@ Metrics per scenario:
 The emitted file also embeds ``seed_baseline`` — the numbers measured on
 the unoptimized seed tree — so every trajectory file records the
 improvement factor against where the repository started.
+
+Quick mode runs smaller scenario sizes, so its throughputs are not
+comparable to a full run's; ``baseline.json`` therefore keeps separate
+``scenarios`` (full) and ``scenarios_quick`` sections, each refreshed by
+``--update-baseline`` in the matching mode, and ``--check`` only ever
+gates same-mode pairs.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import math
 import platform
+import random
 import statistics
 import subprocess
 import sys
@@ -66,6 +74,7 @@ from repro.dns.rdata import RRType  # noqa: E402
 from repro.dns.zone import Zone  # noqa: E402
 from repro.net.addresses import IPv4Address  # noqa: E402
 from repro.parallel import SweepExecutor  # noqa: E402
+from repro.sim.engine import EventEngine  # noqa: E402
 from repro.xlat.dns64 import DNS64Resolver  # noqa: E402
 
 BASELINE_PATH = HERE / "baseline.json"
@@ -86,19 +95,27 @@ SHOW_FLOOR = (
 class RoundResult:
     """Raw observations from one scenario round.
 
-    ``shard_wall`` is the summed worker wall clock when the round ran
-    sharded over a :class:`SweepExecutor` (0.0 for serial scenarios);
-    dividing it by the round's observed wall gives the effective
-    parallel speedup.
+    ``shard_wall`` is the summed worker-equivalent wall clock; dividing
+    it by the round's observed wall gives the effective parallel
+    speedup.  Scenarios that fan out over a :class:`SweepExecutor` set
+    ``parallel=True`` (their ``jobs`` field reports the pool size);
+    serial scenarios may still report their own wall as ``shard_wall``
+    so the speedup field records ~1.0 instead of null.
     """
 
     def __init__(
-        self, events: int, sim_seconds: float, queries: int, shard_wall: float = 0.0
+        self,
+        events: int,
+        sim_seconds: float,
+        queries: int,
+        shard_wall: float = 0.0,
+        parallel: bool = False,
     ) -> None:
         self.events = events
         self.sim_seconds = sim_seconds
         self.queries = queries
         self.shard_wall = shard_wall
+        self.parallel = parallel
         self.wall = 0.0
 
 
@@ -108,9 +125,12 @@ def _dns_queries_served(testbed: Testbed) -> int:
 
 def scenario_show_floor(quick: bool, executor: SweepExecutor) -> RoundResult:
     """The test_bench_scale show-floor population: every device joins the
-    network and browses once.  One shared testbed — inherently serial."""
+    network and browses once.  One shared broadcast domain — inherently
+    serial — so the worker-equivalent wall equals the scenario wall and
+    ``parallel_speedup`` records ~1.0 rather than hiding as null."""
     del executor
     scale = 1 if quick else 2
+    start = time.perf_counter()
     testbed = Testbed(TestbedConfig())
     index = 0
     for profile, count in SHOW_FLOOR:
@@ -119,8 +139,12 @@ def scenario_show_floor(quick: bool, executor: SweepExecutor) -> RoundResult:
             index += 1
     for client in testbed.clients:
         client.fetch("sc24.supercomputing.org")
+    shard_wall = time.perf_counter() - start
     return RoundResult(
-        testbed.engine.events_run, testbed.engine.now, _dns_queries_served(testbed)
+        testbed.engine.events_run,
+        testbed.engine.now,
+        _dns_queries_served(testbed),
+        shard_wall=shard_wall,
     )
 
 
@@ -150,6 +174,7 @@ def scenario_adoption_sweep(quick: bool, executor: SweepExecutor) -> RoundResult
         stats.total_sim_seconds,
         stats.total_queries,
         shard_wall=stats.shard_wall_s,
+        parallel=True,
     )
 
 
@@ -178,10 +203,54 @@ def scenario_dns_fast_path(quick: bool, executor: SweepExecutor) -> RoundResult:
     return RoundResult(0, 0.0, queries)
 
 
+def scenario_scheduler_wheel(quick: bool, executor: SweepExecutor) -> RoundResult:
+    """Pure-engine scheduler microbenchmark — no packets, no codecs.
+
+    Exercises every tier of the timing wheel (behind-cursor heap,
+    tier-0/tier-1 slots, far-future overflow) through self-rescheduling
+    event chains drawn from a fixed-seed delay table, plus tombstone
+    pressure (cancelled entries must recycle through the slab without
+    dispatching) and a fleet of coalesced periodic cadences riding one
+    wheel timer.  Isolates schedule/dispatch cost from the protocol
+    stack so scheduler regressions can't hide behind codec noise.
+    """
+    del executor
+    n = 50_000 if quick else 250_000
+    engine = EventEngine()
+    rng = random.Random(20240806)
+    # Delay scales matched to the wheel geometry: 0 lands behind the
+    # cursor, sub-125 ms in tier-0, sub-32 s in tier-1, minutes in the
+    # overflow heap.
+    scales = (0.0, 0.0004, 0.004, 0.09, 0.8, 20.0, 120.0)
+    delays = [rng.choice(scales) * rng.random() for _ in range(1024)]
+    state = {"left": n}
+
+    def chain() -> None:
+        left = state["left"]
+        if left > 0:
+            state["left"] = left - 1
+            engine.schedule(delays[left & 1023], chain)
+            if not left % 17:  # tombstone pressure: cancel-in-place + recycle
+                engine.schedule(delays[(left + 7) & 1023], chain)[2] = None
+
+    for _ in range(128):
+        chain()
+    cancels = [
+        engine.schedule_every(5.0, lambda: None, coalesce="bench-ra") for _ in range(64)
+    ]
+    while state["left"] > 0:
+        engine.run_for(60.0, max_events=2 * n)
+    for cancel in cancels:
+        cancel()
+    engine.run_until_idle()
+    return RoundResult(engine.events_run, engine.now, 0)
+
+
 SCENARIOS: Dict[str, Callable[[bool, SweepExecutor], RoundResult]] = {
     "show_floor": scenario_show_floor,
     "adoption_sweep": scenario_adoption_sweep,
     "dns_fast_path": scenario_dns_fast_path,
+    "scheduler_wheel": scenario_scheduler_wheel,
 }
 
 
@@ -214,22 +283,39 @@ def run_scenario(
     speedups: List[float] = []
     events = 0
     queries = 0
-    for _ in range(rounds):
-        start = time.perf_counter()
-        result = fn(quick, executor)
-        wall = time.perf_counter() - start
-        walls.append(wall)
-        events += result.events
-        queries += result.queries
-        if result.sim_seconds:
-            ratios.append(result.sim_seconds / wall)
-        if result.shard_wall:
-            speedups.append(result.shard_wall / wall)
+    sharded = False
+    # Cyclic-GC pauses land at arbitrary points inside timed rounds and
+    # are the dominant noise source at these round lengths.  Standard
+    # bench hygiene (same policy as pyperf): collect + freeze the
+    # already-live heap, disable the collector for the timed region and
+    # restore it afterwards.  The scenarios themselves allocate almost
+    # no cyclic garbage, so this changes noise, not memory behaviour.
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.freeze()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = fn(quick, executor)
+            wall = time.perf_counter() - start
+            walls.append(wall)
+            events += result.events
+            queries += result.queries
+            sharded = sharded or result.parallel
+            if result.sim_seconds:
+                ratios.append(result.sim_seconds / wall)
+            if result.shard_wall:
+                speedups.append(result.shard_wall / wall)
+    finally:
+        if was_enabled:
+            gc.enable()
+        gc.unfreeze()
+        gc.collect()
     total_wall = sum(walls)
     best_wall = min(walls)
     round_events = events // rounds
     round_queries = queries // rounds
-    sharded = bool(speedups)
     return {
         "rounds": rounds,
         "basis": "best-round",
@@ -237,15 +323,18 @@ def run_scenario(
         "total_wall_s": round(total_wall, 4),
         "events": events,
         "queries": queries,
-        "events_per_sec": round(round_events / best_wall, 1) if events else None,
+        # Event-less scenarios (dns_fast_path measures codec + server
+        # cost with no engine) report an explicit "skipped" marker so
+        # the regression gate's skip logic is self-documenting.
+        "events_per_sec": round(round_events / best_wall, 1) if events else "skipped",
         "queries_per_sec": round(round_queries / best_wall, 1),
         "p50_wall_s": round(statistics.median(walls), 4),
         "p99_wall_s": round(_percentile(walls, 0.99), 4),
         "sim_per_wall_p50": round(statistics.median(ratios), 2) if ratios else None,
         "sim_per_wall_p99": round(_percentile(ratios, 0.99), 2) if ratios else None,
-        # Effective parallelism (summed shard wall / observed wall) for
-        # scenarios that fanned out over the executor; None when serial.
-        "parallel_speedup": round(max(speedups), 2) if sharded else None,
+        # Effective parallelism: summed worker-equivalent wall over
+        # observed wall — ~1.0 documents an inherently serial scenario.
+        "parallel_speedup": round(max(speedups), 2) if speedups else None,
     }
 
 
@@ -271,24 +360,35 @@ def _load_json(path: Path) -> Optional[dict]:
 
 
 def compare(
-    current: Dict[str, dict], baseline: Optional[dict], tolerance: float
+    current: Dict[str, dict], baseline: Optional[dict], tolerance: float, quick: bool = False
 ) -> List[str]:
-    """Regressions of current vs baseline; empty list means within tolerance."""
+    """Regressions of current vs baseline; empty list means within tolerance.
+
+    Quick and full runs use differently-sized scenarios, so their
+    throughputs are not comparable; each mode gates only against its own
+    baseline section (``scenarios_quick`` vs ``scenarios``).  A missing
+    section means nothing to gate against — record one with
+    ``--update-baseline`` in the matching mode.
+    """
     problems: List[str] = []
     if baseline is None:
         return problems
+    section = baseline.get(_baseline_section(quick), {})
     for name, stats in current.items():
-        base = baseline.get("scenarios", {}).get(name)
+        base = section.get(name)
         if base is None:
             continue
         for metric in ("events_per_sec", "queries_per_sec"):
             now_value = stats.get(metric)
             base_value = base.get(metric)
-            # Event-less scenarios (e.g. dns_fast_path) report null for
-            # events_per_sec; skip null metrics explicitly rather than
-            # dividing by / comparing against None, and skip zero
-            # baselines — they cannot gate anything.
-            if now_value is None or base_value is None or base_value == 0:
+            # Event-less scenarios (e.g. dns_fast_path) report the
+            # "skipped" marker for events_per_sec; only numeric pairs
+            # can gate, and zero baselines cannot gate anything.
+            if (
+                not isinstance(now_value, (int, float))
+                or not isinstance(base_value, (int, float))
+                or base_value == 0
+            ):
                 continue
             floor = base_value * (1.0 - tolerance)
             if now_value < floor:
@@ -297,6 +397,11 @@ def compare(
                     f"(baseline {base_value:,.0f}, tolerance {tolerance:.0%})"
                 )
     return problems
+
+
+def _baseline_section(quick: bool) -> str:
+    """Baseline key for a run mode: quick runs never gate full numbers."""
+    return "scenarios_quick" if quick else "scenarios"
 
 
 def improvement_vs_seed(current: Dict[str, dict], seed: Optional[dict]) -> Dict[str, float]:
@@ -310,9 +415,13 @@ def improvement_vs_seed(current: Dict[str, dict], seed: Optional[dict]) -> Dict[
         for metric in ("events_per_sec", "queries_per_sec"):
             now_value = stats.get(metric)
             base_value = base.get(metric)
-            # Null metrics (event-less scenarios) and zero baselines have
-            # no meaningful improvement factor; skip them explicitly.
-            if now_value is None or base_value is None or base_value == 0:
+            # "skipped"/null metrics (event-less scenarios) and zero
+            # baselines have no meaningful improvement factor.
+            if (
+                not isinstance(now_value, (int, float))
+                or not isinstance(base_value, (int, float))
+                or base_value == 0
+            ):
                 continue
             factors[f"{name}.{metric}"] = round(now_value / base_value, 2)
     return factors
@@ -361,7 +470,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             current[name] = run_scenario(name, SCENARIOS[name], rounds, args.quick, executor)
             stats = current[name]
             events_s = stats["events_per_sec"]
-            prefix = f"{events_s:,.0f} events/s, " if events_s is not None else ""
+            prefix = (
+                f"{events_s:,.0f} events/s, "
+                if isinstance(events_s, (int, float))
+                else f"events/s {events_s}, "
+            )
             speedup = stats["parallel_speedup"]
             suffix = f", {speedup:.2f}x parallel speedup" if speedup is not None else ""
             print(
@@ -391,24 +504,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"[harness] wrote {out_path}")
 
     if args.update_baseline:
-        BASELINE_PATH.write_text(
-            json.dumps(
-                {
-                    "generated": report["generated"],
-                    "git_commit": report["git_commit"],
-                    "quick": args.quick,
-                    "scenarios": current,
-                },
-                indent=2,
-            )
-            + "\n"
+        # Merge into the section for this run's mode; the other mode's
+        # numbers and any scenarios not run this time are preserved, so
+        # `--scenario X --update-baseline` refreshes only X.
+        section = _baseline_section(args.quick)
+        refreshed = dict(baseline or {})
+        refreshed.update(
+            {
+                "generated": report["generated"],
+                "git_commit": report["git_commit"],
+                section: {**refreshed.get(section, {}), **current},
+            }
         )
-        print(f"[harness] baseline refreshed at {BASELINE_PATH}")
+        refreshed.pop("quick", None)  # superseded by the per-mode sections
+        BASELINE_PATH.write_text(json.dumps(refreshed, indent=2) + "\n")
+        print(f"[harness] baseline refreshed at {BASELINE_PATH} ({section})")
+        baseline = refreshed
 
-    problems = compare(current, baseline, args.tolerance)
+    problems = compare(current, baseline, args.tolerance, quick=args.quick)
     for problem in problems:
         print(f"[harness] REGRESSION {problem}")
-    if not problems and baseline is not None:
+    if baseline is not None and not baseline.get(_baseline_section(args.quick)):
+        print(
+            f"[harness] baseline has no {_baseline_section(args.quick)} section; "
+            "nothing gated (record one with --update-baseline)"
+        )
+    elif not problems and baseline is not None:
         print(f"[harness] no regression vs baseline ({(baseline or {}).get('git_commit')})")
     if args.check and problems:
         return 1

@@ -18,6 +18,7 @@ _INTERESTING_MODULES = {
     "uuid",
     "secrets",
     "struct",
+    "heapq",
 }
 
 

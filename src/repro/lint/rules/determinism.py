@@ -23,6 +23,7 @@ __all__ = [
     "UnorderedSetIteration",
     "IdBasedOrdering",
     "HashBasedOrdering",
+    "DirectHeapqUse",
 ]
 
 #: Packages whose behaviour must be a pure function of the seed.  The
@@ -292,6 +293,49 @@ class IdBasedOrdering(Rule):
                         "between runs and workers",
                         "sort on a stable field of the object (name, sequence "
                         "number, wire bytes), never its identity",
+                    )
+
+
+#: The one module allowed to touch :mod:`heapq` directly — the event
+#: engine owns the ``(time, sequence)`` tie-break contract.
+_SCHEDULER_MODULE = "repro.sim.engine"
+
+
+@register_rule
+class DirectHeapqUse(Rule):
+    code = "RL106"
+    name = "direct-heapq-use"
+    summary = "heapq used outside the event engine (repro.sim.engine)"
+    scope = DETERMINISTIC_PACKAGES
+
+    def check(self, ctx: LintContext) -> None:
+        if ctx.module == _SCHEDULER_MODULE:
+            return
+        hint = (
+            "schedule through the event engine (engine.schedule / "
+            "schedule_every) — it owns the (time, sequence) tie-break "
+            "that keeps traces byte-identical; a side heap invents its "
+            "own ordering"
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "heapq":
+                        ctx.add(
+                            node,
+                            self.code,
+                            f"`import heapq` in `{ctx.module}` — event ordering "
+                            f"belongs to `{_SCHEDULER_MODULE}`",
+                            hint,
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module and node.module.split(".")[0] == "heapq":
+                    ctx.add(
+                        node,
+                        self.code,
+                        f"`from heapq import ...` in `{ctx.module}` — event "
+                        f"ordering belongs to `{_SCHEDULER_MODULE}`",
+                        hint,
                     )
 
 

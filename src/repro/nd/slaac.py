@@ -66,6 +66,11 @@ class SlaacState:
         self.rdnss: List[IPv6Address] = []
         self.search_domains: List[str] = []
         self.ras_processed = 0
+        #: Bumped on every *structural* prefix change (learn/withdraw,
+        #: not lifetime refresh) so consumers can skip re-applying
+        #: addresses when a periodic RA changed nothing.
+        self.epoch = 0
+        self._last_ra: Optional[RouterAdvertisement] = None
 
     # -- RA intake ----------------------------------------------------------
 
@@ -74,21 +79,41 @@ class SlaacState:
         now = self._clock()
         self.ras_processed += 1
         if ra.router_lifetime > 0:
-            self.routers[router_source] = LearnedRouter(
-                address=router_source,
-                lladdr=ra.source_lladdr,
-                preference=ra.preference,
-                lifetime_until=now + ra.router_lifetime,
-            )
+            # Update in place on refresh: periodic RAs dominate the RA
+            # stream, and re-allocating a record per refresh is pure
+            # hot-path churn.
+            router = self.routers.get(router_source)
+            if router is not None:
+                router.lladdr = ra.source_lladdr
+                router.preference = ra.preference
+                router.lifetime_until = now + ra.router_lifetime
+            else:
+                self.routers[router_source] = LearnedRouter(
+                    address=router_source,
+                    lladdr=ra.source_lladdr,
+                    preference=ra.preference,
+                    lifetime_until=now + ra.router_lifetime,
+                )
         else:
             self.routers.pop(router_source, None)
         for pio in ra.prefixes:
+            if pio.valid_lifetime == 0:
+                if self.prefixes.pop(pio.prefix, None) is not None:
+                    self.epoch += 1
+                continue
+            learned = self.prefixes.get(pio.prefix)
+            if (
+                learned is not None
+                and learned.learned_from == router_source
+                and (learned.address is not None)
+                == (pio.autonomous and pio.prefix.prefixlen == 64)
+            ):
+                learned.valid_until = now + pio.valid_lifetime
+                learned.preferred_until = now + pio.preferred_lifetime
+                continue
             address = None
             if pio.autonomous and pio.prefix.prefixlen == 64:
                 address = slaac_address(pio.prefix, self.mac)
-            if pio.valid_lifetime == 0:
-                self.prefixes.pop(pio.prefix, None)
-                continue
             self.prefixes[pio.prefix] = LearnedPrefix(
                 prefix=pio.prefix,
                 address=address,
@@ -96,12 +121,18 @@ class SlaacState:
                 preferred_until=now + pio.preferred_lifetime,
                 learned_from=router_source,
             )
-        for server in ra.rdnss_servers:
-            if server not in self.rdnss:
-                self.rdnss.append(server)
-        for domain in ra.search_domains:
-            if domain not in self.search_domains:
-                self.search_domains.append(domain)
+            self.epoch += 1
+        # Periodic RAs are cache-shared decode objects: an identical
+        # repeat can only re-offer RDNSS/DNSSL entries already merged,
+        # so the membership scans are skipped for it.
+        if ra is not self._last_ra:
+            self._last_ra = ra
+            for server in ra.rdnss_servers:
+                if server not in self.rdnss:
+                    self.rdnss.append(server)
+            for domain in ra.search_domains:
+                if domain not in self.search_domains:
+                    self.search_domains.append(domain)
 
     # -- queries --------------------------------------------------------------
 

@@ -25,6 +25,80 @@ IPv6Address = ipaddress.IPv6Address
 IPv4Network = ipaddress.IPv4Network
 IPv6Network = ipaddress.IPv6Network
 
+
+def _install_fast_address_hashes() -> None:
+    """Replace the stdlib address ``__hash__`` with an integer fast path.
+
+    ``ipaddress._BaseAddress.__hash__`` computes ``hash(hex(self._ip))``
+    — a fresh string allocation per call.  Addresses key every hot-path
+    dict in the simulator (neighbor caches, demux tables, decode
+    caches), so that shows up as several percent of a scenario run.
+    Hashing the integer value directly is equality-consistent (equal
+    addresses share ``_ip``, and the scope id folds in for scoped
+    IPv6), allocation-free, and — unlike the stdlib's string hash —
+    independent of ``PYTHONHASHSEED``.
+
+    Patching the stdlib classes (rather than subclassing) keeps every
+    instance the stdlib itself produces (``network.hosts()``,
+    ``broadcast_address``, …) on the fast path and preserves all
+    ``isinstance`` dispatch on the aliases above.
+    """
+
+    def _ipv4_hash(self: ipaddress.IPv4Address) -> int:
+        return self._ip  # type: ignore[attr-defined, no-any-return]
+
+    def _ipv6_hash(self: ipaddress.IPv6Address) -> int:
+        scope = self._scope_id  # type: ignore[attr-defined]
+        ip: int = self._ip  # type: ignore[attr-defined]
+        if scope is None:
+            return ip
+        return ip ^ int.from_bytes(scope.encode("utf-8"), "big")
+
+    # __eq__ gets the same treatment: the stdlib versions chain through
+    # super().__eq__ plus a getattr per call (IPv6), or compare nested
+    # address objects and build fresh ints from netmasks (networks).
+    # These flat versions are semantically identical — same attributes,
+    # same NotImplemented fallback — just without the indirection.
+
+    def _ipv4_eq(self: ipaddress.IPv4Address, other: object) -> bool:
+        try:
+            return (
+                self._ip == other._ip  # type: ignore[attr-defined]
+                and other._version == 4  # type: ignore[attr-defined]
+            )
+        except AttributeError:
+            return NotImplemented  # type: ignore[return-value]
+
+    def _ipv6_eq(self: ipaddress.IPv6Address, other: object) -> bool:
+        try:
+            return (
+                self._ip == other._ip  # type: ignore[attr-defined]
+                and other._version == 6  # type: ignore[attr-defined]
+                and self._scope_id == getattr(other, "_scope_id", None)  # type: ignore[attr-defined]
+            )
+        except AttributeError:
+            return NotImplemented  # type: ignore[return-value]
+
+    def _net_eq(self: ipaddress._BaseNetwork, other: object) -> bool:
+        try:
+            return (
+                self._version == other._version  # type: ignore[attr-defined]
+                and self.network_address._ip == other.network_address._ip  # type: ignore[attr-defined]
+                and self.netmask._ip == other.netmask._ip  # type: ignore[attr-defined]
+            )
+        except AttributeError:
+            return NotImplemented  # type: ignore[return-value]
+
+    ipaddress.IPv4Address.__hash__ = _ipv4_hash  # type: ignore[method-assign, assignment]
+    ipaddress.IPv6Address.__hash__ = _ipv6_hash  # type: ignore[method-assign, assignment]
+    ipaddress.IPv4Address.__eq__ = _ipv4_eq  # type: ignore[method-assign, assignment]
+    ipaddress.IPv6Address.__eq__ = _ipv6_eq  # type: ignore[method-assign, assignment]
+    ipaddress.IPv4Network.__eq__ = _net_eq  # type: ignore[method-assign, assignment]
+    ipaddress.IPv6Network.__eq__ = _net_eq  # type: ignore[method-assign, assignment]
+
+
+_install_fast_address_hashes()
+
 #: The NAT64/DNS64 well-known prefix of RFC 6052 §2.1, as used by the
 #: paper's 5G mobile gateway ("NAT64 using the well-known prefix of
 #: 64:ff9b::/96 was functional on the 5G mobile Internet gateway").

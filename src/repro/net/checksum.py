@@ -8,31 +8,30 @@ stack would catch it.
 
 from __future__ import annotations
 
-import array
 import struct
-import sys
 from functools import lru_cache
 
 from repro.net.addresses import IPv4Address, IPv6Address
-
-_LITTLE_ENDIAN = sys.byteorder == "little"
 
 
 def ones_complement_sum(data: bytes, initial: int = 0) -> int:
     """16-bit ones-complement sum of ``data`` (not yet complemented).
 
-    Odd-length input is padded with a zero byte, per RFC 1071.  The sum
-    is computed over native-endian words and byte-swapped once at the
-    end — RFC 1071 §2(B) byte-order independence — which is much faster
-    than iterating big-endian words in Python.
+    Odd-length input is padded with a zero byte, per RFC 1071.  The
+    buffer is read as one big-endian integer: 2**16 ≡ 1 (mod 65535), so
+    ``N % 0xFFFF`` *is* the folded big-endian word sum — one C-level
+    conversion and one modulo instead of a Python-side word loop.  The
+    only representational gap is a positive word sum that is ≡ 0
+    (mod 65535): repeated end-around-carry folding yields 0xFFFF there
+    (folding a positive total can never reach 0), while the modulo
+    yields 0, hence the explicit fix-up.
     """
     if len(data) % 2:
         data = bytes(data) + b"\x00"
-    total = sum(array.array("H", bytes(data)))
-    while total >> 16:
-        total = (total & 0xFFFF) + (total >> 16)
-    if _LITTLE_ENDIAN:
-        total = ((total & 0xFF) << 8) | (total >> 8)
+    n = int.from_bytes(data, "big")
+    total = n % 0xFFFF
+    if total == 0 and n:
+        total = 0xFFFF
     total += initial
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import enum
 import struct
+from functools import cached_property
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence
 
@@ -415,12 +416,19 @@ class RouterAdvertisement:
         )
 
     # -- typed option accessors --------------------------------------------
+    #
+    # Decoded RAs are shared via the decode cache and re-read on every
+    # delivery (each host on the link processes the same periodic RA), so
+    # the option scans are memoised.  ``cached_property`` writes straight
+    # into ``__dict__``, which a frozen dataclass permits (only
+    # ``__setattr__`` is blocked) and which never affects field-based
+    # equality or hashing.
 
-    @property
+    @cached_property
     def prefixes(self) -> List[PrefixInformation]:
         return [o for o in self.options if isinstance(o, PrefixInformation)]
 
-    @property
+    @cached_property
     def rdnss_servers(self) -> List[IPv6Address]:
         out: List[IPv6Address] = []
         for o in self.options:
@@ -428,7 +436,7 @@ class RouterAdvertisement:
                 out.extend(o.servers)
         return out
 
-    @property
+    @cached_property
     def search_domains(self) -> List[str]:
         out: List[str] = []
         for o in self.options:
@@ -436,7 +444,7 @@ class RouterAdvertisement:
                 out.extend(o.domains)
         return out
 
-    @property
+    @cached_property
     def source_lladdr(self) -> Optional[MacAddress]:
         for o in self.options:
             if (
@@ -579,9 +587,10 @@ def decode_icmpv6(
     """
     if verify:
         key = (data, src, dst)
-        cached = _DECODE_CACHE.get(key)
-        if cached is not None:
-            return cached
+        try:
+            return _DECODE_CACHE[key]
+        except KeyError:
+            pass
     if len(data) < 8:
         raise ValueError(f"ICMPv6 message too short: {len(data)} bytes")
     if verify:

@@ -154,6 +154,11 @@ class LazyEthernetFrame:
         return payload
 
     @property
+    def src_multicast(self) -> bool:
+        """The source MAC's I/G bit, without constructing a MacAddress."""
+        return bool(self._wire[6] & 1)
+
+    @property
     def is_broadcast(self) -> bool:
         return self._wire[0:6] == b"\xff\xff\xff\xff\xff\xff"
 
@@ -453,23 +458,29 @@ _PACKET_CACHE_LIMIT = 8192
 
 def decode_ipv4_cached(data: bytes) -> LazyIPv4Packet:
     """Verified :class:`LazyIPv4Packet` decode, shared per wire bytes."""
+    # EAFP subscript: the hit path (the overwhelming majority — every
+    # receiver of a flooded frame after the first) costs one dict op.
+    try:
+        return _V4_DECODE_CACHE[data]
+    except KeyError:
+        pass
     key = bytes(data)
-    packet = _V4_DECODE_CACHE.get(key)
-    if packet is None:
-        packet = LazyIPv4Packet(key)
-        if len(_V4_DECODE_CACHE) >= _PACKET_CACHE_LIMIT:
-            _V4_DECODE_CACHE.clear()
-        _V4_DECODE_CACHE[key] = packet
+    packet = LazyIPv4Packet(key)
+    if len(_V4_DECODE_CACHE) >= _PACKET_CACHE_LIMIT:
+        _V4_DECODE_CACHE.clear()
+    _V4_DECODE_CACHE[key] = packet
     return packet
 
 
 def decode_ipv6_cached(data: bytes) -> LazyIPv6Packet:
     """:class:`LazyIPv6Packet` decode, shared per wire bytes."""
+    try:
+        return _V6_DECODE_CACHE[data]
+    except KeyError:
+        pass
     key = bytes(data)
-    packet = _V6_DECODE_CACHE.get(key)
-    if packet is None:
-        packet = LazyIPv6Packet(key)
-        if len(_V6_DECODE_CACHE) >= _PACKET_CACHE_LIMIT:
-            _V6_DECODE_CACHE.clear()
-        _V6_DECODE_CACHE[key] = packet
+    packet = LazyIPv6Packet(key)
+    if len(_V6_DECODE_CACHE) >= _PACKET_CACHE_LIMIT:
+        _V6_DECODE_CACHE.clear()
+    _V6_DECODE_CACHE[key] = packet
     return packet

@@ -55,15 +55,25 @@ class TcpSegment:
     HEADER_LEN = 20
 
     def __post_init__(self) -> None:
-        for name, val, hi in (
-            ("src_port", self.src_port, 0xFFFF),
-            ("dst_port", self.dst_port, 0xFFFF),
-            ("seq", self.seq, 0xFFFFFFFF),
-            ("ack", self.ack, 0xFFFFFFFF),
-            ("window", self.window, 0xFFFF),
+        # One fused range check on the happy path (this runs per decoded
+        # and per constructed segment); the loop that names the offending
+        # field only runs once a violation is already certain.
+        if not (
+            0 <= self.src_port <= 0xFFFF
+            and 0 <= self.dst_port <= 0xFFFF
+            and 0 <= self.seq <= 0xFFFFFFFF
+            and 0 <= self.ack <= 0xFFFFFFFF
+            and 0 <= self.window <= 0xFFFF
         ):
-            if not 0 <= val <= hi:
-                raise ValueError(f"{name} out of range: {val}")
+            for name, val, hi in (
+                ("src_port", self.src_port, 0xFFFF),
+                ("dst_port", self.dst_port, 0xFFFF),
+                ("seq", self.seq, 0xFFFFFFFF),
+                ("ack", self.ack, 0xFFFFFFFF),
+                ("window", self.window, 0xFFFF),
+            ):
+                if not 0 <= val <= hi:
+                    raise ValueError(f"{name} out of range: {val}")
 
     def encode(self, src_ip: Address, dst_ip: Address) -> bytes:
         data_offset = (self.HEADER_LEN // 4) << 4

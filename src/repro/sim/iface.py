@@ -10,6 +10,7 @@ across real stacks.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.net.addresses import (
@@ -56,6 +57,24 @@ _ETHERTYPE_ARP = int(EtherType.ARP)
 _ETHERTYPE_IPV4 = int(EtherType.IPV4)
 _ETHERTYPE_IPV6 = int(EtherType.IPV6)
 _IPPROTO_ICMPV6 = int(IPProto.ICMPV6)
+
+# Pre-encoded EtherType wire bytes, keyed by int (IntEnum keys hash the
+# same), for the zero-object frame build in _send_frame.
+_ETHERTYPE_WIRE = {int(et): int(et).to_bytes(2, "big") for et in EtherType}
+
+
+@lru_cache(maxsize=None)
+def _mac_wire(mac: MacAddress) -> bytes:
+    """``mac.to_bytes()``, memoized — the destination-MAC population of
+    a simulation is bounded by its host count."""
+    return mac.to_bytes()
+
+
+@lru_cache(maxsize=None)
+def _mac_from_wire(raw: bytes) -> MacAddress:
+    """The inverse of :func:`_mac_wire`, memoized for the same reason:
+    source MACs on a link repeat constantly."""
+    return MacAddress(int.from_bytes(raw, "big"))
 
 
 class L2Interface:
@@ -104,6 +123,9 @@ class L2Interface:
         self.on_rs: Optional[Callable[[RouterSolicitation, IPv6Address], None]] = None
         self.arp_requests_sent = 0
         self.ns_sent = 0
+        # Every L2Interface owner's on_frame is a pure per-port dispatch
+        # to handle_frame, so deliveries can skip the trampoline.
+        port.sink = self.handle_frame
         #: Unicast data-plane counters (broadcast/multicast excluded), the
         #: evidence base for the client census in :mod:`repro.core.metrics`.
         self.tx_ipv4_unicast = 0
@@ -139,82 +161,94 @@ class L2Interface:
         return dst == self._mac_bytes or bool(dst[0] & 1)
 
     def handle_frame(self, raw: bytes) -> None:
-        try:
-            frame = LazyEthernetFrame(raw)
-        except ValueError:
+        # Accept filter straight off the wire — the multicast I/G bit
+        # (which also covers broadcast) or our own MAC — then dispatch on
+        # the ethertype bytes.  The whole receive path works from the raw
+        # frame: no frame object is ever built (the L3 decode caches key
+        # by payload value, and the source MAC is only materialized when
+        # a neighbor entry is actually learned).
+        if len(raw) < 14 or not (raw[0] & 1 or raw.startswith(self._mac_bytes)):
             return
-        if not self.accepts(frame):
-            return
-        ethertype = frame.ethertype
-        if ethertype == _ETHERTYPE_ARP:
-            self._handle_arp(frame)
-        elif ethertype == _ETHERTYPE_IPV4:
-            self._handle_ipv4(frame)
+        ethertype = (raw[12] << 8) | raw[13]
+        if ethertype == _ETHERTYPE_IPV4:
+            self._handle_ipv4(raw)
         elif ethertype == _ETHERTYPE_IPV6:
-            self._handle_ipv6(frame)
+            self._handle_ipv6(raw)
+        elif ethertype == _ETHERTYPE_ARP:
+            self._handle_arp(raw)
 
-    def _handle_arp(self, frame: LazyEthernetFrame) -> None:
+    def _handle_arp(self, raw: bytes) -> None:
         try:
-            arp = ArpPacket.decode(frame.payload)
+            arp = ArpPacket.decode(raw[14:])
         except ValueError:
             return
         if arp.sender_ip != UNSPECIFIED_V4:
             self._learn_v4(arp.sender_ip, arp.sender_mac)
-        proxied = any(arp.target_ip in net for net in self.proxy_arp_networks)
-        if arp.op == ArpOp.REQUEST and (arp.target_ip in self.ipv4_addresses or proxied):
+        if arp.op == ArpOp.REQUEST and (
+            arp.target_ip in self.ipv4_addresses
+            or any(arp.target_ip in net for net in self.proxy_arp_networks)
+        ):
             reply = arp.reply_from(self.mac)
             self._send_frame(arp.sender_mac, EtherType.ARP, reply.encode())
 
-    def _handle_ipv4(self, frame: LazyEthernetFrame) -> None:
+    def _handle_ipv4(self, raw: bytes) -> None:
         try:
-            packet = decode_ipv4_cached(frame.payload)
+            packet = decode_ipv4_cached(raw[14:])
         except ValueError:
             return
-        if packet.src != UNSPECIFIED_V4 and not frame.src.is_multicast:
-            self._learn_v4(packet.src, frame.src)
+        if packet.src != UNSPECIFIED_V4 and not raw[6] & 1:
+            self._learn_v4(packet.src, _mac_from_wire(raw[6:12]))
         if self.on_ipv4 is not None:
             self.on_ipv4(packet)
 
-    def _handle_ipv6(self, frame: LazyEthernetFrame) -> None:
+    def _handle_ipv6(self, raw: bytes) -> None:
         try:
-            packet = decode_ipv6_cached(frame.payload)
+            packet = decode_ipv6_cached(raw[14:])
         except ValueError:
             return
-        if packet.next_header == _IPPROTO_ICMPV6 and self._handle_ndp(frame, packet):
+        if packet.next_header == _IPPROTO_ICMPV6 and self._handle_ndp(raw, packet):
             return
         if packet.src != UNSPECIFIED_V6:
-            self._learn_v6(packet.src, frame.src)
+            self._learn_v6(packet.src, _mac_from_wire(raw[6:12]))
         if self.on_ipv6 is not None:
             self.on_ipv6(packet)
 
-    def _handle_ndp(self, frame: LazyEthernetFrame, packet: LazyIPv6Packet) -> bool:
+    def _handle_ndp(self, raw: bytes, packet: LazyIPv6Packet) -> bool:
         """Returns True when the message was NDP and fully consumed."""
+        src = packet.src
         try:
-            message = decode_icmpv6(packet.payload, packet.src, packet.dst)
+            message = decode_icmpv6(packet.payload, src, packet.dst)
         except ValueError:
             return True
-        if isinstance(message, NeighborSolicitation):
-            if message.source_lladdr is not None and packet.src != UNSPECIFIED_V6:
-                self._learn_v6(packet.src, message.source_lladdr)
-            proxied = any(message.target in p for p in self.proxy_nd_prefixes)
-            if message.target in self.ipv6_addresses or proxied:
-                self._send_na(message.target, packet.src)
+        # Exact-type dispatch, ordered by observed frequency (periodic
+        # RAs dominate the NDP stream): decode_icmpv6 constructs the
+        # concrete classes directly, so no subclass check is needed.
+        cls = type(message)
+        if cls is RouterAdvertisement:
+            if message.source_lladdr is not None:
+                self._learn_v6(src, message.source_lladdr)
+            if self.on_ra is not None:
+                self.on_ra(message, src)
             return True
-        if isinstance(message, NeighborAdvertisement):
+        if cls is NeighborSolicitation:
+            if message.source_lladdr is not None and src != UNSPECIFIED_V6:
+                self._learn_v6(src, message.source_lladdr)
+            # Owned-target set hit first; the proxy-prefix containment
+            # scan only runs for addresses this interface doesn't own.
+            if message.target in self.ipv6_addresses or any(
+                message.target in p for p in self.proxy_nd_prefixes
+            ):
+                self._send_na(message.target, src)
+            return True
+        if cls is NeighborAdvertisement:
             if message.target_lladdr is not None:
                 self._learn_v6(message.target, message.target_lladdr)
             return True
-        if isinstance(message, RouterAdvertisement):
-            if message.source_lladdr is not None:
-                self._learn_v6(packet.src, message.source_lladdr)
-            if self.on_ra is not None:
-                self.on_ra(message, packet.src)
-            return True
-        if isinstance(message, RouterSolicitation):
-            if message.source_lladdr is not None and packet.src != UNSPECIFIED_V6:
-                self._learn_v6(packet.src, message.source_lladdr)
+        if cls is RouterSolicitation:
+            if message.source_lladdr is not None and src != UNSPECIFIED_V6:
+                self._learn_v6(src, message.source_lladdr)
             if self.on_rs is not None:
-                self.on_rs(message, packet.src)
+                self.on_rs(message, src)
             return True
         return False  # echo & errors flow up to the owner
 
@@ -222,23 +256,31 @@ class L2Interface:
 
     def _learn_v4(self, address: IPv4Address, mac: MacAddress) -> None:
         self.v4_neighbors[address] = mac
-        pending = self._pending_v4.pop(address, None)
-        if pending:
-            for raw in pending:
-                self._send_frame(mac, EtherType.IPV4, raw)
+        # The pending queues are almost always empty; the truthiness
+        # check dodges a pop() per learned/refreshed neighbor.
+        if self._pending_v4:
+            pending = self._pending_v4.pop(address, None)
+            if pending:
+                for raw in pending:
+                    self._send_frame(mac, EtherType.IPV4, raw)
 
     def _learn_v6(self, address: IPv6Address, mac: MacAddress) -> None:
         self.v6_neighbors[address] = mac
-        pending = self._pending_v6.pop(address, None)
-        if pending:
-            for raw in pending:
-                self._send_frame(mac, EtherType.IPV6, raw)
+        if self._pending_v6:
+            pending = self._pending_v6.pop(address, None)
+            if pending:
+                for raw in pending:
+                    self._send_frame(mac, EtherType.IPV6, raw)
 
     # -- sending -----------------------------------------------------------------
 
     def _send_frame(self, dst: MacAddress, ethertype: int, payload: bytes) -> None:
-        frame = EthernetFrame(dst=dst, src=self.mac, ethertype=ethertype, payload=payload)
-        self.port.transmit(frame.encode())
+        # Wire bytes built directly — identical to
+        # ``EthernetFrame(...).encode()`` without the frozen-dataclass
+        # construction on every transmitted frame.
+        self.port.transmit(
+            _mac_wire(dst) + self._mac_bytes + _ETHERTYPE_WIRE[ethertype] + payload
+        )
 
     def on_link_v4(self, destination: IPv4Address) -> bool:
         if self.on_link_everything:
@@ -258,13 +300,16 @@ class L2Interface:
             return
         self.tx_ipv4_unicast += 1
         hop = next_hop or packet.dst
-        mac = self.v4_neighbors.get(hop)
-        if mac is not None:
-            self._send_frame(mac, EtherType.IPV4, raw)
+        # EAFP: the neighbor table hits on every frame after the first.
+        try:
+            self._send_frame(self.v4_neighbors[hop], EtherType.IPV4, raw)
             return
+        except KeyError:
+            pass
         self._pending_v4.setdefault(hop, []).append(raw)
         self._arp_request(hop)
-        self.engine.schedule(RESOLUTION_TIMEOUT, lambda: self._expire_pending_v4(hop))
+        # args-style scheduling: no closure allocation per unresolved packet.
+        self.engine.schedule(RESOLUTION_TIMEOUT, self._expire_pending_v4, hop)
 
     def send_ipv6(self, packet: IPv6Packet, next_hop: Optional[IPv6Address] = None) -> None:
         """Transmit an IPv6 packet, resolving the next-hop MAC via NDP."""
@@ -274,13 +319,14 @@ class L2Interface:
             return
         self.tx_ipv6_unicast += 1
         hop = next_hop or packet.dst
-        mac = self.v6_neighbors.get(hop)
-        if mac is not None:
-            self._send_frame(mac, EtherType.IPV6, raw)
+        try:
+            self._send_frame(self.v6_neighbors[hop], EtherType.IPV6, raw)
             return
+        except KeyError:
+            pass
         self._pending_v6.setdefault(hop, []).append(raw)
         self._neighbor_solicit(hop)
-        self.engine.schedule(RESOLUTION_TIMEOUT, lambda: self._expire_pending_v6(hop))
+        self.engine.schedule(RESOLUTION_TIMEOUT, self._expire_pending_v6, hop)
 
     def _is_subnet_broadcast(self, address: IPv4Address) -> bool:
         return any(address == p.broadcast_address for p in self.ipv4_prefixes)

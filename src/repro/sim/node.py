@@ -8,7 +8,7 @@ frames onto its link and hands received frames to the node's
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.sim.engine import EventEngine
 from repro.sim.link import Link
@@ -27,6 +27,18 @@ class Port:
         self.trace: Optional[PacketTrace] = None
         self.tx_frames = 0
         self.rx_frames = 0
+        #: Fast delivery path: when the owning node's ``on_frame`` would
+        #: only dispatch on the port to a fixed per-port handler (every
+        #: :class:`~repro.sim.iface.L2Interface` owner), the handler is
+        #: installed here and called directly with the frame bytes,
+        #: skipping the ``on_frame`` trampoline.  ``None`` falls back to
+        #: ``node.on_frame(port, frame)`` (the switch needs the port).
+        self.sink: Optional[Callable[[bytes], None]] = None
+        #: Identity-stable bound :meth:`deliver`, scheduled directly by
+        #: the link for single-frame ticks (``port.deliver`` would mint
+        #: a fresh bound method per access, defeating the link's ``is``
+        #: check when it upgrades a pending delivery into a batch).
+        self.deliver_cb: Callable[[bytes], None] = self.deliver
 
     @property
     def connected(self) -> bool:
@@ -44,7 +56,39 @@ class Port:
         self.rx_frames += 1
         if self.trace is not None:
             self.trace.record(self.node.name, self.name, "rx", frame)
-        self.node.on_frame(self, frame)
+        if self.sink is not None:
+            self.sink(frame)
+        else:
+            self.node.on_frame(self, frame)
+
+    def deliver_batch(self, frames) -> None:
+        """Deliver a same-tick batch in transmit order (one link drain).
+
+        Equivalent to calling :meth:`deliver` per frame, hoisting the
+        trace/attribute lookups out of the per-frame loop.
+        """
+        self.rx_frames += len(frames)
+        node = self.node
+        trace = self.trace
+        sink = self.sink
+        if trace is not None:
+            record = trace.record
+            node_name = node.name
+            name = self.name
+            for frame in frames:
+                record(node_name, name, "rx", frame)
+                if sink is not None:
+                    sink(frame)
+                else:
+                    node.on_frame(self, frame)
+            return
+        if sink is not None:
+            for frame in frames:
+                sink(frame)
+            return
+        on_frame = node.on_frame
+        for frame in frames:
+            on_frame(self, frame)
 
 
 class Node:

@@ -39,6 +39,13 @@ from repro.net.icmp import IcmpMessage, IcmpType
 from repro.net.icmpv6 import decode_icmpv6, encode_icmpv6, Icmpv6Message, Icmpv6Type
 from repro.net.ipv4 import IPProto, IPv4Packet
 from repro.net.ipv6 import IPv6Packet
+
+# Plain ints for the per-packet protocol demux (IntEnum __eq__ is
+# measurably slower on the hot path — see repro.sim.iface).
+_IPPROTO_UDP = int(IPProto.UDP)
+_IPPROTO_TCP = int(IPProto.TCP)
+_IPPROTO_ICMP = int(IPProto.ICMP)
+_IPPROTO_ICMPV6 = int(IPProto.ICMPV6)
 from repro.net.tcp import TcpFlags, TcpSegment
 from repro.net.udp import UdpDatagram
 from repro.sim.engine import EventEngine
@@ -249,13 +256,21 @@ class HostStack(Node):
         self.iface.on_ipv6 = self._deliver_ipv6
         self.iface.on_ra = self._on_ra
         self.slaac = SlaacState(mac, engine.clock)
+        # (slaac epoch, configured-address count) as of the last RA
+        # whose learned prefixes were applied; see _on_ra.
+        self._ra_applied: Optional[Tuple[int, int]] = None
         self.ipv4_config: Optional[Ipv4Config] = None
         self.clat: Optional[Clat] = None
         self.v6only_wait: Optional[int] = None
         self.static_v6_default: Optional[IPv6Address] = None
         self._udp_sockets: Dict[int, UdpSocket] = {}
         self._tcp_listeners: Dict[int, Callable[[TcpConnection], None]] = {}
-        self._tcp_conns: Dict[Tuple[int, str, int], TcpConnection] = {}
+        # Keyed by the address *object* (local port, remote addr, remote
+        # port): address hashes derive from the integer value, so the
+        # lookup skips the ~6 µs IPv6 string formatting per segment that
+        # a str-keyed table would pay, at identical semantics (v4/v6
+        # objects never compare equal across families).
+        self._tcp_conns: Dict[Tuple[int, AnyAddress, int], TcpConnection] = {}
         self._ephemeral = itertools.count(49152)
         self._ping_replies: Dict[Tuple[int, int], float] = {}
         self._ping_ident = itertools.count(0x0100)
@@ -274,9 +289,17 @@ class HostStack(Node):
         if not self.config.ipv6_enabled or not self.config.accept_ras:
             return
         self.slaac.process_ra(ra, source)
+        configured = self.iface.ipv6_addresses
+        # A periodic refresh changes neither the learned-prefix set
+        # (slaac epoch) nor the configured addresses — skip the apply
+        # scan for it.  Either component changing forces a re-scan.
+        state = (self.slaac.epoch, len(configured))
+        if state == self._ra_applied:
+            return
         for learned in self.slaac.prefixes.values():
-            if learned.address is not None:
+            if learned.address is not None and learned.address not in configured:
                 self.iface.add_ipv6(learned.address, learned.prefix)
+        self._ra_applied = (self.slaac.epoch, len(configured))
 
     def solicit_routers(self) -> None:
         if self.config.ipv6_enabled:
@@ -559,7 +582,7 @@ class HostStack(Node):
             return None
         local_port = next(self._ephemeral) % 65536
         conn = TcpConnection(self, src, local_port, dst, dport)
-        self._tcp_conns[(local_port, str(dst), dport)] = conn
+        self._tcp_conns[(local_port, dst, dport)] = conn
         conn.state = TcpConnection.SYN_SENT
         conn._emit(TcpFlags.SYN)
         return conn
@@ -625,7 +648,7 @@ class HostStack(Node):
 
     def _forget_connection(self, conn: TcpConnection) -> None:
         self._tcp_conns.pop(
-            (conn.local_port, str(conn.remote_addr), conn.remote_port), None
+            (conn.local_port, conn.remote_addr, conn.remote_port), None
         )
 
     def _handle_tcp(self, src: AnyAddress, dst: AnyAddress, raw: bytes) -> None:
@@ -633,7 +656,7 @@ class HostStack(Node):
             segment = TcpSegment.decode(raw, src, dst)
         except ValueError:
             return
-        key = (segment.dst_port, str(src), segment.src_port)
+        key = (segment.dst_port, src, segment.src_port)
         conn = self._tcp_conns.get(key)
         if conn is not None:
             conn._handle(segment)
@@ -709,30 +732,51 @@ class HostStack(Node):
     def _deliver_ipv4(self, packet: IPv4Packet) -> None:
         if not self.config.ipv4_enabled and self.clat is None:
             return
+        # ``packet.dst`` is a lazy-decode property; one read serves the
+        # whole locality check (this runs once per client per flooded
+        # frame, so the DHCP join chatter multiplies every lookup here).
+        dst = packet.dst
+        addresses = self.iface.ipv4_addresses
         local = (
-            packet.dst in self.iface.ipv4_addresses
-            or packet.dst == IPV4_BROADCAST
-            or self.iface._is_subnet_broadcast(packet.dst)
-            or not self.iface.ipv4_addresses  # DHCP bootstrap state
+            dst in addresses
+            or dst == IPV4_BROADCAST
+            or self.iface._is_subnet_broadcast(dst)
+            or not addresses  # DHCP bootstrap state
         )
         if not local:
+            return
+        # UDP dominates this path (DNS + DHCP); inline its demux branch
+        # and fall through to the full demux for everything else.
+        if packet.proto == _IPPROTO_UDP:
+            src = packet.src
+            try:
+                datagram = UdpDatagram.decode(packet.payload, src, dst)
+            except ValueError:
+                return
+            try:
+                sock = self._udp_sockets[datagram.dst_port]
+            except KeyError:
+                return
+            sock._deliver(src, datagram.src_port, datagram.payload)
             return
         self._demux_ipv4(packet)
 
     def _demux_ipv4(self, packet: IPv4Packet) -> None:
-        if packet.proto == IPProto.UDP:
+        if packet.proto == _IPPROTO_UDP:
             try:
                 datagram = UdpDatagram.decode(packet.payload, packet.src, packet.dst)
             except ValueError:
                 return
-            sock = self._udp_sockets.get(datagram.dst_port)
-            if sock is not None:
-                sock._deliver(packet.src, datagram.src_port, datagram.payload)
+            try:
+                sock = self._udp_sockets[datagram.dst_port]
+            except KeyError:
+                return
+            sock._deliver(packet.src, datagram.src_port, datagram.payload)
             return
-        if packet.proto == IPProto.TCP:
+        if packet.proto == _IPPROTO_TCP:
             self._handle_tcp(packet.src, packet.dst, packet.payload)
             return
-        if packet.proto == IPProto.ICMP:
+        if packet.proto == _IPPROTO_ICMP:
             try:
                 message = IcmpMessage.decode(packet.payload)
             except ValueError:
@@ -751,11 +795,15 @@ class HostStack(Node):
     def _deliver_ipv6(self, packet: IPv6Packet) -> None:
         if not self.config.ipv6_enabled:
             return
-        owned = packet.dst in self.iface.ipv6_addresses
-        multicast_ok = packet.dst == ALL_NODES_V6 or any(
-            packet.dst == solicited_node_multicast(a) for a in self.iface.ipv6_addresses
-        )
-        if not owned and not multicast_ok:
+        dst = packet.dst
+        addresses = self.iface.ipv6_addresses
+        # Owned unicast is the common case; only fall back to the
+        # multicast membership scan when the set lookup misses.
+        if (
+            dst not in addresses
+            and dst != ALL_NODES_V6
+            and not any(dst == solicited_node_multicast(a) for a in addresses)
+        ):
             return
         if (
             self.clat is not None
@@ -768,19 +816,21 @@ class HostStack(Node):
                 return
             self._demux_ipv4(translated)
             return
-        if packet.next_header == IPProto.UDP:
+        if packet.next_header == _IPPROTO_UDP:
             try:
                 datagram = UdpDatagram.decode(packet.payload, packet.src, packet.dst)
             except ValueError:
                 return
-            sock = self._udp_sockets.get(datagram.dst_port)
-            if sock is not None:
-                sock._deliver(packet.src, datagram.src_port, datagram.payload)
+            try:
+                sock = self._udp_sockets[datagram.dst_port]
+            except KeyError:
+                return
+            sock._deliver(packet.src, datagram.src_port, datagram.payload)
             return
-        if packet.next_header == IPProto.TCP:
+        if packet.next_header == _IPPROTO_TCP:
             self._handle_tcp(packet.src, packet.dst, packet.payload)
             return
-        if packet.next_header == IPProto.ICMPV6:
+        if packet.next_header == _IPPROTO_ICMPV6:
             try:
                 message = decode_icmpv6(packet.payload, packet.src, packet.dst)
             except ValueError:

@@ -15,6 +15,9 @@ from repro.net.icmpv6 import encode_icmpv6
 from repro.net.ipv4 import IPProto
 from repro.net.ipv6 import IPv6Packet
 from repro.net.lazy import LazyEthernetFrame
+
+# Plain int for the raw-bytes ethertype test on the forwarding path.
+_ETHERTYPE_IPV6 = int(EtherType.IPV6)
 from repro.sim.engine import EventEngine
 from repro.sim.node import Node, Port
 
@@ -41,8 +44,10 @@ class ManagedSwitch(Node):
     ) -> None:
         super().__init__(engine, name)
         #: Learned forwarding table, keyed by raw 6-byte MAC — frames are
-        #: switched without ever constructing a :class:`MacAddress`.
-        self.mac_table: Dict[bytes, str] = {}
+        #: switched without ever constructing a :class:`MacAddress`.  The
+        #: value is the :class:`Port` itself so forwarding needs no second
+        #: name lookup and ingress filtering is an identity compare.
+        self.mac_table: Dict[bytes, Port] = {}
         self.snooper = DhcpSnooper(enabled=False)
         self.mac = mac or MacAddress(0x02_00_00_00_00_01)
         self._mac_bytes = self.mac.to_bytes()
@@ -55,31 +60,41 @@ class ManagedSwitch(Node):
     # -- forwarding --------------------------------------------------------------
 
     def on_frame(self, port: Port, frame_bytes: bytes) -> None:
-        try:
-            frame = LazyEthernetFrame(frame_bytes)
-        except ValueError:
+        if len(frame_bytes) < LazyEthernetFrame.HEADER_LEN:
             return
-        self.mac_table[bytes(frame_bytes[6:12])] = port.name
-        if self.snooper.inspect(port.name, frame) is SnoopAction.DROP:
+        self.mac_table[frame_bytes[6:12]] = port
+        # Frames are switched from raw bytes; a frame object is built
+        # only when the snooping filter actually needs to classify one.
+        snooper = self.snooper
+        if (
+            snooper.enabled
+            and snooper.inspect(port.name, LazyEthernetFrame(frame_bytes))
+            is SnoopAction.DROP
+        ):
             return
         # The switch's RA daemon answers Router Solicitations promptly,
         # like any radvd/gateway would (the frame still floods below so
         # real routers on other ports see the RS too).
-        if self._ra_daemon is not None and self._is_router_solicitation(frame):
+        if (
+            self._ra_daemon is not None
+            and frame_bytes[12] == 0x86  # inline IPv6 ethertype pre-filter:
+            and frame_bytes[13] == 0xDD  # skips the probe call per v4/ARP frame
+            and self._is_router_solicitation_raw(frame_bytes)
+        ):
             self.engine.schedule(0.0, self._emit_ra)
-        dst = frame.dst_bytes
+        dst = frame_bytes[:6]
         if dst == self._mac_bytes:
             return  # addressed to the switch management plane itself
         if not dst[0] & 1:  # unicast (the I/G bit covers broadcast too)
             out_port = self.mac_table.get(dst)
-            if out_port is not None and out_port != port.name:
+            if out_port is not None and out_port is not port:
                 self.forwarded += 1
-                self.ports[out_port].transmit(frame_bytes)
+                out_port.transmit(frame_bytes)
                 return
         # Flood: broadcast, multicast and unknown unicast.
         self.flooded += 1
-        for name, out in self.ports.items():
-            if name != port.name:
+        for out in self.ports.values():
+            if out is not port:
                 out.transmit(frame_bytes)
 
     # -- the RA workaround ----------------------------------------------------
@@ -126,23 +141,36 @@ class ManagedSwitch(Node):
             port.transmit(raw)
 
     @staticmethod
+    def _is_router_solicitation_raw(frame_bytes: bytes) -> bool:
+        """Byte-level RS check on the whole wire frame, no slicing."""
+        if (frame_bytes[12] << 8) | frame_bytes[13] != _ETHERTYPE_IPV6:
+            return False
+        data = frame_bytes[LazyEthernetFrame.HEADER_LEN :]
+        return ManagedSwitch._is_router_solicitation_payload(data)
+
+    @staticmethod
     def _is_router_solicitation(frame: LazyEthernetFrame) -> bool:
         """Cheap byte-level check; equivalent to decoding the IPv6 packet
         and testing ``next_header == ICMPv6 and payload[0] == 133``, with
         the same validation the full decoder applies first."""
         if frame.ethertype != EtherType.IPV6:
             return False
-        data = frame.payload
-        if len(data) < IPv6Packet.HEADER_LEN or data[0] >> 4 != 6:
+        return ManagedSwitch._is_router_solicitation_payload(frame.payload)
+
+    @staticmethod
+    def _is_router_solicitation_payload(data: bytes) -> bool:
+        # next_header first: TCP/UDP frames (the bulk of switch traffic)
+        # exit on one byte compare before any length arithmetic.
+        if (
+            len(data) < IPv6Packet.HEADER_LEN
+            or data[6] != IPProto.ICMPV6
+            or data[0] >> 4 != 6
+        ):
             return False
         payload_len = (data[4] << 8) | data[5]
         if len(data) < IPv6Packet.HEADER_LEN + payload_len:
             return False  # truncated: the full decoder would reject it
-        return (
-            data[6] == IPProto.ICMPV6
-            and payload_len > 0
-            and data[IPv6Packet.HEADER_LEN] == 133
-        )
+        return payload_len > 0 and data[IPv6Packet.HEADER_LEN] == 133
 
     @property
     def ra_daemon(self) -> Optional[RaDaemon]:

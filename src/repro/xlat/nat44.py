@@ -59,35 +59,37 @@ class StatefulNat44:
 
     def translate_out(self, packet: IPv4Packet) -> IPv4Packet:
         """Rewrite an outbound packet's source to the public address."""
-        proto, inside_port = self._flow_key(packet, outbound=True)
+        proto, inside_port, transport = self._flow_key(packet, outbound=True)
         session = self._lookup_or_create(proto, packet.src, inside_port)
         session.packets_out += 1
         self.translated_out += 1
-        return self._rewrite(packet, session, outbound=True)
+        return self._rewrite(packet, session, outbound=True, transport=transport)
 
     def translate_in(self, packet: IPv4Packet) -> IPv4Packet:
         """Rewrite a returning packet back to the inside host."""
-        proto, outside_port = self._flow_key(packet, outbound=False)
+        proto, outside_port, transport = self._flow_key(packet, outbound=False)
         session = self._by_outside.get((proto, outside_port))
         if session is None or session.expires_at <= self._clock():
             self.dropped += 1
             raise TranslationError(f"no NAT44 session for port {outside_port}/{proto}")
         session.packets_in += 1
         self.translated_in += 1
-        return self._rewrite(packet, session, outbound=False)
+        return self._rewrite(packet, session, outbound=False, transport=transport)
 
     # -- internals -----------------------------------------------------------
 
-    def _flow_key(self, packet: IPv4Packet, outbound: bool) -> Tuple[int, int]:
+    def _flow_key(self, packet: IPv4Packet, outbound: bool) -> Tuple[int, int, object]:
+        """(proto, flow port, decoded transport) — the decoded object is
+        threaded through to ``_rewrite`` so each packet is parsed once."""
         if packet.proto == IPProto.UDP:
             d = UdpDatagram.decode(packet.payload, packet.src, packet.dst)
-            return IPProto.UDP, (d.src_port if outbound else d.dst_port)
+            return IPProto.UDP, (d.src_port if outbound else d.dst_port), d
         if packet.proto == IPProto.TCP:
             s = TcpSegment.decode(packet.payload, packet.src, packet.dst)
-            return IPProto.TCP, (s.src_port if outbound else s.dst_port)
+            return IPProto.TCP, (s.src_port if outbound else s.dst_port), s
         if packet.proto == IPProto.ICMP:
             m = IcmpMessage.decode(packet.payload)
-            return IPProto.ICMP, m.echo_ident
+            return IPProto.ICMP, m.echo_ident, m
         self.dropped += 1
         raise TranslationError(f"untrackable IPv4 protocol {packet.proto}")
 
@@ -127,20 +129,22 @@ class StatefulNat44:
             return UDP_LIFETIME
         return ICMP_LIFETIME
 
-    def _rewrite(self, packet: IPv4Packet, session: Nat44Session, outbound: bool) -> IPv4Packet:
+    def _rewrite(
+        self, packet: IPv4Packet, session: Nat44Session, outbound: bool, transport: object
+    ) -> IPv4Packet:
         if outbound:
             new_src, new_dst = self.public_address, packet.dst
         else:
             new_src, new_dst = packet.src, session.inside_addr
         if packet.proto == IPProto.UDP:
-            d = UdpDatagram.decode(packet.payload, packet.src, packet.dst)
+            d = transport
             if outbound:
                 d = UdpDatagram(session.outside_port, d.dst_port, d.payload)
             else:
                 d = UdpDatagram(d.src_port, session.inside_port, d.payload)
             payload = d.encode(new_src, new_dst)
         elif packet.proto == IPProto.TCP:
-            s = TcpSegment.decode(packet.payload, packet.src, packet.dst)
+            s = transport
             if outbound:
                 s = TcpSegment(
                     session.outside_port, s.dst_port, s.seq, s.ack, s.flags, s.window, s.payload
@@ -151,7 +155,7 @@ class StatefulNat44:
                 )
             payload = s.encode(new_src, new_dst)
         else:  # ICMP echo
-            m = IcmpMessage.decode(packet.payload)
+            m = transport
             ident = session.outside_port if outbound else session.inside_port
             m = IcmpMessage(
                 m.icmp_type, m.code, ((ident & 0xFFFF) << 16) | m.echo_seq, m.body

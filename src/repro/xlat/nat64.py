@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.addresses import (
+    embed_ipv4_in_nat64,
     extract_ipv4_from_nat64,
     IPv4Address,
     IPv6Address,
@@ -95,7 +96,15 @@ class StatefulNAT64:
         return destination in self.config.prefix
 
     def translate_out(self, packet: IPv6Packet) -> IPv4Packet:
-        """Translate an IPv6 packet heading into the translation prefix."""
+        """Translate an IPv6 packet heading into the translation prefix.
+
+        UDP and TCP are fused single-pass paths: the transport header is
+        decoded once and re-encoded once with the NAPT source port and
+        the translated pseudo-header, where the generic composition
+        (SIIT translate, then port rewrite) decoded it three times and
+        encoded it twice per forwarded packet.  The output bytes are
+        identical; ICMP and anything else still take the generic path.
+        """
         if not self.covers(packet.dst):
             self.dropped += 1
             raise TranslationError(f"{packet.dst} outside NAT64 prefix")
@@ -103,6 +112,38 @@ class StatefulNAT64:
             self.dropped += 1
             raise TranslationError("hairpinning through the NAT64 prefix refused")
         dst_v4 = extract_ipv4_from_nat64(packet.dst, self.config.prefix)
+        next_header = packet.next_header
+        if next_header == IPProto.TCP:
+            s = TcpSegment.decode(packet.payload, packet.src, packet.dst)
+            session = self._lookup_or_create(IPProto.TCP, packet.src, s.src_port)
+            self._advance_tcp_state(session, s.flags, outbound=True)
+            session.packets_out += 1
+            out = TcpSegment(
+                session.pool_port, s.dst_port, s.seq, s.ack, s.flags, s.window, s.payload
+            )
+            self.translated_out += 1
+            return IPv4Packet(
+                src=session.pool_addr,
+                dst=dst_v4,
+                proto=IPProto.TCP,
+                payload=out.encode(session.pool_addr, dst_v4),
+                ttl=packet.hop_limit,
+                tos=packet.traffic_class,
+            )
+        if next_header == IPProto.UDP:
+            d = UdpDatagram.decode(packet.payload, packet.src, packet.dst)
+            session = self._lookup_or_create(IPProto.UDP, packet.src, d.src_port)
+            session.packets_out += 1
+            out = UdpDatagram(session.pool_port, d.dst_port, d.payload)
+            self.translated_out += 1
+            return IPv4Packet(
+                src=session.pool_addr,
+                dst=dst_v4,
+                proto=IPProto.UDP,
+                payload=out.encode(session.pool_addr, dst_v4),
+                ttl=packet.hop_limit,
+                tos=packet.traffic_class,
+            )
         proto, v6_port, tcp_flags = self._flow_key_v6(packet)
         session = self._lookup_or_create(proto, packet.src, v6_port)
         self._advance_tcp_state(session, tcp_flags, outbound=True)
@@ -113,7 +154,55 @@ class StatefulNAT64:
         return translated
 
     def translate_in(self, packet: IPv4Packet) -> IPv6Packet:
-        """Translate a returning IPv4 packet back to the IPv6 client."""
+        """Translate a returning IPv4 packet back to the IPv6 client.
+
+        UDP/TCP take the fused single-pass path (see
+        :meth:`translate_out`); ICMP and the rest use the generic one.
+        """
+        proto = packet.proto
+        if proto == IPProto.TCP:
+            s = TcpSegment.decode(packet.payload, packet.src, packet.dst)
+            session = self._by_v4.get((IPProto.TCP, packet.dst, s.dst_port))
+            if session is None or session.expires_at <= self._clock():
+                self.dropped += 1
+                raise TranslationError(
+                    f"no NAT64 session for {packet.dst}:{s.dst_port}/{proto}"
+                )
+            self._advance_tcp_state(session, s.flags, outbound=False)
+            session.packets_in += 1
+            src_v6 = self._embed(packet.src)
+            out = TcpSegment(
+                s.src_port, session.v6_port, s.seq, s.ack, s.flags, s.window, s.payload
+            )
+            self.translated_in += 1
+            return IPv6Packet(
+                src=src_v6,
+                dst=session.v6_addr,
+                next_header=IPProto.TCP,
+                payload=out.encode(src_v6, session.v6_addr),
+                hop_limit=packet.ttl,
+                traffic_class=packet.tos,
+            )
+        if proto == IPProto.UDP:
+            d = UdpDatagram.decode(packet.payload, packet.src, packet.dst)
+            session = self._by_v4.get((IPProto.UDP, packet.dst, d.dst_port))
+            if session is None or session.expires_at <= self._clock():
+                self.dropped += 1
+                raise TranslationError(
+                    f"no NAT64 session for {packet.dst}:{d.dst_port}/{proto}"
+                )
+            session.packets_in += 1
+            src_v6 = self._embed(packet.src)
+            out = UdpDatagram(d.src_port, session.v6_port, d.payload)
+            self.translated_in += 1
+            return IPv6Packet(
+                src=src_v6,
+                dst=session.v6_addr,
+                next_header=IPProto.UDP,
+                payload=out.encode(src_v6, session.v6_addr),
+                hop_limit=packet.ttl,
+                traffic_class=packet.tos,
+            )
         proto, pool_port, tcp_flags = self._flow_key_v4(packet)
         session = self._by_v4.get((proto, packet.dst, pool_port))
         now = self._clock()
@@ -131,8 +220,6 @@ class StatefulNAT64:
         return translated
 
     def _embed(self, addr: IPv4Address) -> IPv6Address:
-        from repro.net.addresses import embed_ipv4_in_nat64
-
         return embed_ipv4_in_nat64(addr, self.config.prefix)
 
     # -- session management ------------------------------------------------

@@ -1,0 +1,16 @@
+# repro-lint-module: repro.sim.fixture
+"""RL106 positive: a module-private priority queue beside the engine."""
+
+import heapq
+from heapq import heappush
+
+
+class RetryQueue:
+    def __init__(self) -> None:
+        self._pending = []
+
+    def push(self, when: float, callback) -> None:
+        heappush(self._pending, (when, callback))
+
+    def pop(self):
+        return heapq.heappop(self._pending)

@@ -1,0 +1,10 @@
+# repro-lint-module: repro.sim.fixture
+"""RL106 negative: timed work goes through the engine's scheduler."""
+
+
+class RetryQueue:
+    def __init__(self, engine) -> None:
+        self.engine = engine
+
+    def push(self, delay: float, callback) -> None:
+        self.engine.schedule(delay, callback)
