@@ -122,6 +122,29 @@ class Testbed:
 
     __test__ = False  # not a pytest class, despite the name
 
+    # Topology members, assigned once during _build(); declared here so
+    # the attribute set is closed at class creation (RL501).
+    inet: ManagedSwitch
+    gateway: MobileGateway5G
+    switch: ManagedSwitch
+    zones: List[Zone]
+    ip6me: Ip6MeService
+    mirror: TestIpv6Mirror
+    sc24_web: WebService
+    vtc: WebService
+    probe_host: WebService
+    vpn_anl: ServerHost
+    concentrator: ServerHost
+    carrier_dns_server: DnsServer
+    carrier_dns: ServerHost
+    pi_healthy: ServerHost
+    dns64: DNS64Resolver
+    pi_poison: ServerHost
+    poisoner: Union[PoisonedDNSServer, RPZPolicyServer]
+    policy: InterventionPolicy
+    pi_dhcp: ServerHost
+    dhcp_server: PolicyDhcpServer
+
     def __init__(self, config: TestbedConfig) -> None:
         self.config = config
         self.engine = EventEngine(seed=config.seed)

@@ -22,7 +22,9 @@ from repro.lint.core import (
     Finding,
     lint_file,
     lint_paths,
+    lint_paths_run,
     LintContext,
+    LintRun,
     module_name_for,
     register_rule,
     Rule,
@@ -31,10 +33,12 @@ from repro.lint.core import (
 __all__ = [
     "Finding",
     "LintContext",
+    "LintRun",
     "Rule",
     "all_rules",
     "lint_file",
     "lint_paths",
+    "lint_paths_run",
     "module_name_for",
     "register_rule",
 ]

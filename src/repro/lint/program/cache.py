@@ -1,0 +1,97 @@
+"""Incremental analysis cache keyed on file content hashes.
+
+One JSON file (default ``.repro-lint-cache.json`` in the working
+directory) holds, per analyzed source file:
+
+- the content hash the entry was computed from,
+- the single-file findings (every registered file rule — selection is
+  applied at report time, so one cache serves any ``--select``),
+- which pragmas/allowlist codes actually suppressed something (feeds
+  the RL001 stale-suppression check without re-parsing),
+- the module summary for the whole-program analyzer.
+
+The whole cache is guarded by one *analyzer signature*: a digest of
+every source file of :mod:`repro.lint` itself.  Editing any rule, the
+allowlist, or the extraction logic changes the signature and drops the
+cache wholesale — no manually-bumped schema constants to forget, no
+stale verdicts from an older analyzer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["LintCache", "analyzer_signature", "content_hash"]
+
+_CACHE_FORMAT = 1
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def analyzer_signature() -> str:
+    """Digest of the lint package's own sources (rules + allowlist +
+    program analyzer), so any analyzer change invalidates the cache."""
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256(str(_CACHE_FORMAT).encode())
+    for source in sorted(package_root.rglob("*.py")):
+        if "__pycache__" in source.parts:
+            continue
+        digest.update(source.name.encode())
+        digest.update(source.read_bytes())
+    return digest.hexdigest()
+
+
+class LintCache:
+    """Load/store per-file analysis entries; counts hits and misses."""
+
+    def __init__(self, path: Optional[Path], signature: Optional[str] = None) -> None:
+        self.path = path
+        self.signature = signature or analyzer_signature()
+        self.files: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        if path is not None and path.is_file():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                data = {}
+            if (
+                isinstance(data, dict)
+                and data.get("format") == _CACHE_FORMAT
+                and data.get("signature") == self.signature
+                and isinstance(data.get("files"), dict)
+            ):
+                self.files = data["files"]
+
+    def get(self, path: Path, file_hash: str) -> Optional[Dict[str, Any]]:
+        entry = self.files.get(str(path))
+        if entry is not None and entry.get("hash") == file_hash:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, path: Path, file_hash: str, entry: Dict[str, Any]) -> None:
+        entry = dict(entry)
+        entry["hash"] = file_hash
+        self.files[str(path)] = entry
+        self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "format": _CACHE_FORMAT,
+            "signature": self.signature,
+            "files": self.files,
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        tmp.replace(self.path)
+        self._dirty = False

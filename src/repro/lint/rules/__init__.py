@@ -8,6 +8,20 @@ its own RL103 standard).
 
 from __future__ import annotations
 
-from repro.lint.rules import determinism, hygiene, wire
+from repro.lint.rules import (
+    compile_ready,
+    determinism,
+    hygiene,
+    shard_safety,
+    suppression,
+    wire,
+)
 
-__all__ = ["determinism", "wire", "hygiene"]
+__all__ = [
+    "compile_ready",
+    "determinism",
+    "hygiene",
+    "shard_safety",
+    "suppression",
+    "wire",
+]

@@ -1,0 +1,257 @@
+"""RL5xx — compile-readiness rules.
+
+The long-term plan (ROADMAP) is to compile the packet codecs and the
+event engine with mypyc/Cython.  Both compilers assume a *closed world*
+per class and module: fixed attribute sets, no runtime rebinding of
+module or class members, no ``__getattr__`` interception on hot types,
+and type information on every function the dispatch loop can reach.
+These rules flag the constructs that silently break that world in
+``repro.net`` / ``repro.core`` / ``repro.sim.engine`` — each one cheap
+to fix today and a build-stopper the week of the migration.
+
+RL501 is the interprocedural sibling of RL302: RL302 audits a class
+body in isolation; RL501 follows attribute writes *through parameters*
+(``def wire(tb: Testbed): tb.probe = ...``) anywhere in the tree, which
+only the whole-program index can see.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Set, Tuple
+
+from repro.lint.core import LintContext, register_rule, Rule
+from repro.lint.program.analyzer import ProgramContext, ProgramReporter
+from repro.lint.program.callgraph import Entity, ProgramIndex
+from repro.lint.program.summary import ModuleSummary
+from repro.lint.rules.hygiene import ATTR_STRICT_MODULES
+
+__all__ = [
+    "COMPILE_PACKAGES",
+    "AttrInjection",
+    "Monkeypatch",
+    "GetattrHook",
+    "UntypedDispatchReachable",
+]
+
+#: Packages slated for ahead-of-time compilation.
+COMPILE_PACKAGES: Tuple[str, ...] = ("repro.net", "repro.core", "repro.sim.engine")
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*")
+
+#: Annotation wrapper names to ignore when hunting for the class.
+_ANN_NOISE = {"Optional", "Union", "List", "Dict", "Set", "Tuple", "Sequence", "None"}
+
+
+def _annotated_class(
+    index: ProgramIndex, ms: ModuleSummary, ann: str
+) -> Optional[Entity]:
+    """The class an annotation string refers to, if it is in the tree."""
+    for token in _IDENT_RE.findall(ann):
+        if token.split(".")[-1] in _ANN_NOISE:
+            continue
+        entity = index.resolve(ms, token)
+        if entity is not None and entity.kind == "class":
+            return entity
+    return None
+
+
+def _declared_attrs(
+    index: ProgramIndex, module: str, cls_name: str
+) -> Optional[Set[str]]:
+    """Declared attributes of a class, bases included.
+
+    ``None`` when any base could not be resolved inside the tree — the
+    declared set is then unknowable and the rule stays silent rather
+    than guessing (over-approximation is for reachability, not for
+    accusations).
+    """
+    declared: Set[str] = set()
+    seen: Set[Tuple[str, str]] = set()
+    stack = [(module, cls_name)]
+    while stack:
+        mod, name = stack.pop()
+        if (mod, name) in seen:
+            continue
+        seen.add((mod, name))
+        cs = index.class_summary(mod, name)
+        if cs is None:
+            return None
+        declared.update(cs.declared_attrs)
+        ms = index.modules[mod]
+        for base in cs.bases:
+            if base in ("object",):
+                continue
+            entity = index.resolve(ms, base)
+            if entity is None or entity.kind != "class":
+                return None
+            stack.append((entity.module, entity.name))
+    return declared
+
+
+@register_rule
+class AttrInjection(Rule):
+    code = "RL501"
+    name = "attr-injection"
+    summary = "attribute injected onto a compile-package class outside __init__/__slots__"
+    program = True
+
+    def check(self, ctx: LintContext) -> None:
+        return None
+
+    def check_program(self, program: ProgramContext, report: ProgramReporter) -> None:
+        index = program.index
+        for ms, fs in index.iter_functions():
+            for site in fs.attr_writes:
+                entity = _annotated_class(index, ms, site["ann"])
+                if entity is None:
+                    continue
+                target = index.modules[entity.module]
+                if not target.in_package(COMPILE_PACKAGES):
+                    continue
+                if site["param"] in ("self", "cls") and fs.cls == entity.name:
+                    if fs.name in ("__init__", "__post_init__", "__new__"):
+                        continue
+                    if ms.in_package(ATTR_STRICT_MODULES):
+                        continue  # RL302 owns same-class writes there
+                declared = _declared_attrs(index, entity.module, entity.name)
+                if declared is None or site["attr"] in declared:
+                    continue
+                report.add(
+                    ms,
+                    site,
+                    self.code,
+                    f"`{fs.qualname}` injects undeclared attribute "
+                    f"`.{site['attr']}` onto `{entity.module}.{entity.name}` "
+                    "— a compiled class has a fixed attribute set",
+                    f"declare `{site['attr']}` on the class (annotation or "
+                    "__init__ default) so the layout is closed at class "
+                    "creation",
+                )
+            for site in fs.dynamic_setattr:
+                if not ms.in_package(COMPILE_PACKAGES):
+                    continue
+                report.add(
+                    ms,
+                    site,
+                    self.code,
+                    f"`{fs.qualname}` calls {site['builtin']}() with a "
+                    "computed attribute name in a compile package",
+                    "compiled classes resolve attributes at build time; "
+                    "use an explicit dict field for dynamic keys",
+                )
+
+
+@register_rule
+class Monkeypatch(Rule):
+    code = "RL502"
+    name = "monkeypatch"
+    summary = "runtime rebinding of a module or class attribute in a compile package"
+    program = True
+
+    def check(self, ctx: LintContext) -> None:
+        return None
+
+    def check_program(self, program: ProgramContext, report: ProgramReporter) -> None:
+        index = program.index
+        for ms, fs in index.iter_functions():
+            if not ms.in_package(COMPILE_PACKAGES):
+                continue
+            for site in fs.monkeypatches:
+                base = site["base"]
+                is_import = base in ms.imports
+                entity = index.resolve(ms, base)
+                is_class = entity is not None and entity.kind == "class"
+                if not is_import and not is_class:
+                    continue
+                what = (
+                    f"class `{entity.module}.{entity.name}`"
+                    if is_class
+                    else f"imported `{ms.imports[base]}`"
+                )
+                report.add(
+                    ms,
+                    site,
+                    self.code,
+                    f"`{fs.qualname}` rebinds `.{site['attr']}` on {what} at "
+                    "runtime — compiled modules bind members at build time",
+                    "make the variation an explicit constructor/function "
+                    "argument; monkeypatching is invisible to an "
+                    "ahead-of-time compiler",
+                )
+
+
+@register_rule
+class GetattrHook(Rule):
+    code = "RL503"
+    name = "getattr-hook"
+    summary = "__getattr__-family hook on a class (or module) in a compile package"
+    program = True
+
+    def check(self, ctx: LintContext) -> None:
+        return None
+
+    def check_program(self, program: ProgramContext, report: ProgramReporter) -> None:
+        index = program.index
+        for module in sorted(index.modules):
+            ms = index.modules[module]
+            if not ms.in_package(COMPILE_PACKAGES):
+                continue
+            for name in sorted(ms.classes):
+                cs = ms.classes[name]
+                for site in cs.getattr_hooks:
+                    report.add(
+                        ms,
+                        site,
+                        self.code,
+                        f"class `{name}` defines `{site['method']}` — "
+                        "attribute interception defeats compiled attribute "
+                        "lookup on a hot class",
+                        "replace the hook with explicit attributes or a "
+                        "plain dict lookup method",
+                    )
+            hook = ms.functions.get("__getattr__")
+            if hook is not None and not hook.cls:
+                report.add(
+                    ms,
+                    {"lineno": hook.lineno, "col": hook.col, "stmt_line": hook.lineno},
+                    self.code,
+                    f"module `{module}` defines a module-level __getattr__ — "
+                    "lazy attribute tricks break ahead-of-time imports",
+                    "export the names eagerly (or move the lazy shim outside "
+                    "the compile packages)",
+                )
+
+
+@register_rule
+class UntypedDispatchReachable(Rule):
+    code = "RL504"
+    name = "untyped-dispatch-reachable"
+    summary = "untyped public function reachable from the timing-wheel dispatch loop"
+    program = True
+
+    def check(self, ctx: LintContext) -> None:
+        return None
+
+    def check_program(self, program: ProgramContext, report: ProgramReporter) -> None:
+        index = program.index
+        for fid in sorted(program.dispatch_reachable):
+            found = index.function(fid)
+            if found is None:
+                continue
+            ms, fs = found
+            if not ms.in_package(COMPILE_PACKAGES):
+                continue
+            if not fs.is_public or not fs.untyped:
+                continue
+            missing = ", ".join(fs.untyped)
+            report.add(
+                ms,
+                {"lineno": fs.lineno, "col": fs.col, "stmt_line": fs.lineno},
+                self.code,
+                f"public `{fs.qualname}` is reachable from the EventEngine "
+                f"dispatch loop but lacks annotations for: {missing}",
+                "annotate every parameter and the return type — untyped "
+                "calls on the dispatch path fall back to boxed objects "
+                "under mypyc",
+            )

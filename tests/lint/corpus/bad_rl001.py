@@ -1,0 +1,4 @@
+# repro-lint-module: repro.tools.fix001
+"""RL001 positive: a suppression pragma that suppresses nothing."""
+
+GREETING = "hello"  # repro: allow[RL101]

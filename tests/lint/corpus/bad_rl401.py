@@ -1,0 +1,18 @@
+# repro-lint-module: repro.sweeps.fix401
+"""RL401 positive: a shard worker mutates a module-level dict."""
+from repro.parallel.executor import SweepExecutor
+from repro.parallel.shard import ShardResult, ShardSpec
+
+_RESULTS = {}
+
+
+def measure(spec: ShardSpec) -> ShardResult:
+    # The race: each forked worker writes a private copy the parent
+    # never sees; thread/serial backends interleave writes instead.
+    _RESULTS[spec.index] = spec.seed
+    return ShardResult(index=spec.index, value=float(spec.seed))
+
+
+def sweep(specs):
+    executor = SweepExecutor(jobs=2)
+    return executor.map(measure, specs)

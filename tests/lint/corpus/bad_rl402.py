@@ -1,0 +1,8 @@
+# repro-lint-module: repro.sweeps.fix402
+"""RL402 positive: a lambda is dispatched across the pickle boundary."""
+from repro.parallel.executor import SweepExecutor
+
+
+def sweep(specs):
+    executor = SweepExecutor(jobs=2)
+    return executor.map(lambda spec: spec.seed * 2, specs)

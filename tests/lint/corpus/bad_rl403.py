@@ -1,0 +1,15 @@
+# repro-lint-module: repro.sweeps.fix403
+"""RL403 positive: worker-reachable code draws OS entropy."""
+import random
+
+from repro.parallel.executor import SweepExecutor
+
+
+def measure(spec):
+    rng = random.Random()
+    return rng.random() + spec.seed
+
+
+def sweep(specs):
+    executor = SweepExecutor(jobs=2)
+    return executor.map(measure, specs)

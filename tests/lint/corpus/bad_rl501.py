@@ -1,0 +1,13 @@
+# repro-lint-module: repro.net.fix501
+"""RL501 positive: a helper injects an undeclared attribute cross-call."""
+
+
+class Header:
+    size: int
+
+    def __init__(self) -> None:
+        self.size = 0
+
+
+def tag_for_debug(header: Header) -> None:
+    header.debug_tag = "seen"

@@ -1,0 +1,11 @@
+# repro-lint-module: repro.core.fix502
+"""RL502 positive: a codec function is swapped out at runtime."""
+import json
+
+
+def fake_loads(text: str) -> dict:
+    return {}
+
+
+def install_stub() -> None:
+    json.loads = fake_loads

@@ -1,0 +1,10 @@
+# repro-lint-module: repro.net.fix503
+"""RL503 positive: attribute interception on a codec class."""
+
+
+class LazyFields:
+    def __init__(self) -> None:
+        self._raw = b""
+
+    def __getattr__(self, name: str) -> int:
+        return len(self._raw)

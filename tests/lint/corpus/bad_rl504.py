@@ -1,0 +1,11 @@
+# repro-lint-module: repro.sim.engine.fix504
+"""RL504 positive: untyped public helper on the dispatch path."""
+
+
+class EventEngine:
+    def run_until(self, limit: float) -> None:
+        step(self, limit)
+
+
+def step(engine, limit):
+    return None

@@ -1,0 +1,7 @@
+# repro-lint-module: repro.sim.fix001
+"""RL001 negative: the pragma is load-bearing — it suppresses a live RL101."""
+import time
+
+
+def wall_seconds() -> float:
+    return time.time()  # repro: allow[RL101]

@@ -1,0 +1,15 @@
+# repro-lint-module: repro.sweeps.fix401g
+"""RL401 negative: per-shard state rides in the ShardResult."""
+from repro.parallel.executor import SweepExecutor
+from repro.parallel.shard import ShardResult, ShardSpec
+
+
+def measure(spec: ShardSpec) -> ShardResult:
+    local = {}
+    local[spec.index] = spec.seed
+    return ShardResult(index=spec.index, value=float(sum(local.values())))
+
+
+def sweep(specs):
+    executor = SweepExecutor(jobs=2)
+    return executor.map(measure, specs)

@@ -1,0 +1,13 @@
+# repro-lint-module: repro.sweeps.fix402g
+"""RL402 negative: the worker is a picklable module-level function."""
+from repro.parallel.executor import SweepExecutor
+from repro.parallel.shard import ShardResult, ShardSpec
+
+
+def double(spec: ShardSpec) -> ShardResult:
+    return ShardResult(index=spec.index, value=float(spec.seed * 2))
+
+
+def sweep(specs):
+    executor = SweepExecutor(jobs=2)
+    return executor.map(double, specs)

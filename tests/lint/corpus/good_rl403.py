@@ -1,0 +1,16 @@
+# repro-lint-module: repro.sweeps.fix403g
+"""RL403 negative: the worker RNG is derived from the shard seed."""
+import random
+
+from repro.parallel.executor import SweepExecutor
+from repro.parallel.shard import derive_seed
+
+
+def measure(spec):
+    rng = random.Random(derive_seed(spec.seed, spec.index))
+    return rng.random()
+
+
+def sweep(specs):
+    executor = SweepExecutor(jobs=2)
+    return executor.map(measure, specs)

@@ -1,0 +1,15 @@
+# repro-lint-module: repro.net.fix501g
+"""RL501 negative: every attribute the helper touches is declared."""
+
+
+class Header:
+    size: int
+    debug_tag: str
+
+    def __init__(self) -> None:
+        self.size = 0
+        self.debug_tag = ""
+
+
+def tag_for_debug(header: Header) -> None:
+    header.debug_tag = "seen"

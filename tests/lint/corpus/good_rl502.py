@@ -1,0 +1,7 @@
+# repro-lint-module: repro.core.fix502g
+"""RL502 negative: the variation is an explicit argument, not a patch."""
+import json
+
+
+def parse(text: str, loads=json.loads) -> object:
+    return loads(text)

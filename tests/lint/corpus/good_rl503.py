@@ -1,0 +1,10 @@
+# repro-lint-module: repro.net.fix503g
+"""RL503 negative: explicit attributes, no interception hooks."""
+
+
+class Fields:
+    def __init__(self) -> None:
+        self._raw = b""
+
+    def length(self) -> int:
+        return len(self._raw)

@@ -1,0 +1,11 @@
+# repro-lint-module: repro.sim.engine.fix504g
+"""RL504 negative: everything the dispatch loop reaches is typed."""
+
+
+class EventEngine:
+    def run_until(self, limit: float) -> None:
+        step(self, limit)
+
+
+def step(engine: "EventEngine", limit: float) -> None:
+    return None

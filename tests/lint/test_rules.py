@@ -1,5 +1,9 @@
 """Per-rule fixture tests: every code has a minimal positive and
 negative snippet in ``tests/lint/corpus`` (one pair per shipped rule).
+
+Fixtures are linted through :func:`lint_paths` with ``program=True`` so
+the whole-program RL4xx/RL5xx rules (and the RL001 stale-suppression
+check) see the same pipeline the CLI runs.
 """
 
 from __future__ import annotations
@@ -8,14 +12,14 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import all_rules, lint_file
+from repro.lint import all_rules, lint_file, lint_paths
 
 CORPUS = Path(__file__).parent / "corpus"
 ALL_CODES = sorted(rule.code for rule in all_rules())
 
 
 def codes_in(path: Path) -> set:
-    return {finding.code for finding in lint_file(path)}
+    return {finding.code for finding in lint_paths([path], program=True)}
 
 
 def test_corpus_covers_every_rule():
@@ -39,10 +43,12 @@ def test_negative_fixture_clean(code):
 
 
 def test_rule_codes_follow_families():
-    """Codes stay within the documented RL1xx/RL2xx/RL3xx families."""
+    """Codes stay within the documented families: RL0xx meta, RL1xx
+    determinism, RL2xx wire, RL3xx hygiene, RL4xx shard-safety, RL5xx
+    compile-readiness."""
     for code in ALL_CODES:
         assert code.startswith("RL") and len(code) == 5, code
-        assert code[2] in "123", f"unknown family for {code}"
+        assert code[2] in "012345", f"unknown family for {code}"
 
 
 def test_findings_report_location_and_hint():

@@ -1,5 +1,6 @@
 """The linter applied to its own repository: the committed tree must be
-clean, and the CLI must fail loudly on the deliberately-broken corpus.
+clean (whole-program rules included), and the CLI must fail loudly on
+the deliberately-broken corpus.
 """
 
 from __future__ import annotations
@@ -22,7 +23,8 @@ def _run_cli(*args: str) -> subprocess.CompletedProcess:
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
     return subprocess.run(
-        [sys.executable, "-m", "repro.lint", *args],
+        # --no-cache: tests must not leave a cache file in the checkout.
+        [sys.executable, "-m", "repro.lint", "--no-cache", *args],
         cwd=REPO_ROOT,
         env=env,
         capture_output=True,
@@ -32,18 +34,18 @@ def _run_cli(*args: str) -> subprocess.CompletedProcess:
 
 
 def test_src_tree_lints_clean_via_cli():
-    result = _run_cli("src")
+    result = _run_cli("src", "--program")
     assert result.returncode == 0, f"tree not clean:\n{result.stdout}"
     assert "repro.lint: clean" in result.stdout
 
 
 def test_src_tree_lints_clean_in_process():
-    assert lint_paths([REPO_ROOT / "src"]) == []
+    assert lint_paths([REPO_ROOT / "src"], program=True) == []
 
 
 def test_broken_corpus_fails_with_every_code():
     bad_files = sorted(str(p) for p in CORPUS.glob("bad_*.py"))
-    result = _run_cli(*bad_files)
+    result = _run_cli("--program", *bad_files)
     assert result.returncode == 1
     for rule in all_rules():
         assert rule.code in result.stdout, f"{rule.code} missing from CLI output"
@@ -55,6 +57,13 @@ def test_cli_select_filters_codes():
     assert "RL301" in result.stdout
     result = _run_cli("--select", "RL101", str(CORPUS / "bad_rl301.py"))
     assert result.returncode == 0
+
+
+def test_cli_select_program_rule_implies_program():
+    """Selecting an RL4xx code runs the whole-program analysis."""
+    result = _run_cli("--select", "RL402", str(CORPUS / "bad_rl402.py"))
+    assert result.returncode == 1
+    assert "RL402" in result.stdout
 
 
 def test_cli_list_rules():
