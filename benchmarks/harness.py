@@ -41,6 +41,7 @@ import argparse
 import gc
 import json
 import math
+import os
 import platform
 import random
 import statistics
@@ -56,6 +57,7 @@ REPO = HERE.parent
 sys.path.insert(0, str(REPO / "src"))
 sys.path.insert(0, str(REPO))
 
+from repro import _accel  # noqa: E402
 from repro.analysis.adoption import FleetMix, run_adoption_sweep_stats  # noqa: E402
 from repro.clients.profiles import (  # noqa: E402
     ANDROID,
@@ -359,21 +361,44 @@ def _load_json(path: Path) -> Optional[dict]:
         return json.load(fh)
 
 
+def _fingerprint() -> Dict[str, str]:
+    """Interpreter/platform identity a throughput number is only valid on.
+
+    Comparing events/s measured under CPython on x86_64 against a run
+    under PyPy or on aarch64 gates nothing real; baselines record this
+    fingerprint and the gate skips (loudly) when it does not match the
+    current runner.  Deliberately coarse — interpreter implementation
+    and architecture, not the minor Python version — so routine CI
+    interpreter bumps keep gating while genuinely incomparable runners
+    do not.
+    """
+    return {
+        "interpreter": sys.implementation.name,
+        "machine": platform.machine(),
+    }
+
+
 def compare(
-    current: Dict[str, dict], baseline: Optional[dict], tolerance: float, quick: bool = False
+    current: Dict[str, dict],
+    baseline: Optional[dict],
+    tolerance: float,
+    quick: bool = False,
+    accel: str = "py",
 ) -> List[str]:
     """Regressions of current vs baseline; empty list means within tolerance.
 
-    Quick and full runs use differently-sized scenarios, so their
-    throughputs are not comparable; each mode gates only against its own
-    baseline section (``scenarios_quick`` vs ``scenarios``).  A missing
+    Quick and full runs use differently-sized scenarios, and the
+    compiled kernel shifts every throughput, so none of those pairs are
+    comparable; each (mode, accel) combination gates only against its
+    own baseline section (``scenarios[_quick]`` for pure Python,
+    ``accel_scenarios[_quick]`` for the compiled kernel).  A missing
     section means nothing to gate against — record one with
     ``--update-baseline`` in the matching mode.
     """
     problems: List[str] = []
     if baseline is None:
         return problems
-    section = baseline.get(_baseline_section(quick), {})
+    section = baseline.get(_baseline_section(quick, accel), {})
     for name, stats in current.items():
         base = section.get(name)
         if base is None:
@@ -399,9 +424,11 @@ def compare(
     return problems
 
 
-def _baseline_section(quick: bool) -> str:
-    """Baseline key for a run mode: quick runs never gate full numbers."""
-    return "scenarios_quick" if quick else "scenarios"
+def _baseline_section(quick: bool, accel: str = "py") -> str:
+    """Baseline key for a (mode, accel) pair: quick runs never gate full
+    numbers and compiled-kernel runs never gate pure-Python ones."""
+    section = "scenarios_quick" if quick else "scenarios"
+    return f"accel_{section}" if accel == "compiled" else section
 
 
 def improvement_vs_seed(current: Dict[str, dict], seed: Optional[dict]) -> Dict[str, float]:
@@ -425,6 +452,58 @@ def improvement_vs_seed(current: Dict[str, dict], seed: Optional[dict]) -> Dict[
                 continue
             factors[f"{name}.{metric}"] = round(now_value / base_value, 2)
     return factors
+
+
+def _format_rate(value: object) -> str:
+    return f"{value:,.0f}" if isinstance(value, (int, float)) else str(value)
+
+
+def _emit_gha(
+    current: Dict[str, dict],
+    problems: List[str],
+    quick: bool,
+    accel: str,
+    baseline: Optional[dict],
+    section_name: str,
+) -> None:
+    """GitHub Actions output: ::error annotations plus a summary table.
+
+    Regressions surface as file-less error annotations (visible in the
+    checks UI without opening the log), and the per-scenario numbers are
+    rendered as a markdown table — appended to ``$GITHUB_STEP_SUMMARY``
+    when the runner provides one, echoed to stdout either way so a local
+    ``--format gha`` run shows the same thing.
+    """
+    for problem in problems:
+        print(f"::error title=bench regression::{problem}")
+    section = (baseline or {}).get(section_name, {})
+    mode = "quick" if quick else "full"
+    lines = [
+        f"### Bench {mode} (accel={accel})",
+        "",
+        "| scenario | events/s | queries/s | p50 wall (s) | baseline events/s |",
+        "| --- | ---: | ---: | ---: | ---: |",
+    ]
+    for name, stats in current.items():
+        base = section.get(name, {})
+        lines.append(
+            f"| {name} | {_format_rate(stats.get('events_per_sec'))} "
+            f"| {_format_rate(stats.get('queries_per_sec'))} "
+            f"| {stats.get('p50_wall_s')} "
+            f"| {_format_rate(base.get('events_per_sec', '—'))} |"
+        )
+    lines.append("")
+    lines.append(
+        f"**{len(problems)} regression(s)** vs `{section_name}`"
+        if problems
+        else f"No regressions vs `{section_name}`"
+    )
+    table = "\n".join(lines)
+    print(table)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write(table + "\n")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -451,6 +530,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=None,
         help="worker processes for sharded scenarios (default: $REPRO_JOBS or 1; 0 = all cores)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("plain", "gha"),
+        default="plain",
+        help="'gha' adds GitHub Actions ::error annotations and a markdown summary table",
     )
     args = parser.parse_args(argv)
 
@@ -483,6 +568,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         jobs = executor.jobs
 
+    accel = _accel.active_mode()
+    fingerprint = _fingerprint()
     baseline = _load_json(BASELINE_PATH)
     seed_baseline = _load_json(SEED_BASELINE_PATH)
     report = {
@@ -490,6 +577,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "git_commit": _git_commit(),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "fingerprint": fingerprint,
+        "accel": accel,
         "quick": args.quick,
         "rounds": rounds,
         "jobs": jobs,
@@ -501,18 +590,20 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     out_path = args.output or (REPO / f"BENCH_{date.today().isoformat()}.json")
     out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"[harness] wrote {out_path}")
+    print(f"[harness] wrote {out_path} (accel={accel})")
 
     if args.update_baseline:
-        # Merge into the section for this run's mode; the other mode's
-        # numbers and any scenarios not run this time are preserved, so
-        # `--scenario X --update-baseline` refreshes only X.
-        section = _baseline_section(args.quick)
+        # Merge into the section for this run's (mode, accel) pair; the
+        # other sections' numbers and any scenarios not run this time
+        # are preserved, so `--scenario X --update-baseline` refreshes
+        # only X.
+        section = _baseline_section(args.quick, accel)
         refreshed = dict(baseline or {})
         refreshed.update(
             {
                 "generated": report["generated"],
                 "git_commit": report["git_commit"],
+                "fingerprint": fingerprint,
                 section: {**refreshed.get(section, {}), **current},
             }
         )
@@ -521,16 +612,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"[harness] baseline refreshed at {BASELINE_PATH} ({section})")
         baseline = refreshed
 
-    problems = compare(current, baseline, args.tolerance, quick=args.quick)
+    # A baseline measured on a different interpreter or architecture
+    # gates nothing real — skip the comparison loudly instead of failing
+    # (or passing) on incomparable numbers.
+    baseline_fp = (baseline or {}).get("fingerprint")
+    fingerprint_ok = baseline_fp is None or baseline_fp == fingerprint
+    if not fingerprint_ok:
+        print(
+            f"[harness] baseline fingerprint {baseline_fp} does not match this "
+            f"runner {fingerprint}; regression gate skipped"
+        )
+        problems: List[str] = []
+    else:
+        problems = compare(current, baseline, args.tolerance, quick=args.quick, accel=accel)
     for problem in problems:
         print(f"[harness] REGRESSION {problem}")
-    if baseline is not None and not baseline.get(_baseline_section(args.quick)):
+    section_name = _baseline_section(args.quick, accel)
+    if baseline is not None and not baseline.get(section_name):
         print(
-            f"[harness] baseline has no {_baseline_section(args.quick)} section; "
+            f"[harness] baseline has no {section_name} section; "
             "nothing gated (record one with --update-baseline)"
         )
-    elif not problems and baseline is not None:
+    elif not problems and fingerprint_ok and baseline is not None:
         print(f"[harness] no regression vs baseline ({(baseline or {}).get('git_commit')})")
+    if args.format == "gha":
+        _emit_gha(current, problems, args.quick, accel, baseline, section_name)
     if args.check and problems:
         return 1
     return 0

@@ -1,0 +1,205 @@
+"""Import-time selection between the pure-Python kernel and its compiled twin.
+
+The hot kernel lives twice in an accelerated install: the canonical
+pure-Python tree at :mod:`repro._kernel`, and an optional mypyc-compiled
+copy at :mod:`repro._kernel_c` staged by ``setup.py`` when the build ran
+with ``REPRO_BUILD_ACCEL=1``.  This module picks one tree — once, on the
+first :func:`load` — and every kernel facade (:mod:`repro.net.checksum`,
+:mod:`repro.net.lazy`, :mod:`repro.dns.name`, :mod:`repro.dns.message`,
+:mod:`repro.sim.engine`) binds its names through :func:`load`.
+
+``REPRO_ACCEL`` controls the choice:
+
+- ``auto`` (default) — use the compiled twin when a *complete* one is
+  present, otherwise the pure tree.  Zero-cost fallback: a pure-py
+  checkout pays one spec probe, no module execution.
+- ``py`` — always the pure tree, even when a compiled build exists
+  (the baseline leg of the parity CI job).
+- ``compiled`` — require the compiled twin; raise :class:`ImportError`
+  when it is missing or incomplete rather than silently degrade.  CI
+  uses this so a broken build cannot masquerade as a passing one.
+
+Selection is all-or-nothing over ``KERNEL_MODULES``: a partially
+compiled tree (say, a stale ``.py`` staging copy whose extension failed
+to build) is treated as absent, never mixed with the pure tree — the
+two trees are only interchangeable as a unit, because intra-kernel
+calls must stay within one mypyc group.
+
+The mode decision probes module *specs* (``importlib.util.find_spec``)
+rather than importing the modules, for two reasons: the probe must be
+near-free on the pure-py fast path, and kernel modules may themselves
+import interpreted ``repro.net`` modules whose facades re-enter this
+shim — spec probing cannot re-enter anything.  Individual kernel
+modules are then imported lazily, on the first :func:`load` that asks
+for them, by which point the facade that asked is the only module
+mid-import.
+
+The decision is cached for the life of the process; flipping the
+environment variable after the first facade import has no effect.
+Parity tests that need *both* trees in one interpreter bypass the cache
+with :func:`load_forced`, which works because the trees have distinct
+module names.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import os
+from importlib.machinery import EXTENSION_SUFFIXES
+from types import ModuleType
+from typing import Dict, Optional
+
+from repro._kernel import KERNEL_MODULES
+
+__all__ = [
+    "KERNEL_MODULES",
+    "active_mode",
+    "build_info",
+    "compiled_available",
+    "load",
+    "load_forced",
+    "requested_mode",
+]
+
+_PURE_ROOT = "repro._kernel"
+_COMPILED_ROOT = "repro._kernel_c"
+_MODES = ("auto", "py", "compiled")
+
+# Resolved on the first load()/active_mode() call and never again.
+_active: Optional[str] = None
+_modules: Dict[str, ModuleType] = {}
+_compiled_error: Optional[str] = None
+
+
+def requested_mode() -> str:
+    """The mode asked for via ``REPRO_ACCEL`` (validated, default ``auto``)."""
+    mode = os.environ.get("REPRO_ACCEL", "auto").strip().lower() or "auto"
+    if mode not in _MODES:
+        raise ValueError(
+            f"REPRO_ACCEL={mode!r} is not a valid mode; expected one of {', '.join(_MODES)}"
+        )
+    return mode
+
+
+def _compiled_origin(name: str) -> Optional[str]:
+    """The file a compiled-tree module would load from, or None."""
+    try:
+        spec = importlib.util.find_spec(f"{_COMPILED_ROOT}.{name}")
+    except (ImportError, ValueError):
+        return None
+    if spec is None:
+        return None
+    return spec.origin
+
+
+def _probe_compiled() -> Optional[str]:
+    """None when a complete compiled tree is present, else the reason not.
+
+    Spec-level only — nothing is executed.  A module that resolves to an
+    interpreted ``.py`` file (a stale staging copy whose extension never
+    built) disqualifies the whole tree: importing it would silently run
+    interpreted code under the ``compiled`` banner.
+    """
+    for name in KERNEL_MODULES:
+        origin = _compiled_origin(name)
+        if origin is None:
+            return f"{_COMPILED_ROOT}.{name} is not importable"
+        if not any(origin.endswith(suffix) for suffix in EXTENSION_SUFFIXES):
+            return (
+                f"{_COMPILED_ROOT}.{name} resolves to an interpreted file ({origin}); "
+                "the compiled build is stale or broken"
+            )
+    return None
+
+
+def _resolve() -> str:
+    global _active, _compiled_error
+    if _active is not None:
+        return _active
+    mode = requested_mode()
+    if mode in ("auto", "compiled"):
+        _compiled_error = _probe_compiled()
+        if _compiled_error is None:
+            _active = "compiled"
+            return _active
+        if mode == "compiled":
+            raise ImportError(
+                "REPRO_ACCEL=compiled but no usable compiled kernel: "
+                f"{_compiled_error}. Build one with REPRO_BUILD_ACCEL=1 pip install -e ., "
+                "or run with REPRO_ACCEL=py/auto."
+            )
+    _active = "py"
+    return _active
+
+
+def active_mode() -> str:
+    """``"py"`` or ``"compiled"`` — the tree actually in use."""
+    return _resolve()
+
+
+def compiled_available() -> bool:
+    """Whether a complete compiled kernel is present (regardless of mode)."""
+    if _resolve() == "compiled":
+        return True
+    # Active mode is py; that may be because REPRO_ACCEL=py was forced
+    # while a perfectly good compiled tree exists — probe it directly.
+    return _probe_compiled() is None
+
+
+def load(name: str) -> ModuleType:
+    """The kernel module ``name`` (e.g. ``"wheel"``) from the active tree.
+
+    Modules are imported on first request and cached.  In ``compiled``
+    mode a module whose extension probes fine but fails to *import*
+    (ABI drift, corrupt build) raises — loudly, never a silent fallback
+    that would mix trees mid-process.
+    """
+    module = _modules.get(name)
+    if module is not None:
+        return module
+    if name not in KERNEL_MODULES:
+        raise ImportError(f"unknown kernel module {name!r}; expected one of {KERNEL_MODULES}")
+    root = _COMPILED_ROOT if _resolve() == "compiled" else _PURE_ROOT
+    module = importlib.import_module(f"{root}.{name}")
+    _modules[name] = module
+    return module
+
+
+def _is_compiled(module: ModuleType) -> bool:
+    """True when ``module`` is a C extension, not an interpreted ``.py``."""
+    filename = getattr(module, "__file__", None)
+    if not filename:
+        return False
+    return any(filename.endswith(suffix) for suffix in EXTENSION_SUFFIXES)
+
+
+def load_forced(name: str, mode: str) -> ModuleType:
+    """Import kernel module ``name`` from a specific tree, bypassing the cache.
+
+    For the parity suite, which compares both trees inside one process.
+    ``mode="compiled"`` raises :class:`ImportError` when the compiled
+    tree is absent or interpreted — callers skip, they don't degrade.
+    """
+    if mode == "py":
+        return importlib.import_module(f"{_PURE_ROOT}.{name}")
+    if mode == "compiled":
+        module = importlib.import_module(f"{_COMPILED_ROOT}.{name}")
+        if not _is_compiled(module):
+            raise ImportError(
+                f"{_COMPILED_ROOT}.{name} is present but interpreted, refusing to call it compiled"
+            )
+        return module
+    raise ValueError(f"mode must be 'py' or 'compiled', not {mode!r}")
+
+
+def build_info() -> Dict[str, str]:
+    """Accel facts for ``--version`` banners and BENCH fingerprints."""
+    info = {
+        "requested": requested_mode(),
+        "active": active_mode(),
+        "compiled_available": "yes" if compiled_available() else "no",
+    }
+    if _compiled_error and info["active"] != "compiled":
+        info["compiled_error"] = _compiled_error
+    return info

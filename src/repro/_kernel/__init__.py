@@ -1,0 +1,39 @@
+"""The hot kernel: compute-bound inner loops, structured for mypyc.
+
+This package holds the code the profiler says the simulator actually
+spends its time in — the RFC 1071 checksum fold, the lazy L2/L3 packet
+views, the DNS name/wire codec and the hierarchical timing wheel — in a
+form an ahead-of-time compiler accepts without semantic drift:
+
+- every module is self-contained or imports siblings *relatively*
+  (``from .checksum import ...``), so the build step can stage a
+  verbatim copy of the package at :mod:`repro._kernel_c` and compile
+  that copy as one mypyc group with fast intra-group calls;
+- concrete types at module boundaries: functions take ``bytes``/``int``
+  /``str`` tuples, never duck-typed wrappers;
+- no monkeypatch seams, no ``__getattr__`` hooks, no dynamic attribute
+  injection (RL5xx enforces this mechanically, RL505 specifically for
+  this package).
+
+Nothing imports this package directly except :mod:`repro._accel`, which
+selects between this tree and the compiled twin at import time
+(``REPRO_ACCEL=auto|py|compiled``).  The public modules in
+:mod:`repro.net`, :mod:`repro.dns` and :mod:`repro.sim` re-export from
+whichever tree the shim resolved, so the rest of the codebase never
+sees the split.
+
+Behaviour is identical by construction — the compiled twin is built
+from byte-identical sources — and proven mechanically: the parity suite
+(``tests/accel``) and the runtime sanitizer's ``--accel`` axis byte-diff
+traces, tables and dispatch logs across the two modes in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Every module of the kernel set, in dependency order.  The build step
+#: stages exactly these files; :mod:`repro._accel` refuses to report
+#: ``compiled`` unless every one of them imported from the compiled
+#: twin (no mixed-mode kernels).
+KERNEL_MODULES: Tuple[str, ...] = ("checksum", "dnswire", "l2l3", "wheel")

@@ -1,0 +1,51 @@
+"""RFC 1071 checksum arithmetic — the single hottest loop in the tree.
+
+Pure ``bytes``/``int`` functions with no object-model dependencies, so
+the mypyc build compiles them to C-level integer code.  The address-
+object-facing API (pseudo-header builders, per-flow base-sum caches)
+stays in :mod:`repro.net.checksum`, which re-exports these primitives
+from whichever kernel tree :mod:`repro._accel` selected.
+"""
+
+from __future__ import annotations
+
+
+def fold16(total: int) -> int:
+    """End-around-carry fold of an unbounded ones-complement total."""
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def ones_complement_sum(data: bytes, initial: int = 0) -> int:
+    """16-bit ones-complement sum of ``data`` (not yet complemented).
+
+    Odd-length input is padded with a zero byte, per RFC 1071.  The
+    buffer is read as one big-endian integer: 2**16 ≡ 1 (mod 65535), so
+    ``N % 0xFFFF`` *is* the folded big-endian word sum — one C-level
+    conversion and one modulo instead of a Python-side word loop.  The
+    only representational gap is a positive word sum that is ≡ 0
+    (mod 65535): repeated end-around-carry folding yields 0xFFFF there
+    (folding a positive total can never reach 0), while the modulo
+    yields 0, hence the explicit fix-up.
+    """
+    if len(data) % 2:
+        data = bytes(data) + b"\x00"
+    n = int.from_bytes(data, "big")
+    total = n % 0xFFFF
+    if total == 0 and n:
+        total = 0xFFFF
+    total += initial
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def internet_checksum(data: bytes, initial: int = 0) -> int:
+    """RFC 1071 Internet checksum: the complement of the ones-complement sum."""
+    return (~ones_complement_sum(data, initial)) & 0xFFFF
+
+
+def verify_checksum(data: bytes, initial: int = 0) -> bool:
+    """True when a buffer that *includes* its checksum field sums to 0xFFFF."""
+    return ones_complement_sum(data, initial) == 0xFFFF

@@ -1,0 +1,126 @@
+"""DNS wire primitives: label codec, compression state, header words.
+
+The hot half of :mod:`repro.dns.name` / :mod:`repro.dns.message`:
+everything here works on label *tuples* and raw ``bytes`` — the
+:class:`~repro.dns.name.DnsName` value type, its parse cache and the
+dataclass plumbing stay in the interpreted facade.  Concrete types at
+the boundary keep the mypyc build honest and the call sites cheap.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Set, Tuple
+
+_HEADER = struct.Struct("!HHHHHH")
+
+
+def encode_labels(labels: Tuple[str, ...]) -> bytes:
+    """Uncompressed RFC 1035 §3.1 wire rendering of a label tuple."""
+    out = bytearray()
+    for label in labels:
+        raw = label.encode("ascii")
+        out.append(len(raw))
+        out += raw
+    out.append(0)
+    return bytes(out)
+
+
+def decode_labels(data: bytes, offset: int) -> Tuple[Tuple[str, ...], int]:
+    """Decode a (possibly compressed) name starting at ``offset``.
+
+    Returns the lowercased label tuple and the offset just past the
+    name's in-place encoding.  Handles pointer chains with loop
+    protection (RFC 1035 §4.1.4).
+    """
+    labels: List[str] = []
+    end = -1
+    seen: Set[int] = set()
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated DNS name")
+        length = data[pos]
+        if length & 0xC0 == 0xC0:  # compression pointer
+            if pos + 1 >= len(data):
+                raise ValueError("truncated compression pointer")
+            target = ((length & 0x3F) << 8) | data[pos + 1]
+            if end < 0:
+                end = pos + 2
+            if target in seen:
+                raise ValueError("compression pointer loop")
+            seen.add(target)
+            pos = target
+        elif length & 0xC0:
+            raise ValueError(f"reserved label type {length:#04x}")
+        elif length == 0:
+            if end < 0:
+                end = pos + 1
+            return tuple(labels), end
+        else:
+            if pos + 1 + length > len(data):
+                raise ValueError("truncated DNS label")
+            labels.append(data[pos + 1 : pos + 1 + length].decode("ascii").lower())
+            if len(labels) > 128:
+                raise ValueError("too many labels")
+            pos += 1 + length
+
+
+class WireCompressor:
+    """Name→offset state while building one DNS message, emitting RFC
+    1035 §4.1.4 compression pointers for repeated suffixes.
+
+    One-sided by design: compression state only exists while *writing*
+    a message; the decode direction is
+    :func:`decode_labels`, which follows pointers statelessly.  The
+    public :class:`repro.dns.name.NameCompressor` facade adapts the
+    :class:`~repro.dns.name.DnsName` API onto this label-tuple one.
+    """
+
+    def __init__(self) -> None:
+        self._offsets: Dict[Tuple[str, ...], int] = {}
+        self._written = 0
+
+    def note_position(self, absolute_offset: int) -> None:
+        """Tell the compressor where in the message the next write lands."""
+        self._written = absolute_offset
+
+    def encode_labels(self, labels: Tuple[str, ...]) -> bytes:
+        # Whole-name pointer reuse: a name written earlier in the message
+        # (the overwhelmingly common case — answer owner == question
+        # name) compresses to one 2-byte pointer without walking labels.
+        known = self._offsets.get(labels)
+        if known is not None and known < 0x4000:
+            self._written += 2
+            return (0xC000 | known).to_bytes(2, "big")
+        out = bytearray()
+        for i in range(len(labels)):
+            suffix = labels[i:]
+            known = self._offsets.get(suffix)
+            if known is not None and known < 0x4000:
+                out += (0xC000 | known).to_bytes(2, "big")
+                self._written += len(out)
+                return bytes(out)
+            offset_here = self._written + len(out)
+            if offset_here < 0x4000:
+                self._offsets[suffix] = offset_here
+            raw = labels[i].encode("ascii")
+            out.append(len(raw))
+            out += raw
+        out.append(0)
+        self._written += len(out)
+        return bytes(out)
+
+
+def pack_header(
+    ident: int, flags: int, qdcount: int, ancount: int, nscount: int, arcount: int
+) -> bytes:
+    """The 12-byte DNS header (RFC 1035 §4.1.1), flags pre-assembled."""
+    return _HEADER.pack(ident, flags, qdcount, ancount, nscount, arcount)
+
+
+def unpack_header(data: bytes) -> Tuple[int, int, int, int, int, int]:
+    """``(ident, flags, qdcount, ancount, nscount, arcount)`` of a header."""
+    if len(data) < 12:
+        raise ValueError("truncated DNS header")
+    return _HEADER.unpack_from(data, 0)

@@ -6,10 +6,19 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.dns.name import DnsName, NameCompressor
 from repro.dns.rdata import decode_rdata, RCode, RRClass, RRType
+
+if TYPE_CHECKING:
+    from repro._kernel.dnswire import pack_header, unpack_header
+else:
+    from repro import _accel
+
+    _dnswire = _accel.load("dnswire")
+    pack_header = _dnswire.pack_header
+    unpack_header = _dnswire.unpack_header
 
 __all__ = ["DnsHeader", "DnsQuestion", "ResourceRecord", "DnsMessage"]
 
@@ -43,21 +52,13 @@ class DnsHeader:
             | (0x0080 if self.recursion_available else 0)
             | (self.rcode & 0xF)
         )
-        return struct.pack(
-            "!HHHHHH",
-            self.ident,
-            flags,
-            self.qdcount,
-            self.ancount,
-            self.nscount,
-            self.arcount,
+        return pack_header(
+            self.ident, flags, self.qdcount, self.ancount, self.nscount, self.arcount
         )
 
     @classmethod
     def decode(cls, data: bytes) -> "DnsHeader":
-        if len(data) < cls.WIRE_LEN:
-            raise ValueError("truncated DNS header")
-        ident, flags, qd, an, ns, ar = struct.unpack("!HHHHHH", data[:12])
+        ident, flags, qd, an, ns, ar = unpack_header(data)
         return cls(
             ident=ident,
             is_response=bool(flags & 0x8000),

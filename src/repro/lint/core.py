@@ -296,7 +296,16 @@ def iter_python_files(paths: Iterable[Path]) -> List[Path]:
     out: List[Path] = []
     for path in paths:
         if path.is_dir():
-            out.extend(sorted(p for p in path.rglob("*.py") if "__pycache__" not in p.parts))
+            out.extend(
+                sorted(
+                    p
+                    for p in path.rglob("*.py")
+                    # _kernel_c is the build-generated staging copy of the
+                    # kernel — byte-identical sources already linted at
+                    # their canonical repro/_kernel paths.
+                    if "__pycache__" not in p.parts and "_kernel_c" not in p.parts
+                )
+            )
         elif path.suffix == ".py":
             out.append(path)
     return out

@@ -25,8 +25,11 @@ from repro.lint.program.summary import FunctionSummary, ModuleSummary
 
 __all__ = ["ProgramContext", "ProgramReporter", "build_program"]
 
-#: The module and class owning the simulation dispatch loop.
-_DISPATCH_MODULE = "repro.sim.engine"
+#: The modules and class owning the simulation dispatch loop.  The
+#: engine implementation lives in ``repro._kernel.wheel``; the facade at
+#: ``repro.sim.engine`` stays listed so corpus fixtures (and any future
+#: engine-side helpers) keep anchoring the reachability walk.
+_DISPATCH_MODULES = ("repro.sim.engine", "repro._kernel.wheel")
 _DISPATCH_CLASS = "EventEngine"
 
 
@@ -55,10 +58,11 @@ class ProgramContext:
     def _dispatch_roots(self) -> Set[str]:
         roots: Set[str] = set()
         for module, ms in self.index.modules.items():
-            if (
-                module != _DISPATCH_MODULE
-                and not module.startswith(_DISPATCH_MODULE + ".")
-                and not module.endswith("." + _DISPATCH_MODULE.rsplit(".", 1)[-1])
+            if not any(
+                module == dispatch
+                or module.startswith(dispatch + ".")
+                or module.endswith("." + dispatch.rsplit(".", 1)[-1])
+                for dispatch in _DISPATCH_MODULES
             ):
                 continue
             for qual, fs in ms.functions.items():

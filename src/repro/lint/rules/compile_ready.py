@@ -17,6 +17,7 @@ only the whole-program index can see.
 
 from __future__ import annotations
 
+import ast
 import re
 from typing import Optional, Set, Tuple
 
@@ -32,10 +33,19 @@ __all__ = [
     "Monkeypatch",
     "GetattrHook",
     "UntypedDispatchReachable",
+    "KernelHostileConstruct",
 ]
 
-#: Packages slated for ahead-of-time compilation.
-COMPILE_PACKAGES: Tuple[str, ...] = ("repro.net", "repro.core", "repro.sim.engine")
+#: Packages slated for (or already under) ahead-of-time compilation.
+#: ``repro._kernel`` is the set actually compiled by the mypyc build;
+#: the rest are facades and codecs that must stay compile-clean so the
+#: boundary can move without a cleanup PR first.
+COMPILE_PACKAGES: Tuple[str, ...] = (
+    "repro.net",
+    "repro.core",
+    "repro.sim.engine",
+    "repro._kernel",
+)
 
 _IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*")
 
@@ -255,3 +265,105 @@ class UntypedDispatchReachable(Rule):
                 "calls on the dispatch path fall back to boxed objects "
                 "under mypyc",
             )
+
+
+#: The package whose modules are copied verbatim to ``repro._kernel_c``
+#: and compiled as one mypyc group.
+_KERNEL_PACKAGE = "repro._kernel"
+
+
+@register_rule
+class KernelHostileConstruct(Rule):
+    code = "RL505"
+    name = "kernel-hostile-construct"
+    summary = "construct the mypyc kernel build cannot compile faithfully"
+    scope = (_KERNEL_PACKAGE,)
+
+    def check(self, ctx: LintContext) -> None:
+        tree = ctx.tree
+        # Absolute imports of kernel siblings pin the *pure* tree by
+        # name: the compiled twin staged at repro._kernel_c would import
+        # interpreted modules mid-kernel, silently splitting the mypyc
+        # group.  Relative imports resolve inside whichever tree is
+        # executing.
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module and (
+                    node.module == _KERNEL_PACKAGE
+                    or node.module.startswith(_KERNEL_PACKAGE + ".")
+                ):
+                    ctx.add(
+                        node,
+                        self.code,
+                        f"absolute import of kernel sibling `{node.module}` "
+                        "inside the kernel — the compiled twin would import "
+                        "the interpreted tree and split the mypyc group",
+                        "use a relative import (`from .checksum import ...`) "
+                        "so both trees stay self-contained",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == _KERNEL_PACKAGE or alias.name.startswith(
+                        _KERNEL_PACKAGE + "."
+                    ):
+                        ctx.add(
+                            node,
+                            self.code,
+                            f"absolute import of kernel sibling `{alias.name}` "
+                            "inside the kernel — the compiled twin would "
+                            "import the interpreted tree",
+                            "use a relative import so both trees stay "
+                            "self-contained",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in ("exec", "eval"):
+                    ctx.add(
+                        node,
+                        self.code,
+                        f"`{node.func.id}()` in a kernel module — dynamic code "
+                        "has no compiled form",
+                        "express the logic statically; the kernel is the one "
+                        "place dynamic tricks are categorically banned",
+                    )
+                elif node.func.id in ("globals", "vars"):
+                    ctx.add(
+                        node,
+                        self.code,
+                        f"`{node.func.id}()` in a kernel module — compiled "
+                        "modules do not expose a live globals dict",
+                        "reference module members by name; registry patterns "
+                        "belong in the interpreted facades",
+                    )
+            elif isinstance(node, ast.ClassDef):
+                if len(node.bases) > 1:
+                    ctx.add(
+                        node,
+                        self.code,
+                        f"class `{node.name}` uses multiple inheritance — "
+                        "mypyc native classes support a single base",
+                        "flatten the hierarchy or compose; keep kernel "
+                        "classes single-base",
+                    )
+                for keyword in node.keywords:
+                    if keyword.arg == "metaclass":
+                        ctx.add(
+                            node,
+                            self.code,
+                            f"class `{node.name}` declares a metaclass — "
+                            "native classes are created by the compiler, not "
+                            "a metaclass",
+                            "drop the metaclass; do the registration in the "
+                            "interpreted facade instead",
+                        )
+        # A module-level ``del`` unbinds a name the compiler froze into
+        # the module at build time.
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Delete):
+                ctx.add(
+                    stmt,
+                    self.code,
+                    "module-level `del` in a kernel module — compiled module "
+                    "members cannot be unbound at runtime",
+                    "keep helper names (prefix them with `_`) instead of "
+                    "deleting them",
+                )

@@ -41,6 +41,7 @@ DETERMINISTIC_PACKAGES: Tuple[str, ...] = (
     "repro.core",
     "repro.analysis",
     "repro.services",
+    "repro._kernel",
 )
 
 _BANNED_TIME = {
@@ -296,20 +297,23 @@ class IdBasedOrdering(Rule):
                     )
 
 
-#: The one module allowed to touch :mod:`heapq` directly — the event
-#: engine owns the ``(time, sequence)`` tie-break contract.
-_SCHEDULER_MODULE = "repro.sim.engine"
+#: The modules allowed to touch :mod:`heapq` directly — the timing-wheel
+#: kernel owns the ``(time, sequence)`` tie-break contract.  Two names
+#: for one implementation: :mod:`repro._kernel.wheel` is the engine
+#: itself, :mod:`repro.sim.engine` the facade that re-exports it (the
+#: facade no longer imports heapq, but it remains the contract's home).
+_SCHEDULER_MODULES = ("repro.sim.engine", "repro._kernel.wheel")
 
 
 @register_rule
 class DirectHeapqUse(Rule):
     code = "RL106"
     name = "direct-heapq-use"
-    summary = "heapq used outside the event engine (repro.sim.engine)"
+    summary = "heapq used outside the timing-wheel kernel (repro._kernel.wheel)"
     scope = DETERMINISTIC_PACKAGES
 
     def check(self, ctx: LintContext) -> None:
-        if ctx.module == _SCHEDULER_MODULE:
+        if ctx.module in _SCHEDULER_MODULES:
             return
         hint = (
             "schedule through the event engine (engine.schedule / "
@@ -325,7 +329,7 @@ class DirectHeapqUse(Rule):
                             node,
                             self.code,
                             f"`import heapq` in `{ctx.module}` — event ordering "
-                            f"belongs to `{_SCHEDULER_MODULE}`",
+                            f"belongs to `{_SCHEDULER_MODULES[-1]}`",
                             hint,
                         )
             elif isinstance(node, ast.ImportFrom):
@@ -334,7 +338,7 @@ class DirectHeapqUse(Rule):
                         node,
                         self.code,
                         f"`from heapq import ...` in `{ctx.module}` — event "
-                        f"ordering belongs to `{_SCHEDULER_MODULE}`",
+                        f"ordering belongs to `{_SCHEDULER_MODULES[-1]}`",
                         hint,
                     )
 

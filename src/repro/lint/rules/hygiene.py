@@ -16,11 +16,11 @@ from repro.lint.core import LintContext, register_rule, Rule
 
 __all__ = ["HOT_PATH_PACKAGES", "ATTR_STRICT_MODULES", "UnslottedDataclass", "AttrOutsideInit"]
 
-HOT_PATH_PACKAGES: Tuple[str, ...] = ("repro.sim", "repro.parallel", "repro.core")
+HOT_PATH_PACKAGES: Tuple[str, ...] = ("repro.sim", "repro.parallel", "repro.core", "repro._kernel")
 
 #: Engine/codec modules where the attribute set of every class must be
 #: closed at construction time.
-ATTR_STRICT_MODULES: Tuple[str, ...] = ("repro.sim.engine", "repro.net")
+ATTR_STRICT_MODULES: Tuple[str, ...] = ("repro.sim.engine", "repro.net", "repro._kernel")
 
 
 def _decorator_base(decorator: ast.expr) -> ast.expr:

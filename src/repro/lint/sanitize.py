@@ -6,10 +6,13 @@ same workload (a traced scenario, an adoption-sweep shard, the device
 matrix — see :mod:`repro.lint._probe`) in fresh interpreters under:
 
 - two different ``PYTHONHASHSEED`` values (string-hash salting is the
-  classic way set/dict iteration order leaks into output), and
+  classic way set/dict iteration order leaks into output),
 - serial vs sharded execution (``--jobs 1`` vs ``--jobs 4``), covering
   the parallel engine's "byte-identical tables at any jobs" guarantee
-  from the sweep-engine PR.
+  from the sweep-engine PR, and
+- with ``--accel``, pure-Python vs mypyc-compiled kernel
+  (``REPRO_ACCEL=py`` vs ``REPRO_ACCEL=compiled``), proving the
+  compiled hot kernel is a byte-identical drop-in.
 
 All dumps must be byte-for-byte identical.  On divergence the first
 differing record is reported and a full unified diff is written to
@@ -40,9 +43,17 @@ class ProbeRun(NamedTuple):
     output: bytes
 
 
-def _run_probe(hash_seed: str, jobs: int, quick: bool, timeout: float) -> ProbeRun:
+def _run_probe(
+    hash_seed: str,
+    jobs: int,
+    quick: bool,
+    timeout: float,
+    accel: Optional[str] = None,
+) -> ProbeRun:
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = hash_seed
+    if accel is not None:
+        env["REPRO_ACCEL"] = accel
     src_dir = str(Path(__file__).resolve().parent.parent.parent)
     env["PYTHONPATH"] = src_dir + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
@@ -57,6 +68,8 @@ def _run_probe(hash_seed: str, jobs: int, quick: bool, timeout: float) -> ProbeR
         timeout=timeout,
     )
     label = f"PYTHONHASHSEED={hash_seed} --jobs={jobs}"
+    if accel is not None:
+        label += f" REPRO_ACCEL={accel}"
     if result.returncode != 0:
         raise RuntimeError(
             f"probe [{label}] exited {result.returncode}:\n"
@@ -85,18 +98,41 @@ def run_sanitizer(
     jobs: int = 4,
     timeout: float = 600.0,
     artifact_dir: Optional[Path] = None,
+    accel: bool = False,
 ) -> int:
     """Run all probe combinations and byte-compare.  Returns exit code."""
-    combos = [
-        (HASH_SEEDS[0], 1),  # reference
-        (HASH_SEEDS[1], 1),  # hash-salt sensitivity, serial
-        (HASH_SEEDS[0], jobs),  # sharding sensitivity
-        (HASH_SEEDS[1], jobs),  # both at once
-    ]
+    combos: List[Tuple[str, int, Optional[str]]]
+    if accel:
+        # Cross-mode axis: the compiled kernel must reproduce the
+        # interpreted reference byte for byte, serial and sharded,
+        # under both hash salts.  Pin REPRO_ACCEL explicitly so an
+        # inherited environment cannot collapse the two sides.
+        from repro import _accel
+
+        if not _accel.compiled_available():
+            print("sanitize: FAIL — --accel requested but no compiled kernel is importable")
+            print("  build one with: REPRO_BUILD_ACCEL=1 python setup.py build_ext --inplace")
+            return 2
+        combos = [
+            (HASH_SEEDS[0], 1, "py"),  # reference (interpreted)
+            (HASH_SEEDS[0], 1, "compiled"),  # compiled vs interpreted
+            (HASH_SEEDS[0], jobs, "compiled"),  # compiled, sharded
+            (HASH_SEEDS[1], jobs, "compiled"),  # compiled, salted + sharded
+        ]
+    else:
+        combos = [
+            (HASH_SEEDS[0], 1, None),  # reference
+            (HASH_SEEDS[1], 1, None),  # hash-salt sensitivity, serial
+            (HASH_SEEDS[0], jobs, None),  # sharding sensitivity
+            (HASH_SEEDS[1], jobs, None),  # both at once
+        ]
     runs: List[ProbeRun] = []
-    for hash_seed, job_count in combos:
-        print(f"sanitize: probing PYTHONHASHSEED={hash_seed} --jobs={job_count} ...", flush=True)
-        runs.append(_run_probe(hash_seed, job_count, quick, timeout))
+    for hash_seed, job_count, accel_mode in combos:
+        banner = f"PYTHONHASHSEED={hash_seed} --jobs={job_count}"
+        if accel_mode is not None:
+            banner += f" REPRO_ACCEL={accel_mode}"
+        print(f"sanitize: probing {banner} ...", flush=True)
+        runs.append(_run_probe(hash_seed, job_count, quick, timeout, accel=accel_mode))
 
     reference = runs[0]
     failures = 0
@@ -125,10 +161,10 @@ def run_sanitizer(
     if failures:
         print(f"sanitize: FAIL — {failures}/{len(runs) - 1} probe(s) diverged")
         return 1
-    print(
-        f"sanitize: OK — {len(runs)} probes byte-identical across "
-        f"PYTHONHASHSEED {{{', '.join(HASH_SEEDS)}}} and --jobs {{1, {jobs}}}"
-    )
+    axes = f"PYTHONHASHSEED {{{', '.join(HASH_SEEDS)}}} and --jobs {{1, {jobs}}}"
+    if accel:
+        axes += " and REPRO_ACCEL {py, compiled}"
+    print(f"sanitize: OK — {len(runs)} probes byte-identical across {axes}")
     return 0
 
 
@@ -141,6 +177,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quick",
         action="store_true",
         help="smaller scenario/fleet and no matrix (CI smoke)",
+    )
+    parser.add_argument(
+        "--accel",
+        action="store_true",
+        help="byte-diff REPRO_ACCEL=py vs compiled (fails if no compiled kernel)",
     )
     parser.add_argument(
         "--jobs",
@@ -158,7 +199,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     stale = Path(DIFF_ARTIFACT)
     if stale.exists():
         stale.unlink()
-    return run_sanitizer(quick=args.quick, jobs=args.jobs, timeout=args.timeout)
+    return run_sanitizer(
+        quick=args.quick, jobs=args.jobs, timeout=args.timeout, accel=args.accel
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

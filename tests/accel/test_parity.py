@@ -1,0 +1,249 @@
+"""Pure-Python vs mypyc-compiled kernel: value-for-value parity.
+
+The compiled twin must be a drop-in — same checksum values, same wire
+bytes, same dispatch order, same exceptions.  Both trees are loaded
+into this one process via :func:`repro._accel.load_forced` (their
+module names differ, so they coexist) and compared directly; the
+whole-trace byte-diff lives in ``python -m repro sanitize --accel``,
+this file pins the per-function contracts with small, inspectable
+inputs.
+
+Skipped wholesale when no compiled kernel is importable — a pure-py
+checkout stays green without a C compiler.
+"""
+
+import pytest
+
+from repro import _accel
+
+pytestmark = pytest.mark.skipif(
+    not _accel.compiled_available(),
+    reason="no compiled kernel (build with REPRO_BUILD_ACCEL=1 python setup.py build_ext --inplace)",
+)
+
+MODES = ("py", "compiled")
+
+
+def _pair(name):
+    return [_accel.load_forced(name, mode) for mode in MODES]
+
+
+# --- checksum ---------------------------------------------------------
+
+CHECKSUM_CORPUS = [
+    b"",
+    b"\x00",
+    b"\xff\xff",
+    b"\x00\x01\xf2\x03\xf4\xf5\xf6\xf7",  # RFC 1071 worked example
+    b"odd-length-payload!",
+    bytes(range(256)),
+    bytes((251 * i) % 256 for i in range(1501)),
+]
+
+
+def test_checksum_values_identical():
+    py, compiled = _pair("checksum")
+    for data in CHECKSUM_CORPUS:
+        assert py.internet_checksum(data) == compiled.internet_checksum(data)
+        assert py.ones_complement_sum(data) == compiled.ones_complement_sum(data)
+        assert py.ones_complement_sum(data, 0xABCD) == compiled.ones_complement_sum(data, 0xABCD)
+        assert py.verify_checksum(data) == compiled.verify_checksum(data)
+
+
+def test_fold16_identical():
+    py, compiled = _pair("checksum")
+    for total in (0, 1, 0xFFFF, 0x10000, 0x1FFFE, 0xABCDEF, (1 << 32) - 1):
+        assert py.fold16(total) == compiled.fold16(total)
+
+
+# --- dnswire ----------------------------------------------------------
+
+NAMES = [
+    (),
+    ("com",),
+    ("example", "com"),
+    ("www", "example", "com"),
+    ("mail", "example", "com"),
+    ("example", "org"),
+    ("www", "example", "com"),  # exact repeat: whole-name pointer reuse
+]
+
+
+def test_label_codec_identical():
+    py, compiled = _pair("dnswire")
+    for labels in NAMES:
+        wire = py.encode_labels(labels)
+        assert wire == compiled.encode_labels(labels)
+        assert py.decode_labels(wire, 0) == compiled.decode_labels(wire, 0)
+
+
+def test_compressor_stream_identical():
+    py, compiled = _pair("dnswire")
+    streams = []
+    for module in (py, compiled):
+        compressor = module.WireCompressor()
+        out = bytearray()
+        for labels in NAMES:
+            compressor.note_position(len(out))
+            out += compressor.encode_labels(labels)
+        streams.append(bytes(out))
+    assert streams[0] == streams[1]
+    # The shared-suffix corpus must actually exercise compression.
+    assert len(streams[0]) < sum(len(py.encode_labels(n)) for n in NAMES)
+
+
+def test_header_codec_identical():
+    py, compiled = _pair("dnswire")
+    fields = (0x1234, 0x8180, 1, 2, 0, 1)
+    wire = py.pack_header(*fields)
+    assert wire == compiled.pack_header(*fields)
+    assert py.unpack_header(wire) == compiled.unpack_header(wire) == fields
+
+
+@pytest.mark.parametrize(
+    "blob",
+    [b"", b"\xc0", b"\xc0\x00", b"\x05ab"],
+    ids=["empty", "bare-pointer", "pointer-loop", "truncated-label"],
+)
+def test_malformed_names_rejected_identically(blob):
+    py, compiled = _pair("dnswire")
+    for module in (py, compiled):
+        with pytest.raises(ValueError):
+            module.decode_labels(blob, 0)
+
+
+def test_truncated_header_rejected_identically():
+    py, compiled = _pair("dnswire")
+    for module in (py, compiled):
+        with pytest.raises(ValueError, match="truncated DNS header"):
+            module.unpack_header(b"\x00" * 11)
+
+
+# --- l2l3 -------------------------------------------------------------
+
+
+def _sample_ipv4_wire():
+    from repro.net.addresses import IPv4Address
+    from repro.net.ipv4 import IPv4Packet
+
+    return IPv4Packet(
+        IPv4Address("192.0.2.1"),
+        IPv4Address("198.51.100.7"),
+        17,
+        b"payload-bytes",
+        ttl=17,
+        identification=0x4242,
+    ).encode()
+
+
+def _sample_ipv6_wire():
+    from repro.net.addresses import IPv6Address
+    from repro.net.ipv6 import IPv6Packet
+
+    return IPv6Packet(
+        IPv6Address("2001:db8::1"),
+        IPv6Address("64:ff9b::c633:6407"),
+        17,
+        b"payload-bytes",
+        hop_limit=63,
+    ).encode()
+
+
+def test_lazy_ethernet_identical():
+    from repro.net.addresses import MacAddress
+    from repro.net.ethernet import EthernetFrame
+
+    wire = EthernetFrame(
+        MacAddress.parse("02:00:00:00:00:01"),
+        MacAddress.parse("02:00:00:00:00:02"),
+        0x0800,
+        _sample_ipv4_wire(),
+    ).encode()
+    py, compiled = _pair("l2l3")
+    a = py.LazyEthernetFrame.decode(wire)
+    b = compiled.LazyEthernetFrame.decode(wire)
+    assert a.encode() == b.encode() == wire
+    assert (a.dst, a.src, a.ethertype) == (b.dst, b.src, b.ethertype)
+    assert bytes(a.payload) == bytes(b.payload)
+    assert a.materialize() == b.materialize()
+    assert (a.is_broadcast, a.is_multicast) == (b.is_broadcast, b.is_multicast)
+
+
+def test_lazy_ipv4_identical():
+    wire = _sample_ipv4_wire()
+    py, compiled = _pair("l2l3")
+    a = py.LazyIPv4Packet.decode(wire)
+    b = compiled.LazyIPv4Packet.decode(wire)
+    assert a.encode() == b.encode() == wire
+    assert (a.src, a.dst, a.proto, a.ttl) == (b.src, b.dst, b.proto, b.ttl)
+    assert bytes(a.payload) == bytes(b.payload)
+    assert a.materialize() == b.materialize()
+    assert a.decremented().encode() == b.decremented().encode()
+
+
+def test_lazy_ipv6_identical():
+    wire = _sample_ipv6_wire()
+    py, compiled = _pair("l2l3")
+    a = py.LazyIPv6Packet.decode(wire)
+    b = compiled.LazyIPv6Packet.decode(wire)
+    assert a.encode() == b.encode() == wire
+    assert bytes(a.payload) == bytes(b.payload)
+    assert a.materialize() == b.materialize()
+
+
+def test_interned_addresses_equal_across_trees():
+    # The intern caches are per-tree (identity differs) but the values
+    # they hand out must compare equal and stringify identically.
+    py, compiled = _pair("l2l3")
+    mac = b"\x02\x00\x00\x00\x00\x01"
+    v4 = b"\xc0\x00\x02\x01"
+    v6 = b"\x20\x01\x0d\xb8" + b"\x00" * 11 + b"\x01"
+    assert py.intern_mac(mac) == compiled.intern_mac(mac)
+    assert py.intern_ipv4(v4) == compiled.intern_ipv4(v4)
+    assert py.intern_ipv6(v6) == compiled.intern_ipv6(v6)
+    assert str(py.intern_ipv6(v6)) == str(compiled.intern_ipv6(v6))
+
+
+# --- wheel ------------------------------------------------------------
+
+
+def _drive_engine(engine):
+    """A deterministic workload touching every scheduling tier; returns
+    the dispatch log as (virtual-time, tag) pairs."""
+    log = []
+
+    def note(tag):
+        log.append((engine.now, tag))
+
+    # wheel0 (sub-slot delays), wheel1, and overflow-tier delays.
+    for index, delay in enumerate((0.0, 0.0003, 0.0003, 0.01, 0.4, 3.0, 250.0)):
+        engine.schedule(delay, note, f"one-shot-{index}-{delay}")
+    cancel_tick = engine.schedule_every(0.05, lambda: note("tick"))
+    engine.schedule(0.23, lambda: cancel_tick())
+    coal_a = engine.schedule_every(0.5, lambda: note("coal-a"), coalesce="group")
+    coal_b = engine.schedule_every(0.5, lambda: note("coal-b"), coalesce="group")
+    engine.schedule(1.6, lambda: (coal_a(), coal_b()))
+    cancelled = engine.schedule(0.7, note, "never-fires")
+    cancelled[2] = None
+    engine.run_until_idle(max_events=10_000)
+    log.append(("final-now", engine.now))
+    log.append(("events-run", engine.events_run))
+    return log
+
+
+def test_dispatch_log_identical():
+    py, compiled = _pair("wheel")
+    log_py = _drive_engine(py.EventEngine(seed=7))
+    log_compiled = _drive_engine(compiled.EventEngine(seed=7))
+    assert log_py == log_compiled
+    tags = [tag for _, tag in log_py[:-2]]
+    assert "never-fires" not in tags
+    assert tags.count("tick") == 4  # cancelled at t=0.23 after 4 ticks
+
+
+def test_negative_delay_rejected_identically():
+    py, compiled = _pair("wheel")
+    for module in (py, compiled):
+        engine = module.EventEngine()
+        with pytest.raises(ValueError, match="past"):
+            engine.schedule(-0.1, lambda: None)

@@ -1,0 +1,148 @@
+"""The :mod:`repro._accel` shim: mode selection, validation, facade identity.
+
+These tests run in every mode — with or without a compiled kernel,
+under ``REPRO_ACCEL=py`` or ``compiled`` — so nothing here asserts
+which tree is active, only that the shim's answers are internally
+consistent and that the facades bind whatever tree it picked.
+Cross-tree value parity lives in :mod:`tests.accel.test_parity`.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import _accel
+
+SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
+
+
+class TestRequestedMode:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ACCEL", raising=False)
+        assert _accel.requested_mode() == "auto"
+
+    @pytest.mark.parametrize("mode", ["auto", "py", "compiled"])
+    def test_explicit_modes(self, monkeypatch, mode):
+        monkeypatch.setenv("REPRO_ACCEL", mode)
+        assert _accel.requested_mode() == mode
+
+    def test_case_and_whitespace_normalised(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ACCEL", "  PY ")
+        assert _accel.requested_mode() == "py"
+
+    def test_empty_means_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ACCEL", "")
+        assert _accel.requested_mode() == "auto"
+
+    def test_invalid_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ACCEL", "fast")
+        with pytest.raises(ValueError, match="REPRO_ACCEL"):
+            _accel.requested_mode()
+
+
+class TestLoad:
+    def test_unknown_kernel_module_rejected(self):
+        with pytest.raises(ImportError, match="unknown kernel module"):
+            _accel.load("scheduler")
+
+    def test_load_is_cached(self):
+        assert _accel.load("checksum") is _accel.load("checksum")
+
+    def test_loaded_tree_matches_active_mode(self):
+        package = _accel.load("checksum").__name__.rsplit(".", 1)[0]
+        expected = (
+            "repro._kernel_c" if _accel.active_mode() == "compiled" else "repro._kernel"
+        )
+        assert package == expected
+
+    def test_facades_bind_the_active_tree(self):
+        # The facade modules must expose the very objects load() hands
+        # out — a facade that re-imported the pure tree directly would
+        # silently undo the compiled build.
+        import repro.net.checksum as checksum_facade
+        import repro.net.lazy as lazy_facade
+        import repro.sim.engine as engine_facade
+
+        assert checksum_facade.internet_checksum is _accel.load("checksum").internet_checksum
+        assert lazy_facade.LazyEthernetFrame is _accel.load("l2l3").LazyEthernetFrame
+        assert engine_facade.EventEngine is _accel.load("wheel").EventEngine
+
+    def test_all_kernel_modules_load(self):
+        for name in _accel.KERNEL_MODULES:
+            assert _accel.load(name).__name__.endswith("." + name)
+
+
+class TestLoadForced:
+    def test_pure_tree_always_importable(self):
+        module = _accel.load_forced("checksum", "py")
+        assert module.__name__ == "repro._kernel.checksum"
+        assert not _accel._is_compiled(module)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode must be"):
+            _accel.load_forced("checksum", "fast")
+
+    def test_compiled_honest_about_availability(self):
+        # Either the compiled tree imports as a real extension, or
+        # asking for it raises — it never hands back interpreted code
+        # under the compiled name.
+        if _accel.compiled_available():
+            assert _accel._is_compiled(_accel.load_forced("checksum", "compiled"))
+        else:
+            with pytest.raises(ImportError):
+                _accel.load_forced("checksum", "compiled")
+
+
+class TestBuildInfo:
+    def test_shape_and_consistency(self):
+        info = _accel.build_info()
+        assert info["requested"] in ("auto", "py", "compiled")
+        assert info["active"] in ("py", "compiled")
+        assert info["compiled_available"] in ("yes", "no")
+        if info["active"] == "compiled":
+            assert info["compiled_available"] == "yes"
+
+
+class TestFreshInterpreter:
+    """The decision is per-process and env-driven; prove it out-of-process."""
+
+    def _run(self, mode, *argv):
+        env = dict(os.environ)
+        env["REPRO_ACCEL"] = mode
+        env["PYTHONPATH"] = SRC_DIR + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        return subprocess.run(
+            [sys.executable, *argv], env=env, capture_output=True, text=True, timeout=60
+        )
+
+    ACTIVE = "from repro import _accel; print(_accel.active_mode())"
+
+    def test_py_is_always_honoured(self):
+        result = self._run("py", "-c", self.ACTIVE)
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "py"
+
+    def test_compiled_hard_fails_when_unavailable(self):
+        if _accel.compiled_available():
+            pytest.skip("compiled kernel present; this is the absent-build path")
+        result = self._run("compiled", "-c", self.ACTIVE)
+        assert result.returncode != 0
+        assert "REPRO_ACCEL=compiled" in result.stderr
+
+    def test_compiled_honoured_when_available(self):
+        if not _accel.compiled_available():
+            pytest.skip("no compiled kernel (build with REPRO_BUILD_ACCEL=1)")
+        result = self._run("compiled", "-c", self.ACTIVE)
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "compiled"
+
+    def test_version_banner_reports_mode(self):
+        result = self._run("py", "-m", "repro", "--version")
+        assert result.returncode == 0, result.stderr
+        banner = result.stdout.strip()
+        assert banner.startswith(f"repro {repro.__version__} (accel=py")

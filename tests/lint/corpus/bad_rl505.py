@@ -1,0 +1,14 @@
+# repro-lint-module: repro._kernel.fix505
+"""RL505 positive: kernel module pins its sibling by absolute name and
+leans on dynamic machinery the compiled twin cannot reproduce."""
+
+from repro._kernel.checksum import internet_checksum
+
+
+def run(payload: bytes) -> int:
+    handler = eval("internet_checksum")
+    return handler(payload)
+
+
+def lookup(name: str) -> object:
+    return globals()[name]

@@ -1,0 +1,8 @@
+# repro-lint-module: repro._kernel.fix505g
+"""RL505 negative: relative sibling import, static calls only."""
+
+from .checksum import internet_checksum
+
+
+def run(payload: bytes) -> int:
+    return internet_checksum(payload)
