@@ -22,7 +22,13 @@ Metrics per scenario:
   advanced per wall second (higher is better);
 - ``jobs`` / ``parallel_speedup`` — worker count and effective
   parallelism for scenarios sharded over :class:`repro.parallel`
-  (``parallel_speedup`` is null for serial scenarios).
+  (``parallel_speedup`` is null for serial scenarios);
+- ``devices_per_sec`` — fleet devices evaluated per wall second, for
+  scenarios driving the columnar fleet engine (null elsewhere);
+- ``peak_rss_bytes`` — process peak RSS (children included) sampled
+  after the scenario's rounds.  ``ru_maxrss`` is a high-water mark, so
+  the value is cumulative across the scenarios run before it in the
+  same process — a per-scenario ceiling, not a per-scenario delta.
 
 The emitted file also embeds ``seed_baseline`` — the numbers measured on
 the unoptimized seed tree — so every trajectory file records the
@@ -58,7 +64,12 @@ sys.path.insert(0, str(REPO / "src"))
 sys.path.insert(0, str(REPO))
 
 from repro import _accel  # noqa: E402
-from repro.analysis.adoption import FleetMix, run_adoption_sweep_stats  # noqa: E402
+from repro.analysis.adoption import (  # noqa: E402
+    FleetMix,
+    run_adoption_sweep_stats,
+    windows_refresh_mixes,
+)
+from repro.analysis.fleet import run_fleet_adoption_sweep_stats  # noqa: E402
 from repro.clients.profiles import (  # noqa: E402
     ANDROID,
     IOS,
@@ -74,6 +85,7 @@ from repro.core.testbed import TestbedConfig, Testbed  # noqa: E402
 from repro.dns.message import DnsMessage  # noqa: E402
 from repro.dns.rdata import RRType  # noqa: E402
 from repro.dns.zone import Zone  # noqa: E402
+from repro.core.rss import peak_rss_bytes  # noqa: E402
 from repro.net.addresses import IPv4Address  # noqa: E402
 from repro.parallel import SweepExecutor  # noqa: E402
 from repro.sim.engine import EventEngine  # noqa: E402
@@ -112,12 +124,14 @@ class RoundResult:
         queries: int,
         shard_wall: float = 0.0,
         parallel: bool = False,
+        devices: int = 0,
     ) -> None:
         self.events = events
         self.sim_seconds = sim_seconds
         self.queries = queries
         self.shard_wall = shard_wall
         self.parallel = parallel
+        self.devices = devices
         self.wall = 0.0
 
 
@@ -248,11 +262,39 @@ def scenario_scheduler_wheel(quick: bool, executor: SweepExecutor) -> RoundResul
     return RoundResult(engine.events_run, engine.now, 0)
 
 
+def scenario_fleet_million(quick: bool, executor: SweepExecutor) -> RoundResult:
+    """The §VII adoption trajectory at production fleet scale.
+
+    A million-device fleet (100k in quick mode) swept through the five
+    Windows-refresh stages on the columnar engine: one live calibration
+    client per distinct OS profile, then struct-of-arrays evaluation +
+    streaming folds over device ranges sharded across the executor's
+    pool.  Headline metric is ``devices_per_sec`` (events/queries are
+    zero by design — the per-device work is translate/count, not
+    simulated packets — so the events/queries regression gate skips this
+    scenario and the CI fleet smoke gates peak RSS instead).
+    """
+    fleet = 100_000 if quick else 1_000_000
+    mixes = windows_refresh_mixes(fleet_size=fleet)
+    _points, stats, info = run_fleet_adoption_sweep_stats(
+        mixes, TestbedConfig(), executor=executor
+    )
+    return RoundResult(
+        0,
+        0.0,
+        0,
+        shard_wall=stats.shard_wall_s,
+        parallel=True,
+        devices=info.devices,
+    )
+
+
 SCENARIOS: Dict[str, Callable[[bool, SweepExecutor], RoundResult]] = {
     "show_floor": scenario_show_floor,
     "adoption_sweep": scenario_adoption_sweep,
     "dns_fast_path": scenario_dns_fast_path,
     "scheduler_wheel": scenario_scheduler_wheel,
+    "fleet_million": scenario_fleet_million,
 }
 
 
@@ -285,6 +327,7 @@ def run_scenario(
     speedups: List[float] = []
     events = 0
     queries = 0
+    devices = 0
     sharded = False
     # Cyclic-GC pauses land at arbitrary points inside timed rounds and
     # are the dominant noise source at these round lengths.  Standard
@@ -304,6 +347,7 @@ def run_scenario(
             walls.append(wall)
             events += result.events
             queries += result.queries
+            devices += result.devices
             sharded = sharded or result.parallel
             if result.sim_seconds:
                 ratios.append(result.sim_seconds / wall)
@@ -318,6 +362,7 @@ def run_scenario(
     best_wall = min(walls)
     round_events = events // rounds
     round_queries = queries // rounds
+    round_devices = devices // rounds
     return {
         "rounds": rounds,
         "basis": "best-round",
@@ -330,6 +375,13 @@ def run_scenario(
         # the regression gate's skip logic is self-documenting.
         "events_per_sec": round(round_events / best_wall, 1) if events else "skipped",
         "queries_per_sec": round(round_queries / best_wall, 1),
+        # Fleet scenarios report columnar throughput; everything else
+        # null.  Recorded, not gated — the fleet gate in CI is peak RSS.
+        "devices_per_sec": round(round_devices / best_wall, 1) if devices else None,
+        # Cumulative process high-water mark at the end of this
+        # scenario's rounds (ru_maxrss, children included); None only
+        # where the platform offers no resource module.
+        "peak_rss_bytes": peak_rss_bytes(),
         "p50_wall_s": round(statistics.median(walls), 4),
         "p99_wall_s": round(_percentile(walls, 0.99), 4),
         "sim_per_wall_p50": round(statistics.median(ratios), 2) if ratios else None,
@@ -560,6 +612,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if isinstance(events_s, (int, float))
                 else f"events/s {events_s}, "
             )
+            devices_s = stats["devices_per_sec"]
+            if devices_s is not None:
+                prefix = f"{devices_s:,.0f} devices/s, " + prefix
             speedup = stats["parallel_speedup"]
             suffix = f", {speedup:.2f}x parallel speedup" if speedup is not None else ""
             print(

@@ -4,6 +4,7 @@ Commands:
 
 - ``matrix``      — run the §V device-outcome matrix (intervention on/off)
 - ``sweep``       — the §VII Windows-refresh adoption trajectory
+- ``fleet``       — the same trajectory at fleet scale (columnar engine)
 - ``scores``      — mirror scores per device class, stock vs fixed
 - ``demo``        — the quickstart walk-through
 - ``experiments`` — one-line status for every paper experiment (E1-E16)
@@ -33,6 +34,38 @@ def cmd_matrix(args) -> int:
 def cmd_sweep(args) -> int:
     mixes = windows_refresh_mixes(fleet_size=args.fleet)
     print(sweep_table(run_adoption_sweep(mixes, jobs=args.jobs)))
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    """The §VII trajectory through the million-device columnar engine.
+
+    The table goes to stdout and the execution summary to stderr, so
+    ``fleet --jobs 1`` and ``fleet --jobs N`` stdout can be diffed
+    byte-for-byte (the CI fleet smoke does exactly that).
+    """
+    import time
+
+    from repro.analysis.fleet import run_fleet_adoption_sweep_stats
+    from repro.core.rss import peak_rss_bytes
+
+    mixes = windows_refresh_mixes(fleet_size=args.devices)
+    start = time.perf_counter()
+    points, _stats, info = run_fleet_adoption_sweep_stats(
+        mixes, jobs=args.jobs, min_shard=args.min_shard
+    )
+    elapsed = time.perf_counter() - start
+    print(sweep_table(points))
+    rate = info.devices / elapsed if elapsed > 0 else 0.0
+    rss = peak_rss_bytes()
+    summary = (
+        f"fleet: {info.devices} devices / {info.stages} stages / "
+        f"{info.distinct_profiles} profiles / {info.shard_count} shards, "
+        f"{elapsed:.2f}s, {rate:,.0f} devices/sec"
+    )
+    if rss is not None:
+        summary += f", peak RSS {rss / (1024 * 1024):.1f} MiB"
+    print(summary, file=sys.stderr)
     return 0
 
 
@@ -170,6 +203,20 @@ def main(argv=None) -> int:
     p_sweep.add_argument("--fleet", type=int, default=15)
     p_sweep.add_argument("--jobs", type=int, default=None, help=jobs_help)
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="adoption sweep at fleet scale via the columnar engine"
+    )
+    p_fleet.add_argument(
+        "--devices", type=int, default=1_000_000,
+        help="fleet size per refresh stage (default: 1,000,000)",
+    )
+    p_fleet.add_argument(
+        "--min-shard", type=int, default=65_536,
+        help="smallest device range worth dispatching to a worker",
+    )
+    p_fleet.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    p_fleet.set_defaults(fn=cmd_fleet)
 
     p_scores = sub.add_parser("scores", help="mirror scores, stock vs fixed (§VI)")
     p_scores.add_argument("--poison-target", default="ip6.me",

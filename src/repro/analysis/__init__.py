@@ -8,6 +8,11 @@ from repro.analysis.adoption import (
     sweep_table,
     windows_refresh_mixes,
 )
+from repro.analysis.fleet import (
+    FleetSweepInfo,
+    run_fleet_adoption_sweep,
+    run_fleet_adoption_sweep_stats,
+)
 from repro.analysis.matrix import DeviceOutcome, matrix_table, run_device_matrix
 from repro.analysis.report import (
     census_markdown,
@@ -25,6 +30,9 @@ __all__ = [
     "run_adoption_sweep",
     "sweep_table",
     "windows_refresh_mixes",
+    "FleetSweepInfo",
+    "run_fleet_adoption_sweep",
+    "run_fleet_adoption_sweep_stats",
     "census_markdown",
     "device_matrix_markdown",
     "markdown_table",

@@ -23,11 +23,11 @@ is byte-identical at any ``jobs``.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro._compat import slotted_dataclass
 from repro.clients.profiles import LEGACY_IOT, MACOS, OsProfile, WINDOWS_10, WINDOWS_11_RFC8925
-from repro.core.metrics import SweepStats
+from repro.core.metrics import AdoptionFold, CensusFold, SweepStats
 from repro.core.testbed import Testbed, TestbedConfig
 from repro.parallel import make_shards, ShardPayload, ShardSpec, SweepExecutor
 
@@ -36,6 +36,7 @@ __all__ = [
     "AdoptionPoint",
     "run_adoption_sweep",
     "run_adoption_sweep_stats",
+    "run_adoption_sweep_rows",
     "sweep_table",
     "windows_refresh_mixes",
 ]
@@ -97,7 +98,65 @@ def windows_refresh_mixes(
 
 
 def _measure_mix(spec: ShardSpec) -> ShardPayload:
-    """Worker: one refresh stage on one fresh testbed (runs in-pool)."""
+    """Worker: one refresh stage on one fresh testbed (runs in-pool).
+
+    Aggregation is a streaming fold (:class:`AdoptionFold` +
+    :class:`CensusFold`): each client contributes its counts and no
+    census row or intermediate list is retained.  Flow-dependent flags
+    (census classification) fold after the whole stage has browsed,
+    exactly when the historical row path read them, so both paths
+    produce byte-identical tables (pinned by tests/analysis).
+    """
+    mix, config = spec.payload
+    testbed = Testbed(replace(config, seed=spec.seed))
+    fold = AdoptionFold()
+    census = CensusFold()
+    index = 0
+    for profile, count in mix.devices:
+        for _ in range(count):
+            client = testbed.add_client(profile, f"dev-{index}")
+            index += 1
+            outcome = client.fetch("sc24.supercomputing.org")
+            if outcome.landed_on == "ip6.me":
+                fold.intervened += 1
+    for client in testbed.clients:
+        host = client.host
+        has_v4_lease = host.ipv4_config is not None
+        granted_v6only = host.v6only_wait is not None
+        cls = census.observe_flags(
+            has_v4_lease,
+            granted_v6only,
+            bool(host.ipv6_global_addresses()),
+            host.iface.tx_ipv4_unicast > 0,
+            host.iface.tx_ipv6_unicast > 0,
+        )
+        fold.add_device(
+            has_v4_lease,
+            granted_v6only,
+            intervened=False,  # folded per-fetch above
+            counts_v6only=cls.counts_as_ipv6_only,
+        )
+    point = AdoptionPoint(
+        label=mix.label,
+        total=mix.total,
+        ipv4_leases=fold.ipv4_leases,
+        rfc8925_grants=fold.rfc8925_grants,
+        intervened=fold.intervened,
+        accurate_v6only=census.accurate_ipv6_only_count(),
+    )
+    return ShardPayload(
+        point,
+        events=testbed.engine.events_run,
+        sim_seconds=testbed.engine.now,
+        queries=len(testbed.dns64.query_log) + len(testbed.poisoner.query_log),
+    )
+
+
+def _measure_mix_rows(spec: ShardSpec) -> ShardPayload:
+    """The historical row-accumulating worker, kept verbatim as the
+    reference implementation the streaming fold is tested against
+    (full :class:`~repro.core.metrics.ClientCensus` row table, three
+    passes over the retained client list)."""
     mix, config = spec.payload
     testbed = Testbed(replace(config, seed=spec.seed))
     intervened = 0
@@ -126,6 +185,25 @@ def _measure_mix(spec: ShardSpec) -> ShardPayload:
     )
 
 
+def _run_sweep(
+    worker: Callable[[ShardSpec], ShardPayload],
+    mixes: Sequence[FleetMix],
+    config: Optional[TestbedConfig],
+    jobs: Optional[int],
+    executor: Optional[SweepExecutor],
+) -> Tuple[List[AdoptionPoint], SweepStats]:
+    config = config or TestbedConfig()
+    specs = make_shards([(mix, config) for mix in mixes], base_seed=config.seed)
+    own_executor = executor is None
+    executor = executor or SweepExecutor(jobs=jobs)
+    try:
+        points = executor.map(worker, specs, label="adoption sweep")
+    finally:
+        if own_executor:
+            executor.close()
+    return points, executor.last_stats
+
+
 def run_adoption_sweep_stats(
     mixes: Sequence[FleetMix],
     config: Optional[TestbedConfig] = None,
@@ -138,16 +216,20 @@ def run_adoption_sweep_stats(
     the serial loop; with more jobs the stages run concurrently and the
     merged points come back in mix order regardless of completion order.
     """
-    config = config or TestbedConfig()
-    specs = make_shards([(mix, config) for mix in mixes], base_seed=config.seed)
-    own_executor = executor is None
-    executor = executor or SweepExecutor(jobs=jobs)
-    try:
-        points = executor.map(_measure_mix, specs, label="adoption sweep")
-    finally:
-        if own_executor:
-            executor.close()
-    return points, executor.last_stats
+    return _run_sweep(_measure_mix, mixes, config, jobs, executor)
+
+
+def run_adoption_sweep_rows(
+    mixes: Sequence[FleetMix],
+    config: Optional[TestbedConfig] = None,
+    jobs: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> List[AdoptionPoint]:
+    """The legacy row-accumulating sweep, retained as the equivalence
+    reference for the streaming fold (and nothing else — new callers
+    should use :func:`run_adoption_sweep`)."""
+    points, _stats = _run_sweep(_measure_mix_rows, mixes, config, jobs, executor)
+    return points
 
 
 def run_adoption_sweep(

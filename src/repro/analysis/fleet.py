@@ -1,0 +1,214 @@
+"""Million-device adoption sweeps over the columnar fleet engine.
+
+The object path (:func:`repro.analysis.adoption.run_adoption_sweep`)
+simulates every device as a live packet-level client — the right tool
+up to a few hundred devices.  This module is the fleet-scale execution
+path the ROADMAP's "Million-host fleet scale" item asks for:
+
+1. **calibrate once** — each *distinct* OS profile in the sweep is
+   measured with one live client on a real testbed
+   (:func:`repro.clients.fleet.calibrate_profiles`);
+2. **shard ranges** — each stage's device population is cut into
+   contiguous ranges via :func:`repro.parallel.chunk_ranges` and
+   fanned out over the :class:`~repro.parallel.SweepExecutor` pool;
+3. **columnar per shard** — each worker materializes only its range as
+   a :class:`repro.sim.fleet.FleetState` (≈7 B/device), evaluates
+   outcomes with ``bytes.translate`` and folds counts with
+   ``bytearray.count`` into :class:`~repro.core.metrics.AdoptionFold` /
+   :class:`~repro.core.metrics.CensusFold` partials;
+4. **merge additively** — partial folds merge by plain addition, so
+   the final table is byte-identical at any ``--jobs`` and any shard
+   geometry.
+
+Peak memory per shard is the shard's columns plus one calibration
+testbed in the parent — constant in the number of stages and linear
+only in the *largest shard's* device count, never the fleet's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._compat import slotted_dataclass
+from repro.analysis.adoption import AdoptionPoint, FleetMix
+from repro.clients.fleet import (
+    calibrate_profiles,
+    CLASS_FOR_CODE,
+    outcome_tables,
+    ProfileOutcome,
+)
+from repro.clients.profiles import OsProfile
+from repro.core.metrics import AdoptionFold, CensusFold, SweepStats
+from repro.core.testbed import TestbedConfig
+from repro.parallel import make_shards, ShardPayload, ShardSpec, SweepExecutor
+from repro.parallel.shard import chunk_ranges
+from repro.sim import fleet as fl
+
+__all__ = [
+    "FleetSweepInfo",
+    "run_fleet_adoption_sweep",
+    "run_fleet_adoption_sweep_stats",
+]
+
+#: Devices below which a stage is not worth cutting into further shards;
+#: columnar work is so cheap that tiny shards are pure dispatch overhead.
+DEFAULT_MIN_SHARD = 65_536
+
+
+@slotted_dataclass()
+class FleetSweepInfo:
+    """Execution accounting for one fleet sweep (for BENCH json rows)."""
+
+    devices: int
+    stages: int
+    distinct_profiles: int
+    shard_count: int
+    bytes_per_device: float
+
+
+def _runs_for_mix(mix: FleetMix, profile_index: Dict[str, int]) -> List[Tuple[int, int]]:
+    """``(profile_code, count)`` runs in the mix's declared device order."""
+    return [(profile_index[profile.name], count) for profile, count in mix.devices]
+
+
+def _slice_runs(
+    runs: Sequence[Tuple[int, int]], start: int, stop: int
+) -> List[Tuple[int, int]]:
+    """The sub-runs covering device positions ``[start, stop)``."""
+    out: List[Tuple[int, int]] = []
+    offset = 0
+    for code, count in runs:
+        lo = max(start, offset)
+        hi = min(stop, offset + count)
+        if hi > lo:
+            out.append((code, hi - lo))
+        offset += count
+        if offset >= stop:
+            break
+    return out
+
+
+def _fold_fleet_range(spec: ShardSpec) -> ShardPayload:
+    """Worker: one contiguous device range, columnar evaluation + fold.
+
+    The payload carries everything the fold needs — the range's profile
+    runs and the pre-built translate tables — so the worker touches no
+    testbed, no engine and no RNG: it is a pure function of its spec,
+    which is what makes the merged table shard-geometry-independent.
+    """
+    mix_index, start, stop, runs, tables = spec.payload
+    state = fl.FleetState(stop - start)
+    state.fill_runs(_slice_runs(runs, start, stop))
+    state.apply_outcomes(tables)
+
+    # ``naive_v6only`` is an addressing fact (device holds a global v6
+    # address), not a class fact, so it folds from the addressing column
+    # while the per-class counts fold from the census column.
+    census = CensusFold()
+    for code, count in state.code_counts("census").items():
+        census.add_class(CLASS_FOR_CODE[code], has_v6_address=False, count=count)
+    census.naive_v6only = state.count("addressing", fl.ADDR_DUAL) + state.count(
+        "addressing", fl.ADDR_V6_ONLY
+    )
+
+    fold = AdoptionFold(
+        total=state.size,
+        ipv4_leases=state.count("dhcp4", fl.DHCP4_LEASED),
+        rfc8925_grants=state.count("dhcp4", fl.DHCP4_V6ONLY_GRANT),
+        intervened=state.count("dns", fl.DNS_POISON_REDIRECT),
+        accurate_v6only=census.accurate_v6only,
+    )
+    return ShardPayload((mix_index, fold, census))
+
+
+def run_fleet_adoption_sweep_stats(
+    mixes: Sequence[FleetMix],
+    config: Optional[TestbedConfig] = None,
+    jobs: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
+    min_shard: int = DEFAULT_MIN_SHARD,
+    target_site: str = "sc24.supercomputing.org",
+    calibration: Optional[Tuple[ProfileOutcome, ...]] = None,
+) -> Tuple[List[AdoptionPoint], SweepStats, FleetSweepInfo]:
+    """The columnar adoption sweep: calibrate, shard, fold, merge.
+
+    Produces one :class:`AdoptionPoint` per mix, in mix order, with
+    counts that are byte-identical at any ``jobs`` (additive merges
+    over disjoint device ranges).  ``calibration`` lets a caller reuse
+    a previously-measured profile table across repeated sweeps of the
+    same config instead of paying the (small) calibration testbed again.
+    """
+    config = config or TestbedConfig()
+    own_executor = executor is None
+    executor = executor or SweepExecutor(jobs=jobs)
+
+    # Distinct profiles in first-appearance order across all stages.
+    profiles: List[OsProfile] = []
+    index_of: Dict[str, int] = {}
+    for mix in mixes:
+        for profile, _count in mix.devices:
+            if profile.name not in index_of:
+                index_of[profile.name] = len(profiles)
+                profiles.append(profile)
+
+    try:
+        if calibration is None:
+            calibration = calibrate_profiles(profiles, config, target_site=target_site)
+        elif len(calibration) != len(profiles):
+            raise ValueError(
+                f"calibration covers {len(calibration)} profiles, sweep needs {len(profiles)}"
+            )
+        tables = outcome_tables(calibration)
+
+        payloads = []
+        for mix_index, mix in enumerate(mixes):
+            runs = _runs_for_mix(mix, index_of)
+            for start, stop in chunk_ranges(mix.total, executor.jobs, min_shard):
+                payloads.append((mix_index, start, stop, runs, tables))
+        specs = make_shards(payloads, base_seed=config.seed)
+
+        folds = [AdoptionFold() for _ in mixes]
+        censuses = [CensusFold() for _ in mixes]
+        for mix_index, fold, census in executor.map(
+            _fold_fleet_range, specs, label="fleet sweep"
+        ):
+            folds[mix_index].merge(fold)
+            censuses[mix_index].merge(census)
+        stats = executor.last_stats
+    finally:
+        if own_executor:
+            executor.close()
+
+    points = [
+        AdoptionPoint(
+            label=mix.label,
+            total=fold.total,
+            ipv4_leases=fold.ipv4_leases,
+            rfc8925_grants=fold.rfc8925_grants,
+            intervened=fold.intervened,
+            accurate_v6only=fold.accurate_v6only,
+        )
+        for mix, fold in zip(mixes, folds)
+    ]
+    info = FleetSweepInfo(
+        devices=sum(mix.total for mix in mixes),
+        stages=len(mixes),
+        distinct_profiles=len(profiles),
+        shard_count=len(specs),
+        bytes_per_device=float(len(("profile",) + fl.OUTCOME_COLUMNS)),
+    )
+    return points, stats, info
+
+
+def run_fleet_adoption_sweep(
+    mixes: Sequence[FleetMix],
+    config: Optional[TestbedConfig] = None,
+    jobs: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
+    min_shard: int = DEFAULT_MIN_SHARD,
+) -> List[AdoptionPoint]:
+    """Fleet-scale adoption trajectory (columnar fast path)."""
+    points, _stats, _info = run_fleet_adoption_sweep_stats(
+        mixes, config, jobs=jobs, executor=executor, min_shard=min_shard
+    )
+    return points

@@ -34,6 +34,7 @@ __all__ = [
     "DeviceOutcome",
     "run_device_matrix",
     "run_device_matrix_stats",
+    "run_device_matrix_table",
     "matrix_table",
 ]
 
@@ -60,31 +61,63 @@ class DeviceOutcome:
         )
 
 
+def _measure_one(
+    testbed: Testbed, index: int, profile: OsProfile, target_site: str
+) -> DeviceOutcome:
+    """Bring one client up and record its outcome row."""
+    client = testbed.add_client(profile, f"dev-{index}-{profile.name}")
+    probe = connectivity_probe(client)
+    browse = client.fetch(target_site)
+    return DeviceOutcome(
+        profile=profile.name,
+        got_ipv4_lease=client.host.ipv4_config is not None,
+        got_option_108=client.host.v6only_wait is not None,
+        has_ipv6=bool(client.host.ipv6_global_addresses()),
+        clat_active=client.host.clat is not None and client.host.clat.enabled,
+        probe=probe.outcome,
+        browse_landed_on=browse.landed_on,
+        browse_family=browse.family,
+        intervened=browse.landed_on == "ip6.me" and target_site != "ip6.me",
+    )
+
+
 def _measure_profiles(spec: ShardSpec) -> ShardPayload:
-    """Worker: a fresh testbed, one client per profile in the chunk."""
+    """Worker: a fresh testbed, one client per profile in the chunk.
+
+    This is the *object* worker — it retains every ``DeviceOutcome``
+    because its callers (report rendering, tests) consume the structured
+    rows.  The accumulation is bounded by the profile catalogue (a few
+    dozen rows), never by fleet size; fleet-bounded aggregation goes
+    through :func:`_measure_profile_rows` or :mod:`repro.analysis.fleet`.
+    """
     config, profiles, start_index, target_site = spec.payload
     testbed = Testbed(replace(config, seed=spec.seed))
     outcomes: List[DeviceOutcome] = []
     for offset, profile in enumerate(profiles):
-        index = start_index + offset
-        client = testbed.add_client(profile, f"dev-{index}-{profile.name}")
-        probe = connectivity_probe(client)
-        browse = client.fetch(target_site)
-        outcomes.append(
-            DeviceOutcome(
-                profile=profile.name,
-                got_ipv4_lease=client.host.ipv4_config is not None,
-                got_option_108=client.host.v6only_wait is not None,
-                has_ipv6=bool(client.host.ipv6_global_addresses()),
-                clat_active=client.host.clat is not None and client.host.clat.enabled,
-                probe=probe.outcome,
-                browse_landed_on=browse.landed_on,
-                browse_family=browse.family,
-                intervened=browse.landed_on == "ip6.me" and target_site != "ip6.me",
-            )
-        )
+        outcome = _measure_one(testbed, start_index + offset, profile, target_site)
+        outcomes.append(outcome)  # repro: allow[RL303]
     return ShardPayload(
         outcomes,
+        events=testbed.engine.events_run,
+        sim_seconds=testbed.engine.now,
+        queries=len(testbed.dns64.query_log) + len(testbed.poisoner.query_log),
+    )
+
+
+def _measure_profile_rows(spec: ShardSpec) -> ShardPayload:
+    """Worker: the streaming variant — each outcome is formatted into its
+    table row and immediately dropped, so the shard retains one device's
+    state at a time plus the output text it is anyway going to return.
+    Byte-identical to ``matrix_table`` over :func:`_measure_profiles`
+    because both format through :meth:`DeviceOutcome.row`."""
+    config, profiles, start_index, target_site = spec.payload
+    testbed = Testbed(replace(config, seed=spec.seed))
+    text = "\n".join(
+        _measure_one(testbed, start_index + offset, profile, target_site).row()
+        for offset, profile in enumerate(profiles)
+    )
+    return ShardPayload(
+        text,
         events=testbed.engine.events_run,
         sim_seconds=testbed.engine.now,
         queries=len(testbed.dns64.query_log) + len(testbed.poisoner.query_log),
@@ -137,6 +170,37 @@ def run_device_matrix_stats(
         if own_executor:
             executor.close()
     return merged, executor.last_stats
+
+
+def run_device_matrix_table(
+    config: Optional[TestbedConfig] = None,
+    profiles: Sequence[OsProfile] = ALL_PROFILES,
+    target_site: str = "sc24.supercomputing.org",
+    jobs: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> str:
+    """The rendered matrix table via the streaming worker.
+
+    Produces exactly ``matrix_table(run_device_matrix(...))`` (pinned by
+    tests/analysis) while retaining no outcome rows anywhere — chunks
+    return pre-formatted text and the parent concatenates in profile
+    order.
+    """
+    config = config or TestbedConfig()
+    profiles = list(profiles)
+    own_executor = executor is None
+    executor = executor or SweepExecutor(jobs=jobs)
+    try:
+        chunks = _chunk_profiles(profiles, executor.jobs)
+        specs = make_shards(
+            [(config, chunk, start, target_site) for chunk, start in chunks],
+            base_seed=config.seed,
+        )
+        texts = executor.map(_measure_profile_rows, specs, label="device matrix")
+    finally:
+        if own_executor:
+            executor.close()
+    return "\n".join(text for text in texts if text)
 
 
 def run_device_matrix(

@@ -23,8 +23,11 @@ from repro.net.addresses import MacAddress
 
 __all__ = [
     "ClientClass",
+    "classify_client",
     "CensusRow",
+    "CensusFold",
     "ClientCensus",
+    "AdoptionFold",
     "ShardStats",
     "SweepStats",
 ]
@@ -44,6 +47,35 @@ class ClientClass(enum.Enum):
         return self in (ClientClass.IPV6_ONLY_RFC8925, ClientClass.IPV6_ONLY_NATIVE)
 
 
+def classify_client(
+    has_v4_lease: bool,
+    granted_v6only: bool,
+    has_v6_address: bool,
+    sent_v4_flows: bool,
+    sent_v6_flows: bool,
+) -> ClientClass:
+    """Classify one client from operator-visible evidence.
+
+    The SC23 failure mode is preserved deliberately in the *naive*
+    counting (see :meth:`CensusFold.naive_ipv6_only_count`): a client
+    associated to the v6 SSID counts regardless of what it actually
+    sent.  The accurate count demands v6 flows and no native v4.
+    """
+    if granted_v6only and has_v6_address:
+        return ClientClass.IPV6_ONLY_RFC8925
+    if not has_v4_lease and has_v6_address and not sent_v4_flows:
+        return ClientClass.IPV6_ONLY_NATIVE
+    if has_v4_lease and has_v6_address and sent_v6_flows:
+        return ClientClass.DUAL_STACK
+    if has_v4_lease and not has_v6_address:
+        return ClientClass.IPV4_ONLY
+    if has_v4_lease and has_v6_address and not sent_v6_flows:
+        # Associated to the v6 network, used only IPv4 — the Echolink
+        # laptop of figure 2.
+        return ClientClass.DUAL_STACK
+    return ClientClass.UNKNOWN
+
+
 @slotted_dataclass()
 class CensusRow:
     name: str
@@ -56,10 +88,75 @@ class CensusRow:
 
 
 @slotted_dataclass()
+class CensusFold:
+    """Streaming census counters: constant memory, no per-client rows.
+
+    The fold is the million-host path — observations update counters
+    and are forgotten, and disjoint folds (one per fleet shard) merge
+    by plain addition, so the counts are independent of how a sweep was
+    sharded.  :class:`ClientCensus` layers the row-keeping table view
+    on top of this same fold, which is how the two stay byte-identical.
+    """
+
+    total: int = 0
+    naive_v6only: int = 0
+    accurate_v6only: int = 0
+    by_class: Dict[ClientClass, int] = field(default_factory=dict)
+
+    def observe_flags(
+        self,
+        has_v4_lease: bool,
+        granted_v6only: bool,
+        has_v6_address: bool,
+        sent_v4_flows: bool,
+        sent_v6_flows: bool,
+    ) -> ClientClass:
+        """Classify one client and fold it into the counters."""
+        cls = classify_client(
+            has_v4_lease, granted_v6only, has_v6_address, sent_v4_flows, sent_v6_flows
+        )
+        self.add_class(cls, has_v6_address=has_v6_address)
+        return cls
+
+    def add_class(self, cls: ClientClass, has_v6_address: bool, count: int = 1) -> None:
+        """Fold ``count`` clients of one pre-computed class (bulk path)."""
+        self.total += count
+        if has_v6_address:
+            self.naive_v6only += count
+        if cls.counts_as_ipv6_only:
+            self.accurate_v6only += count
+        self.by_class[cls] = self.by_class.get(cls, 0) + count
+
+    def merge(self, other: "CensusFold") -> None:
+        """Fold another shard's counters into this one (order-free)."""
+        self.total += other.total
+        self.naive_v6only += other.naive_v6only
+        self.accurate_v6only += other.accurate_v6only
+        for cls, count in other.by_class.items():
+            self.by_class[cls] = self.by_class.get(cls, 0) + count
+
+    # -- the two counting methods the paper contrasts ------------------------
+
+    def naive_ipv6_only_count(self) -> int:
+        """SC23-style: every associated client with a v6 address counts."""
+        return self.naive_v6only
+
+    def accurate_ipv6_only_count(self) -> int:
+        """SC24 goal: only clients genuinely operating IPv6-only."""
+        return self.accurate_v6only
+
+
+@slotted_dataclass()
 class ClientCensus:
-    """Aggregates classification over a set of observed clients."""
+    """Aggregates classification over a set of observed clients.
+
+    Counting is delegated to an internal :class:`CensusFold`, so the
+    numbers this table view reports are definitionally identical to
+    what the row-free streaming path produces.
+    """
 
     rows: List[CensusRow] = field(default_factory=list)
+    fold: CensusFold = field(default_factory=CensusFold)
 
     def observe(
         self,
@@ -71,27 +168,11 @@ class ClientCensus:
         sent_v4_flows: bool,
         sent_v6_flows: bool,
     ) -> CensusRow:
-        """Classify one client from operator-visible evidence.
-
-        Note the SC23 failure mode is preserved deliberately in the
-        *naive* counting (see :meth:`naive_ipv6_only_count`): a client
-        associated to the v6 SSID counts regardless of what it actually
-        sent.  The accurate count demands v6 flows and no native v4.
-        """
-        if granted_v6only and has_v6_address:
-            cls = ClientClass.IPV6_ONLY_RFC8925
-        elif not has_v4_lease and has_v6_address and not sent_v4_flows:
-            cls = ClientClass.IPV6_ONLY_NATIVE
-        elif has_v4_lease and has_v6_address and sent_v6_flows:
-            cls = ClientClass.DUAL_STACK
-        elif has_v4_lease and not has_v6_address:
-            cls = ClientClass.IPV4_ONLY
-        elif has_v4_lease and has_v6_address and not sent_v6_flows:
-            # Associated to the v6 network, used only IPv4 — the
-            # Echolink laptop of figure 2.
-            cls = ClientClass.DUAL_STACK
-        else:
-            cls = ClientClass.UNKNOWN
+        """Classify one client from operator-visible evidence (see
+        :func:`classify_client`) and keep its full row for the table."""
+        cls = self.fold.observe_flags(
+            has_v4_lease, granted_v6only, has_v6_address, sent_v4_flows, sent_v6_flows
+        )
         row = CensusRow(
             name,
             mac,
@@ -108,17 +189,14 @@ class ClientCensus:
 
     def naive_ipv6_only_count(self) -> int:
         """SC23-style: every associated client with a v6 address counts."""
-        return sum(1 for r in self.rows if r.has_v6_address)
+        return self.fold.naive_ipv6_only_count()
 
     def accurate_ipv6_only_count(self) -> int:
         """SC24 goal: only clients genuinely operating IPv6-only."""
-        return sum(1 for r in self.rows if r.classification.counts_as_ipv6_only)
+        return self.fold.accurate_ipv6_only_count()
 
     def breakdown(self) -> Dict[ClientClass, int]:
-        out: Dict[ClientClass, int] = {}
-        for row in self.rows:
-            out[row.classification] = out.get(row.classification, 0) + 1
-        return out
+        return dict(self.fold.by_class)
 
     def table(self) -> str:
         lines = [f"{'client':20s} {'class':34s} v4lease v6addr v4flows v6flows"]
@@ -133,6 +211,75 @@ class ClientCensus:
             f"accurate v6-only count: {self.accurate_ipv6_only_count()}"
         )
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# adoption fold (the §VII trajectory's streaming accumulator)
+# ---------------------------------------------------------------------------
+
+
+@slotted_dataclass()
+class AdoptionFold:
+    """Incremental accumulator for one adoption-sweep stage.
+
+    Replaces the three full passes over a retained client list with one
+    constant-memory fold: each device contributes its flags once (via
+    :meth:`add_device`), or a whole block of identically-behaving
+    devices contributes at once (via :meth:`add_bulk`, the columnar
+    fleet path).  Disjoint folds merge by addition, so a stage sharded
+    across workers produces exactly the serial counts.
+    """
+
+    total: int = 0
+    ipv4_leases: int = 0
+    rfc8925_grants: int = 0
+    intervened: int = 0
+    accurate_v6only: int = 0
+
+    def add_device(
+        self,
+        has_v4_lease: bool,
+        granted_v6only: bool,
+        intervened: bool,
+        counts_v6only: bool,
+    ) -> None:
+        """Fold one live client's observed outcome."""
+        self.total += 1
+        if has_v4_lease:
+            self.ipv4_leases += 1
+        if granted_v6only:
+            self.rfc8925_grants += 1
+        if intervened:
+            self.intervened += 1
+        if counts_v6only:
+            self.accurate_v6only += 1
+
+    def add_bulk(
+        self,
+        count: int,
+        has_v4_lease: bool,
+        granted_v6only: bool,
+        intervened: bool,
+        counts_v6only: bool,
+    ) -> None:
+        """Fold ``count`` devices sharing one evaluated outcome."""
+        self.total += count
+        if has_v4_lease:
+            self.ipv4_leases += count
+        if granted_v6only:
+            self.rfc8925_grants += count
+        if intervened:
+            self.intervened += count
+        if counts_v6only:
+            self.accurate_v6only += count
+
+    def merge(self, other: "AdoptionFold") -> None:
+        """Fold another shard's partial counts into this one."""
+        self.total += other.total
+        self.ipv4_leases += other.ipv4_leases
+        self.rfc8925_grants += other.rfc8925_grants
+        self.intervened += other.intervened
+        self.accurate_v6only += other.accurate_v6only
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,66 @@
+"""Cross-platform resident-set-size observation for the bench harness.
+
+``getrusage`` reports the peak RSS a process (or its reaped children)
+ever reached, but in platform-dependent units: Linux counts kibibytes,
+macOS counts bytes (and some BSDs count pages).  Every consumer in this
+repository wants plain bytes, so the normalization lives here once.
+
+``ru_maxrss`` is a high-water mark — it only ever grows, so a
+per-scenario reading records "the largest this process has been up to
+and including this scenario", not the scenario's isolated footprint.
+:func:`current_rss_bytes` (``/proc/self/statm``) gives the instantaneous
+figure where the platform exposes one, which is what delta-based
+per-device accounting uses.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Optional
+
+__all__ = ["peak_rss_bytes", "current_rss_bytes"]
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def _normalize_ru_maxrss(ru_maxrss: int) -> int:
+    """``ru_maxrss`` in bytes: Linux reports KiB, Darwin reports bytes."""
+    if sys.platform == "darwin":
+        return int(ru_maxrss)
+    return int(ru_maxrss) * 1024
+
+
+def peak_rss_bytes(include_children: bool = True) -> int:
+    """Peak resident set size of this process, in bytes (0 if unknown).
+
+    With ``include_children`` the high-water mark of reaped child
+    processes (sweep pool workers) is folded in via ``RUSAGE_CHILDREN``,
+    so a sharded run reports the largest worker alongside the parent.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return 0
+    peak = _normalize_ru_maxrss(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if include_children:
+        children = _normalize_ru_maxrss(
+            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+        )
+        peak = max(peak, children)
+    return peak
+
+
+def current_rss_bytes() -> Optional[int]:
+    """Instantaneous resident set size in bytes, or ``None`` off-Linux.
+
+    Reads ``/proc/self/statm`` (second field, pages); used by the
+    fleet-state memory tests to measure before/after deltas, which the
+    monotonic ``ru_maxrss`` cannot provide.
+    """
+    try:
+        with open("/proc/self/statm") as fh:
+            fields = fh.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return None

@@ -14,13 +14,25 @@ from typing import Set, Tuple
 
 from repro.lint.core import LintContext, register_rule, Rule
 
-__all__ = ["HOT_PATH_PACKAGES", "ATTR_STRICT_MODULES", "UnslottedDataclass", "AttrOutsideInit"]
+__all__ = [
+    "HOT_PATH_PACKAGES",
+    "ATTR_STRICT_MODULES",
+    "FOLD_PACKAGES",
+    "UnslottedDataclass",
+    "AttrOutsideInit",
+    "ShardWorkerAccumulation",
+]
 
 HOT_PATH_PACKAGES: Tuple[str, ...] = ("repro.sim", "repro.parallel", "repro.core", "repro._kernel")
 
 #: Engine/codec modules where the attribute set of every class must be
 #: closed at construction time.
 ATTR_STRICT_MODULES: Tuple[str, ...] = ("repro.sim.engine", "repro.net", "repro._kernel")
+
+#: Packages whose shard workers must aggregate via streaming folds —
+#: a worker that accumulates per-item rows holds its whole shard in
+#: memory at once, which is exactly what breaks at fleet scale.
+FOLD_PACKAGES: Tuple[str, ...] = ("repro.analysis", "repro.core")
 
 
 def _decorator_base(decorator: ast.expr) -> ast.expr:
@@ -55,6 +67,66 @@ class UnslottedDataclass(Rule):
                         "slots on 3.10+, plain dataclass on 3.9, identical "
                         "pickle behaviour either way",
                     )
+
+
+def _annotation_names_shard_spec(annotation: ast.expr) -> bool:
+    """Does a parameter annotation name ``ShardSpec`` (any spelling)?"""
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "ShardSpec"
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr == "ShardSpec"
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return "ShardSpec" in annotation.value
+    return False
+
+
+def _is_shard_worker(node: ast.AST) -> bool:
+    """A shard worker is any function taking a ``ShardSpec`` parameter —
+    the one signature :meth:`repro.parallel.SweepExecutor.map` calls."""
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    args = node.args
+    every = args.posonlyargs + args.args + args.kwonlyargs
+    return any(
+        arg.annotation is not None and _annotation_names_shard_spec(arg.annotation)
+        for arg in every
+    )
+
+
+@register_rule
+class ShardWorkerAccumulation(Rule):
+    code = "RL303"
+    name = "shard-worker-accumulation"
+    summary = "unbounded list accumulation inside a shard worker loop (fold instead)"
+    scope = FOLD_PACKAGES
+
+    def check(self, ctx: LintContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not _is_shard_worker(node):
+                continue
+            flagged = set()
+            for loop in ast.walk(node):
+                if not isinstance(loop, (ast.For, ast.While)):
+                    continue
+                for inner in ast.walk(loop):
+                    if (
+                        isinstance(inner, ast.Call)
+                        and isinstance(inner.func, ast.Attribute)
+                        and inner.func.attr in ("append", "extend")
+                        and id(inner) not in flagged
+                    ):
+                        flagged.add(id(inner))
+                        ctx.add(
+                            inner,
+                            self.code,
+                            f"`.{inner.func.attr}()` accumulation inside a loop of "
+                            f"shard worker `{node.name}` grows with shard size",
+                            "fold into a streaming accumulator "
+                            "(repro.core.metrics CensusFold/AdoptionFold) or "
+                            "return formatted text per item; if the "
+                            "accumulation is bounded by a small catalogue, "
+                            "pragma it with a justification",
+                        )
 
 
 def _self_attr_target(node: ast.expr) -> str:

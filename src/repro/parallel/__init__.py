@@ -14,7 +14,10 @@ Entry points:
 - :func:`derive_seed` — the one per-shard seed rule both backends
   apply, so ``jobs=1`` and ``jobs=N`` agree byte-for-byte;
 - :func:`make_shards` / :class:`ShardSpec` / :class:`ShardPayload` /
-  :class:`ShardResult` — the picklable job protocol.
+  :class:`ShardResult` — the picklable job protocol;
+- :func:`make_range_shards` / :func:`chunk_ranges` — contiguous
+  device-range chunking for columnar fleet shards (million-device
+  sweeps fold per-range partial counts that merge additively).
 """
 
 from repro.parallel.executor import (
@@ -24,7 +27,15 @@ from repro.parallel.executor import (
     resolve_jobs,
     SweepExecutor,
 )
-from repro.parallel.shard import derive_seed, make_shards, ShardPayload, ShardResult, ShardSpec
+from repro.parallel.shard import (
+    chunk_ranges,
+    derive_seed,
+    make_range_shards,
+    make_shards,
+    ShardPayload,
+    ShardResult,
+    ShardSpec,
+)
 
 __all__ = [
     "JOBS_ENV_VAR",
@@ -32,9 +43,11 @@ __all__ = [
     "ShardPayload",
     "ShardResult",
     "ShardSpec",
+    "chunk_ranges",
     "derive_seed",
     "ensure_ok",
     "fork_available",
+    "make_range_shards",
     "make_shards",
     "resolve_jobs",
 ]

@@ -19,11 +19,19 @@ the serial and process backends, so a sweep's per-shard RNG streams
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional
+from typing import Any, Iterable, List, Optional, Tuple
 
 from repro._compat import slotted_dataclass
 
-__all__ = ["derive_seed", "make_shards", "ShardSpec", "ShardPayload", "ShardResult"]
+__all__ = [
+    "derive_seed",
+    "chunk_ranges",
+    "make_shards",
+    "make_range_shards",
+    "ShardSpec",
+    "ShardPayload",
+    "ShardResult",
+]
 
 _MASK64 = (1 << 64) - 1
 _GOLDEN = 0x9E3779B97F4A7C15  # 2^64 / phi, the splitmix64 increment
@@ -38,6 +46,22 @@ def derive_seed(base_seed: int, shard_index: int) -> int:
     neighbouring shards don't get correlated RNG streams.  The result
     is clamped to a non-negative 63-bit value, comfortably inside
     every consumer's seed range.
+
+    **Collision guarantee (million-shard fleets).**  For a fixed
+    ``base_seed``, distinct shard indices produce distinct 64-bit
+    values before the final clamp: the pre-mix input
+    ``base + (i+1)·golden mod 2^64`` is injective in ``i`` over any
+    window of 2^64 indices (the golden-ratio increment is odd, hence a
+    unit modulo 2^64), and the splitmix64 finalizer is a bijection on
+    64-bit words.  The only collision source left is the final drop to
+    63 bits, which can pair at most two distinct 64-bit outputs per
+    63-bit value; for a fleet of ``n`` shards the expected number of
+    such pairs is ``n·(n-1)/2^64`` — about 1 in 17 million sweeps at
+    n = 2^20 shards, and 0 for every base seed our deterministic tests
+    sample (see ``tests/parallel/test_seed_property.py``, which proves
+    a dense 2^20-index window plus sparse indices up to 2^40 collision
+    free).  Engine seeds across shards of one sweep can therefore be
+    treated as unique at million-shard scale.
     """
     z = (int(base_seed) + (shard_index + 1) * _GOLDEN) & _MASK64
     z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
@@ -100,3 +124,47 @@ def make_shards(payloads: Iterable[Any], base_seed: int) -> List[ShardSpec]:
         ShardSpec(index=i, seed=derive_seed(base_seed, i), payload=payload)
         for i, payload in enumerate(payloads)
     ]
+
+
+def chunk_ranges(total: int, jobs: int, min_chunk: int = 1) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into contiguous balanced ``(start, stop)`` chunks.
+
+    Aims for ~4 chunks per worker (amortizing dispatch while keeping
+    the pool load-balanced), never slicing below ``min_chunk`` items —
+    fleet shards use a large floor so a small population does not fan
+    out into per-device crumbs.
+    """
+    if total <= 0:
+        return []
+    chunk_count = max(1, min(max(1, jobs) * 4, total // max(1, min_chunk)))
+    base, extra = divmod(total, chunk_count)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(chunk_count):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            continue
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def make_range_shards(
+    total: int,
+    base_seed: int,
+    jobs: int,
+    min_chunk: int = 1,
+    payload: Any = None,
+) -> List[ShardSpec]:
+    """Specs for contiguous device-range chunks of ``range(total)``.
+
+    Each spec's payload is ``(start, stop, payload)``; seeds follow
+    :func:`derive_seed` on the chunk index.  Aggregations folded from
+    these shards must be chunk-boundary-independent (plain additive
+    merges) so the merged result is byte-identical at any ``jobs`` —
+    the fleet folds in :mod:`repro.analysis.fleet` are built that way.
+    """
+    return make_shards(
+        [(start, stop, payload) for start, stop in chunk_ranges(total, jobs, min_chunk)],
+        base_seed=base_seed,
+    )

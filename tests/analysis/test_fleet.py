@@ -1,0 +1,168 @@
+"""The columnar fleet sweep: equivalence, determinism and memory scaling."""
+
+import tracemalloc
+
+import pytest
+
+from repro.analysis.adoption import (
+    run_adoption_sweep,
+    sweep_table,
+    windows_refresh_mixes,
+)
+from repro.analysis.fleet import (
+    _slice_runs,
+    run_fleet_adoption_sweep,
+    run_fleet_adoption_sweep_stats,
+)
+from repro.clients.fleet import calibrate_profiles, outcome_tables
+from repro.clients.profiles import (
+    ALL_PROFILES,
+    LEGACY_IOT,
+    MACOS,
+    WINDOWS_10,
+    WINDOWS_11_RFC8925,
+)
+from repro.core.testbed import Testbed, TestbedConfig
+from repro.sim.fleet import FleetState, OUTCOME_COLUMNS
+
+
+def as_tuples(points):
+    return [
+        (p.label, p.total, p.ipv4_leases, p.rfc8925_grants, p.intervened, p.accurate_v6only)
+        for p in points
+    ]
+
+
+def test_fleet_sweep_matches_object_path():
+    """The tentpole equivalence: per-profile calibration broadcast over
+    columns must reproduce the live-client sweep's counts exactly."""
+    mixes = windows_refresh_mixes(fleet_size=12)
+    assert as_tuples(run_fleet_adoption_sweep(mixes, min_shard=4)) == as_tuples(
+        run_adoption_sweep(mixes)
+    )
+
+
+def test_fleet_sweep_equivalence_with_intervention_off():
+    config = TestbedConfig(poisoned_dns=False)
+    mixes = windows_refresh_mixes(fleet_size=10)
+    assert as_tuples(run_fleet_adoption_sweep(mixes, config, min_shard=4)) == as_tuples(
+        run_adoption_sweep(mixes, config)
+    )
+
+
+def test_fleet_sweep_byte_identical_at_any_jobs():
+    mixes = windows_refresh_mixes(fleet_size=1000)
+    serial = sweep_table(run_fleet_adoption_sweep(mixes, jobs=1, min_shard=64))
+    sharded = sweep_table(run_fleet_adoption_sweep(mixes, jobs=4, min_shard=64))
+    assert serial == sharded
+
+
+def test_fleet_sweep_independent_of_shard_geometry():
+    mixes = windows_refresh_mixes(fleet_size=997)  # prime: awkward chunking
+    coarse = run_fleet_adoption_sweep(mixes, min_shard=100_000)
+    fine = run_fleet_adoption_sweep(mixes, min_shard=7)
+    assert as_tuples(coarse) == as_tuples(fine)
+
+
+def test_fleet_sweep_scales_without_v4_pool_exhaustion():
+    """The object path is capped by the DHCP pool; the columnar path
+    reports lease *demand* per profile and never exhausts anything."""
+    mixes = windows_refresh_mixes(fleet_size=50_000)
+    points = run_fleet_adoption_sweep(mixes)
+    assert points[0].total == 50_000
+    # Stage 0: every Windows 10 box plus the Macs want IPv4.
+    assert points[0].ipv4_leases > 49_000
+    # Final stage: only the legacy IoT box still leases plain IPv4.
+    assert points[-1].rfc8925_grants > 49_000
+
+
+def test_fleet_info_accounting():
+    mixes = windows_refresh_mixes(fleet_size=100)
+    _points, stats, info = run_fleet_adoption_sweep_stats(mixes, jobs=2, min_shard=10)
+    assert info.devices == 5 * 100
+    assert info.stages == 5
+    assert info.distinct_profiles == 4
+    assert info.shard_count >= 5
+    assert info.bytes_per_device == 7.0
+    assert stats.jobs == 2
+    assert not stats.failures
+
+
+def test_calibration_reuse_and_mismatch():
+    mixes = windows_refresh_mixes(fleet_size=8)
+    config = TestbedConfig()
+    profiles = [WINDOWS_10, WINDOWS_11_RFC8925, MACOS]
+    calibration = calibrate_profiles(profiles, config)
+    with pytest.raises(ValueError, match="calibration covers 3"):
+        run_fleet_adoption_sweep_stats(mixes, config, calibration=calibration)
+
+
+def test_calibration_outcomes_cover_observables():
+    config = TestbedConfig()
+    outcomes = calibrate_profiles(
+        [WINDOWS_10, WINDOWS_11_RFC8925, MACOS, LEGACY_IOT], config
+    )
+    w10, w11, mac, iot = outcomes
+    assert w10.has_v4_lease and not w10.granted_v6only
+    assert w11.granted_v6only and not w11.has_v4_lease
+    assert mac.granted_v6only
+    # Only the IPv4-only device hits the paper's intervention; the
+    # dual-stack Windows 10 box browses over v6 and is left alone.
+    assert iot.intervened and not w10.intervened and not w11.intervened
+    tables = outcome_tables(outcomes)
+    assert set(tables) == set(OUTCOME_COLUMNS)
+    assert all(len(t) == 256 for t in tables.values())
+
+
+def test_outcome_tables_reject_oversized_fleets():
+    config = TestbedConfig()
+    outcome = calibrate_profiles([WINDOWS_10], config)[0]
+    with pytest.raises(ValueError, match="256"):
+        outcome_tables([outcome] * 257)
+
+
+def test_slice_runs_covers_ranges():
+    runs = [(1, 5), (2, 3), (3, 4)]
+    assert _slice_runs(runs, 0, 12) == runs
+    assert _slice_runs(runs, 0, 5) == [(1, 5)]
+    assert _slice_runs(runs, 4, 9) == [(1, 1), (2, 3), (3, 1)]
+    assert _slice_runs(runs, 8, 12) == [(3, 4)]
+    assert _slice_runs(runs, 6, 7) == [(2, 1)]
+
+
+def test_fleet_memory_at_least_5x_smaller_per_device():
+    """The acceptance floor: the columnar path must allocate at least 5x
+    less memory per device than the object path (it is ~1000x in
+    practice).  tracemalloc gives a deterministic per-path allocation
+    measure, immune to allocator/RSS noise."""
+    config = TestbedConfig()
+    object_devices = 20
+
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    testbed = Testbed(config)
+    for index, profile in enumerate(
+        [ALL_PROFILES[i % len(ALL_PROFILES)] for i in range(object_devices)]
+    ):
+        testbed.add_client(profile, f"dev-{index}")
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    object_per_device = (after - before) / object_devices
+
+    fleet_devices = 100_000
+    calibration = calibrate_profiles(list(ALL_PROFILES), config)
+    tables = outcome_tables(calibration)
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    state = FleetState(fleet_devices)
+    state.fill_runs([(i % len(ALL_PROFILES), 1) for i in range(fleet_devices)])
+    state.apply_outcomes(tables)
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    fleet_per_device = (after - before) / fleet_devices
+
+    assert fleet_per_device < 64  # a handful of column bytes, not objects
+    assert object_per_device >= 5 * fleet_per_device, (
+        f"object path {object_per_device:.0f} B/device is not ≥5x the "
+        f"columnar {fleet_per_device:.1f} B/device"
+    )

@@ -1,0 +1,12 @@
+# repro-lint-module: repro.analysis.fixture
+"""RL303 positive: a shard worker accumulating per-device rows."""
+from repro.parallel.shard import ShardPayload, ShardSpec
+
+
+def measure(spec: ShardSpec) -> ShardPayload:
+    rows = []
+    for index in range(spec.payload):
+        # Grows with the shard's device count — the whole shard sits in
+        # memory before anything is merged.
+        rows.append((index, spec.seed))
+    return ShardPayload(rows)

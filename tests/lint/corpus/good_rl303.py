@@ -1,0 +1,16 @@
+# repro-lint-module: repro.analysis.fixture
+"""RL303 negative: the same worker folding into a streaming accumulator."""
+from repro.core.metrics import AdoptionFold
+from repro.parallel.shard import ShardPayload, ShardSpec
+
+
+def measure(spec: ShardSpec) -> ShardPayload:
+    fold = AdoptionFold()
+    for _index in range(spec.payload):
+        fold.add_device(
+            has_v4_lease=True,
+            granted_v6only=False,
+            intervened=False,
+            counts_v6only=False,
+        )
+    return ShardPayload(fold)

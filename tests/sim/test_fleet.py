@@ -1,0 +1,106 @@
+"""The struct-of-arrays fleet state: layout, translation, aggregation."""
+
+import pytest
+
+from repro.sim import fleet as fl
+from repro.sim.fleet import FleetState, make_translation_table
+
+
+def test_columns_sized_and_zeroed():
+    state = FleetState(10)
+    assert len(state) == 10
+    for name in ("profile",) + fl.OUTCOME_COLUMNS:
+        column = state.column(name)
+        assert isinstance(column, bytearray)
+        assert len(column) == 10
+        assert column.count(0) == 10
+
+
+def test_fill_runs_contiguous_slices():
+    state = FleetState(6)
+    state.fill_runs([(2, 3), (7, 1), (2, 2)])
+    assert bytes(state.profile) == bytes([2, 2, 2, 7, 2, 2])
+    assert state.profile_runs() == [(2, 3), (7, 1), (2, 2)]
+
+
+def test_fill_runs_must_cover_exactly():
+    state = FleetState(5)
+    with pytest.raises(ValueError, match="describe 3 devices"):
+        state.fill_runs([(1, 3)])
+    with pytest.raises(ValueError, match="fleet holds 5"):
+        state.fill_runs([(1, 4), (2, 4)])
+    with pytest.raises(ValueError, match="negative run"):
+        state.fill_runs([(1, -1)])
+    with pytest.raises(ValueError, match="out of byte range"):
+        state.fill_runs([(256, 5)])
+
+
+def test_apply_outcomes_translates_every_column():
+    state = FleetState(4)
+    state.fill_runs([(0, 2), (1, 2)])
+    tables = {
+        column: make_translation_table({0: 1, 1: 2}) for column in fl.OUTCOME_COLUMNS
+    }
+    state.apply_outcomes(tables)
+    for column in fl.OUTCOME_COLUMNS:
+        assert bytes(state.column(column)) == bytes([1, 1, 2, 2])
+    # Input column is untouched.
+    assert bytes(state.profile) == bytes([0, 0, 1, 1])
+
+
+def test_apply_outcomes_requires_every_table():
+    state = FleetState(1)
+    tables = {column: bytes(256) for column in fl.OUTCOME_COLUMNS}
+    del tables["census"]
+    with pytest.raises(KeyError, match="census"):
+        state.apply_outcomes(tables)
+    tables["census"] = b"\x00" * 255
+    with pytest.raises(ValueError, match="255 entries"):
+        state.apply_outcomes(tables)
+
+
+def test_unknown_profile_translates_to_zero():
+    state = FleetState(3)
+    state.fill_runs([(9, 3)])  # a profile no table maps
+    tables = {column: make_translation_table({0: 5}) for column in fl.OUTCOME_COLUMNS}
+    state.apply_outcomes(tables)
+    assert state.count("dns", 0) == 3  # inert, not aliased to a real code
+
+
+def test_counts_and_code_counts():
+    state = FleetState(8)
+    state.fill_runs([(1, 5), (3, 3)])
+    assert state.count("profile", 1) == 5
+    assert state.count("profile", 3) == 3
+    assert state.count("profile", 2) == 0
+    assert state.code_counts("profile") == {1: 5, 3: 3}
+
+
+def test_unknown_column_rejected():
+    state = FleetState(1)
+    with pytest.raises(KeyError):
+        state.column("nat64")
+
+
+def test_bytes_per_device_is_columnar():
+    state = FleetState(1000)
+    # 1 input column + 6 outcome columns, one byte each.
+    assert state.bytes_per_device == 7.0
+    assert FleetState(0).bytes_per_device == 0.0
+    assert "7 B/device" in repr(state)
+
+
+def test_translation_table_validates_codes():
+    with pytest.raises(ValueError):
+        make_translation_table({300: 1})
+    with pytest.raises(ValueError):
+        make_translation_table({1: 300})
+    table = make_translation_table({1: 9})
+    assert len(table) == 256
+    assert table[1] == 9
+    assert table[0] == 0
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        FleetState(-1)
