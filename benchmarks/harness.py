@@ -558,6 +558,34 @@ def _emit_gha(
             fh.write(table + "\n")
 
 
+def _lint_flow_timings() -> Dict[str, object]:
+    """Cold vs warm wall time of the whole-tree dataflow analyzer.
+
+    Never gated — recorded so BENCH artifacts track the analyzer's
+    incremental-cache promise (warm ``--flow`` under the CI budget)
+    alongside the runtime numbers.
+    """
+    import tempfile
+
+    from repro.lint.core import lint_paths_run
+    from repro.lint.program.cache import LintCache
+
+    src = REPO / "src"
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_path = Path(tmp) / "lint-cache.json"
+        started = time.perf_counter()
+        cold = lint_paths_run([src], flow=True, cache=LintCache(cache_path))
+        cold_s = time.perf_counter() - started
+        started = time.perf_counter()
+        lint_paths_run([src], flow=True, cache=LintCache(cache_path))
+        warm_s = time.perf_counter() - started
+    return {
+        "files": cold.files,
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--quick", action="store_true", help="small populations, fewer rounds")
@@ -637,6 +665,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "quick": args.quick,
         "rounds": rounds,
         "jobs": jobs,
+        "lint_flow": _lint_flow_timings(),
         "scenarios": current,
         "improvement_vs_seed": improvement_vs_seed(current, seed_baseline),
         "seed_baseline": (seed_baseline or {}).get("scenarios"),

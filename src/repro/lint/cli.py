@@ -64,6 +64,65 @@ def _render_gha(findings: List[Finding]) -> None:
         )
 
 
+#: Human titles per rule family (code prefix "RLn").
+_FAMILIES = {
+    "RL0": "RL0xx — meta (suppression hygiene)",
+    "RL1": "RL1xx — determinism (syntactic)",
+    "RL2": "RL2xx — wire contracts",
+    "RL3": "RL3xx — hot-path hygiene",
+    "RL4": "RL4xx — shard safety (whole-program)",
+    "RL5": "RL5xx — compile readiness (whole-program)",
+    "RL6": "RL6xx — determinism taint (dataflow)",
+    "RL7": "RL7xx — exception flow (dataflow)",
+}
+
+
+def _rule_kind(rule) -> str:
+    if rule.flow:
+        return "flow"
+    if rule.program:
+        return "program"
+    return "file"
+
+
+def _list_rules(fmt: str) -> int:
+    """``--list-rules``: grouped text, or a diffable JSON inventory."""
+    rules = all_rules()
+    if fmt == "json":
+        print(
+            json.dumps(
+                {
+                    "rules": [
+                        {
+                            "code": r.code,
+                            "name": r.name,
+                            "summary": r.summary,
+                            "family": _FAMILIES.get(r.code[:3], r.code[:3] + "xx"),
+                            "kind": _rule_kind(r),
+                            "scope": list(r.scope),
+                        }
+                        for r in rules
+                    ]
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    previous_family = None
+    for rule in rules:
+        family = _FAMILIES.get(rule.code[:3], rule.code[:3] + "xx")
+        if family != previous_family:
+            if previous_family is not None:
+                print()
+            print(family)
+            previous_family = family
+        scope = ", ".join(rule.scope) if rule.scope else "all files"
+        print(f"  {rule.code}  {rule.name:26s} [{scope}] ({_rule_kind(rule)})")
+        print(f"         {rule.summary}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
@@ -84,6 +143,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--program",
         action="store_true",
         help="run the whole-program RL4xx/RL5xx rules (call graph + reachability)",
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="run the dataflow RL6xx/RL7xx rules (taint + exception flow; "
+        "implies --program)",
     )
     parser.add_argument(
         "--format",
@@ -122,12 +187,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in all_rules():
-            scope = ", ".join(rule.scope) if rule.scope else "all files"
-            kind = "program" if rule.program else "file"
-            print(f"{rule.code}  {rule.name:26s} [{scope}] ({kind})")
-            print(f"       {rule.summary}")
-        return 0
+        return _list_rules(args.format)
 
     select = None
     if args.select:
@@ -146,7 +206,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache = LintCache(args.cache)
 
     started = time.perf_counter()
-    run = lint_paths_run(paths, select=select, program=args.program, cache=cache)
+    run = lint_paths_run(
+        paths,
+        select=select,
+        program=args.program,
+        flow=args.flow,
+        cache=cache,
+    )
     elapsed = time.perf_counter() - started
     findings = run.findings
 

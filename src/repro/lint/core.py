@@ -160,6 +160,10 @@ class Rule:
     scope: Tuple[str, ...] = ()
     #: True for whole-program (RL4xx/RL5xx) rules.
     program: bool = False
+    #: True for dataflow (RL6xx/RL7xx) rules — they need the composed
+    #: :class:`repro.lint.flow.interp.FlowProgram` and run only under
+    #: ``--flow`` (which implies ``--program``).
+    flow: bool = False
 
     def applies_to(self, ctx: LintContext) -> bool:
         return not self.scope or ctx.in_module(self.scope)
@@ -168,6 +172,9 @@ class Rule:
         raise NotImplementedError
 
     def check_program(self, program, report) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def check_flow(self, flow_program, report) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
 
@@ -338,6 +345,7 @@ def _stale_suppression_findings(
     used_allowlist: Dict[str, Set[str]],
     checked_codes: Set[str],
     files: Sequence[Path],
+    registered_codes: Optional[Set[str]] = None,
 ) -> List[Finding]:
     """RL001: pragmas and allowlist entries that suppressed nothing.
 
@@ -345,16 +353,38 @@ def _stale_suppression_findings(
     checked this run (a ``--select RL101`` run says nothing about an
     ``allow[RL302]`` pragma).  An allowlist entry is judged per glob:
     stale when at least one linted file matched it and none of them
-    used any of its codes.
+    used any of its codes.  A suppression naming a code that is not in
+    the registry at all — a rule that was renamed or deleted — is
+    flagged unconditionally: it can never suppress anything again.
     """
     from repro.lint.allowlist import ALLOWLIST, match_paths
 
+    registered = registered_codes if registered_codes is not None else checked_codes
     findings: List[Finding] = []
     for path, pragmas in pragma_maps.items():
         used = used_pragmas.get(path, set())
         for line in sorted(pragmas):
             for code in sorted(pragmas[line]):
-                if code == "*" or code not in checked_codes:
+                if code == "*":
+                    continue
+                # Only real rule-code shapes are audited for existence:
+                # docs legitimately write placeholder pragmas like
+                # ``allow[CODE]`` in prose.
+                if re.fullmatch(r"RL\d{3}", code) and code not in registered:
+                    findings.append(
+                        Finding(
+                            path,
+                            line,
+                            0,
+                            STALE_SUPPRESSION_CODE,
+                            f"suppression references unknown rule code "
+                            f"`{code}` — no registered rule emits it",
+                            "the rule was renamed or removed; delete the "
+                            "pragma or update the code",
+                        )
+                    )
+                    continue
+                if code not in checked_codes:
                     continue
                 if (line, code) not in used:
                     findings.append(
@@ -372,9 +402,23 @@ def _stale_suppression_findings(
     linted = [str(p) for p in files]
     for pattern, codes in ALLOWLIST.items():
         matched = match_paths(pattern, linted)
-        if not matched:
-            continue
         for code in codes:
+            if code not in registered:
+                findings.append(
+                    Finding(
+                        sorted(matched)[0] if matched else pattern,
+                        1,
+                        0,
+                        STALE_SUPPRESSION_CODE,
+                        f"allowlist entry `{pattern}` references unknown rule "
+                        f"code `{code}` — no registered rule emits it",
+                        "the rule was renamed or removed; drop the code from "
+                        "repro/lint/allowlist.py",
+                    )
+                )
+                continue
+            if not matched:
+                continue
             if code not in checked_codes:
                 continue
             if not any(code in used_allowlist.get(path, set()) for path in matched):
@@ -398,16 +442,21 @@ def lint_paths(
     select: Optional[Set[str]] = None,
     *,
     program: bool = False,
+    flow: bool = False,
     cache=None,
 ) -> List[Finding]:
     """Lint every ``.py`` file under ``paths``; deterministic order.
 
     ``program=True`` additionally runs the whole-program RL4xx/RL5xx
-    rules over the assembled call graph.  ``cache`` is an optional
+    rules over the assembled call graph; ``flow=True`` (which implies
+    ``program``) also runs the dataflow RL6xx/RL7xx rules over the
+    composed taint summaries.  ``cache`` is an optional
     :class:`repro.lint.program.cache.LintCache`; unchanged files are
     neither re-parsed nor re-checked.
     """
-    return lint_paths_run(paths, select, program=program, cache=cache).findings
+    return lint_paths_run(
+        paths, select, program=program, flow=flow, cache=cache
+    ).findings
 
 
 def lint_paths_run(
@@ -415,6 +464,7 @@ def lint_paths_run(
     select: Optional[Set[str]] = None,
     *,
     program: bool = False,
+    flow: bool = False,
     cache=None,
 ) -> LintRun:
     """Like :func:`lint_paths` but returns the full :class:`LintRun`."""
@@ -422,11 +472,18 @@ def lint_paths_run(
     from repro.lint.program.summary import extract_summary
 
     rules = all_rules()
-    if select is not None and not program:
-        # A selected interprocedural rule silently implies --program.
-        program = any(r.program for r in rules if r.code in select)
+    if select is not None:
+        # A selected interprocedural/dataflow rule silently implies the
+        # matching analysis depth.
+        if not flow:
+            flow = any(r.flow for r in rules if r.code in select)
+        if not program:
+            program = any(r.program for r in rules if r.code in select)
+    if flow:
+        program = True
     file_rules = [r for r in rules if not r.program]
-    program_rules = [r for r in rules if r.program]
+    program_rules = [r for r in rules if r.program and not r.flow]
+    flow_rules = [r for r in rules if r.flow]
 
     run = LintRun()
     files = iter_python_files(paths)
@@ -434,6 +491,7 @@ def lint_paths_run(
 
     findings: List[Finding] = []
     summaries: Dict[str, Any] = {}
+    flows: Dict[str, Any] = {}
     pragma_maps: Dict[str, Dict[int, Set[str]]] = {}
     used_pragmas: Dict[str, Set[Tuple[int, str]]] = {}
     used_allowlist: Dict[str, Set[str]] = {}
@@ -442,7 +500,11 @@ def lint_paths_run(
         data = path.read_bytes()
         file_hash = content_hash(data) if cache is not None else ""
         entry = cache.get(path, file_hash) if cache is not None else None
-        if entry is not None and (not program or entry.get("summary") is not None):
+        if (
+            entry is not None
+            and (not program or entry.get("summary") is not None)
+            and (not flow or entry.get("flow") is not None)
+        ):
             findings.extend(Finding.from_json(f) for f in entry["findings"])
             pragma_maps[str(path)] = {
                 int(k): set(v) for k, v in entry["pragmas"].items()
@@ -456,6 +518,11 @@ def lint_paths_run(
 
                 summary = ModuleSummary.from_json(entry["summary"])
                 summaries[summary.module] = summary
+            if flow and entry.get("flow") is not None:
+                from repro.lint.flow.model import ModuleFlow
+
+                flow_mod = ModuleFlow.from_json(entry["flow"])
+                flows[flow_mod.module] = flow_mod
             continue
 
         source = data.decode("utf-8")
@@ -484,6 +551,17 @@ def lint_paths_run(
             )
             if program:
                 summaries[summary.module] = summary
+        flow_mod = None
+        if flow or cache is not None:
+            # Flow summaries ride in every cache entry so a plain
+            # --program run still leaves the cache warm for --flow.
+            from repro.lint.flow.solver import extract_flow
+
+            flow_mod = extract_flow(
+                ctx.module, tree, statement_starts=ctx.statement_starts
+            )
+            if flow:
+                flows[flow_mod.module] = flow_mod
         if cache is not None:
             cache.put(
                 path,
@@ -496,6 +574,7 @@ def lint_paths_run(
                     ),
                     "used_allowlist": sorted(ctx.used_allowlist),
                     "summary": summary.to_json() if summary is not None else None,
+                    "flow": flow_mod.to_json() if flow_mod is not None else None,
                 },
             )
 
@@ -508,6 +587,13 @@ def lint_paths_run(
         reporter = ProgramReporter(allowed_codes_for)
         for rule in program_rules:
             rule.check_program(context, reporter)
+        if flow and flows:
+            from repro.lint.flow.interp import build_flow_program
+
+            flow_program = build_flow_program(context, flows)
+            for rule in flow_rules:
+                rule.check_flow(flow_program, reporter)
+            checked_codes.update(r.code for r in flow_rules)
         findings.extend(reporter.findings)  # type: ignore[arg-type]
         for path_str, used in reporter.used_pragmas.items():
             used_pragmas.setdefault(path_str, set()).update(used)
@@ -518,7 +604,12 @@ def lint_paths_run(
     if select is None or STALE_SUPPRESSION_CODE in select:
         findings.extend(
             _stale_suppression_findings(
-                pragma_maps, used_pragmas, used_allowlist, checked_codes, files
+                pragma_maps,
+                used_pragmas,
+                used_allowlist,
+                checked_codes,
+                files,
+                registered_codes={r.code for r in rules},
             )
         )
 

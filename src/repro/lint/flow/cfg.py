@@ -1,0 +1,253 @@
+"""Per-function control-flow graphs over stdlib ``ast``.
+
+One :class:`CFG` per function body: basic blocks of straight-line
+items (statements and bare condition expressions) connected by edges
+for branches, loops, ``try``/``except``/``finally``, ``with`` and the
+jump statements.  The graph is deliberately *may*-conservative — every
+block inside a ``try`` body gets an edge to every handler, jumps out
+of loops connect both the taken and the fall-through paths — because
+the taint solver on top (:mod:`repro.lint.flow.solver`) computes a
+union join: an extra edge can only widen a fact, never lose one.
+
+Boolean short-circuit needs no dedicated blocks: the solver gives
+``:=`` bindings inside expressions a *weak* (union) update, which is
+exactly the join of the executed-and-skipped operand paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set
+
+__all__ = ["Block", "CFG", "build_cfg"]
+
+
+class Block:
+    """One basic block: a run of items with a single join at each end."""
+
+    __slots__ = ("id", "items", "succ")
+
+    def __init__(self, block_id: int) -> None:
+        self.id = block_id
+        #: Statements, condition expressions, ``withitem``/``ExceptHandler``
+        #: binders — whatever the solver's transfer function interprets.
+        self.items: List[ast.AST] = []
+        self.succ: Set[int] = set()
+
+
+class CFG:
+    """Blocks, entry/exit ids, and the predecessor map the solver needs."""
+
+    __slots__ = ("blocks", "entry", "exit", "preds")
+
+    def __init__(self, blocks: Dict[int, Block], entry: int, exit_id: int) -> None:
+        self.blocks = blocks
+        self.entry = entry
+        self.exit = exit_id
+        self.preds: Dict[int, Set[int]] = {bid: set() for bid in blocks}
+        for block in blocks.values():
+            for nxt in block.succ:
+                self.preds[nxt].add(block.id)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: Dict[int, Block] = {}
+        self._next = 0
+        self.entry = self._new()
+        self.exit = self._new()
+        #: (head_id, after_id) per enclosing loop, innermost last.
+        self._loops: List[tuple] = []
+        #: Handler-entry block ids per enclosing ``try``, innermost last.
+        self._handlers: List[List[int]] = []
+
+    def _new(self) -> int:
+        block = Block(self._next)
+        self.blocks[self._next] = block
+        self._next += 1
+        return block.id
+
+    def _edge(self, src: Optional[int], dst: int) -> None:
+        if src is not None:
+            self.blocks[src].succ.add(dst)
+
+    def _emit(self, current: Optional[int], item: ast.AST) -> Optional[int]:
+        if current is None:  # unreachable code after a jump
+            return None
+        self.blocks[current].items.append(item)
+        # Any item inside a try body may raise before the next one runs.
+        for handlers in self._handlers:
+            for handler in handlers:
+                self.blocks[current].succ.add(handler)
+        return current
+
+    # -- statement dispatch --------------------------------------------------
+
+    def seq(self, body: Sequence[ast.stmt], current: Optional[int]) -> Optional[int]:
+        for stmt in body:
+            current = self.stmt(stmt, current)
+        return current
+
+    def stmt(self, node: ast.stmt, current: Optional[int]) -> Optional[int]:
+        if current is None:
+            return None
+        if isinstance(node, ast.If):
+            return self._branch(node.test, [node.body, node.orelse], current)
+        if isinstance(node, (ast.While,)):
+            return self._while(node, current)
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return self._for(node, current)
+        if isinstance(node, ast.Try) or node.__class__.__name__ == "TryStar":
+            return self._try(node, current)
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                current = self._emit(current, item)
+            return self.seq(node.body, current)
+        if isinstance(node, ast.Return):
+            current = self._emit(current, node)
+            self._edge(current, self.exit)
+            return None
+        if isinstance(node, ast.Raise):
+            current = self._emit(current, node)
+            if self._handlers:
+                for handler in self._handlers[-1]:
+                    self._edge(current, handler)
+            else:
+                self._edge(current, self.exit)
+            return None
+        if isinstance(node, ast.Break):
+            current = self._emit(current, node)
+            if self._loops:
+                self._edge(current, self._loops[-1][1])
+            return None
+        if isinstance(node, ast.Continue):
+            current = self._emit(current, node)
+            if self._loops:
+                self._edge(current, self._loops[-1][0])
+            return None
+        if node.__class__.__name__ == "Match":
+            return self._match(node, current)
+        # Simple statement (assignments, expressions, defs, imports, …).
+        return self._emit(current, node)
+
+    # -- compound forms ------------------------------------------------------
+
+    def _branch(
+        self,
+        test: Optional[ast.expr],
+        bodies: Sequence[Sequence[ast.stmt]],
+        current: int,
+    ) -> Optional[int]:
+        if test is not None:
+            current = self._emit(current, test)
+        after = self._new()
+        for body in bodies:
+            # An empty arm (no orelse) is still a path: its block is
+            # created empty and falls straight through to the join.
+            arm = self._new()
+            self._edge(current, arm)
+            end = self.seq(body, arm)
+            if end is not None:
+                self._edge(end, after)
+        return after
+
+    def _while(self, node: ast.While, current: int) -> Optional[int]:
+        head = self._new()
+        self._edge(current, head)
+        self._emit(head, node.test)
+        after = self._new()
+        self._loops.append((head, after))
+        body = self._new()
+        self._edge(head, body)
+        end = self.seq(node.body, body)
+        if end is not None:
+            self._edge(end, head)
+        self._loops.pop()
+        self._edge(head, after)
+        if node.orelse:
+            els = self._new()
+            self._edge(head, els)
+            els_end = self.seq(node.orelse, els)
+            if els_end is not None:
+                self._edge(els_end, after)
+        return after
+
+    def _for(self, node: ast.stmt, current: int) -> Optional[int]:
+        head = self._new()
+        self._edge(current, head)
+        # The For node itself is the head item: the transfer function
+        # re-binds the loop target from the iterable on every visit.
+        self._emit(head, node)
+        after = self._new()
+        self._loops.append((head, after))
+        body = self._new()
+        self._edge(head, body)
+        end = self.seq(node.body, body)  # type: ignore[attr-defined]
+        if end is not None:
+            self._edge(end, head)
+        self._loops.pop()
+        self._edge(head, after)
+        orelse = getattr(node, "orelse", [])
+        if orelse:
+            els = self._new()
+            self._edge(head, els)
+            els_end = self.seq(orelse, els)
+            if els_end is not None:
+                self._edge(els_end, after)
+        return after
+
+    def _try(self, node: ast.stmt, current: int) -> Optional[int]:
+        handlers: List[ast.ExceptHandler] = list(getattr(node, "handlers", []))
+        handler_entries = [self._new() for _ in handlers]
+        # Exceptions can surface before the first body statement runs.
+        for entry in handler_entries:
+            self._edge(current, entry)
+        self._handlers.append(handler_entries)
+        body_start = self._new()
+        self._edge(current, body_start)
+        body_end = self.seq(node.body, body_start)  # type: ignore[attr-defined]
+        self._handlers.pop()
+
+        join = self._new()  # where finally (or the after-block) begins
+        if body_end is not None:
+            orelse = getattr(node, "orelse", [])
+            if orelse:
+                els = self._new()
+                self._edge(body_end, els)
+                els_end = self.seq(orelse, els)
+                if els_end is not None:
+                    self._edge(els_end, join)
+            else:
+                self._edge(body_end, join)
+        for handler, entry in zip(handlers, handler_entries):
+            self._emit(entry, handler)  # binds the exception name
+            h_end = self.seq(handler.body, entry)
+            if h_end is not None:
+                self._edge(h_end, join)
+
+        finalbody = getattr(node, "finalbody", [])
+        if finalbody:
+            return self.seq(finalbody, join)
+        return join
+
+    def _match(self, node: ast.stmt, current: int) -> Optional[int]:
+        current = self._emit(current, node)  # binds every capture name
+        after = self._new()
+        if current is not None:
+            self._edge(current, after)  # no case may match
+        for case in getattr(node, "cases", []):
+            arm = self._new()
+            self._edge(current, arm)
+            end = self.seq(case.body, arm)
+            if end is not None:
+                self._edge(end, after)
+        return after
+
+
+def build_cfg(body: Sequence[ast.stmt]) -> CFG:
+    """CFG for one function body (a list of statements)."""
+    builder = _Builder()
+    end = builder.seq(body, builder.entry)
+    if end is not None:
+        builder._edge(end, builder.exit)
+    return CFG(builder.blocks, builder.entry, builder.exit)

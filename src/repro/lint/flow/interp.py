@@ -1,0 +1,291 @@
+"""Interprocedural composition of per-function flow summaries.
+
+Per-function summaries (:class:`~repro.lint.flow.model.FunctionFlow`)
+carry symbolic tokens — ``("param", p)`` and ``("call", site)`` — that
+only mean something once every function's summary is on the table.
+This module runs the composition fixpoint over the same symbol table
+the call graph uses (:class:`repro.lint.program.callgraph.ProgramIndex`),
+computing for every function:
+
+- ``ret_kinds``   — concrete taint kinds its return value may carry,
+- ``ret_params``  — parameters whose taint passes through to the return,
+- ``param_sinks`` — parameters whose taint reaches a sink, in this
+  function or any distance down the call chain.
+
+The fixpoint is monotone over finite sets, so it terminates; recursion
+is cut by returning the currently-known summary for in-progress calls,
+which the outer iteration then refines.  After convergence a final
+pass materializes *incidents*: sink sites reached by a concrete kind,
+either directly or by passing a tainted argument into a callee whose
+``param_sinks`` says the parameter ends in a sink.  That second form
+is exactly the interprocedural case the syntactic RL101-105 rules are
+structurally blind to.
+
+Unresolvable calls degrade conservatively to pass-through — the union
+of receiver and argument taint — so an untypeable helper can widen a
+fact but never lose one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lint.flow.model import FunctionFlow, ModuleFlow, Token
+from repro.lint.program.analyzer import ProgramContext
+from repro.lint.program.callgraph import func_id
+
+__all__ = ["FlowProgram", "build_flow_program"]
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+
+class FlowProgram:
+    """Composed whole-program dataflow facts, ready for RL6xx/RL7xx."""
+
+    def __init__(
+        self, program: ProgramContext, flows: Dict[str, ModuleFlow]
+    ) -> None:
+        self.program = program
+        self.flows = flows
+        #: function id ("module::qualname") -> its flow summary.
+        self.functions: Dict[str, FunctionFlow] = {}
+        for module in sorted(flows):
+            for qual, ff in flows[module].functions.items():
+                self.functions[func_id(module, qual)] = ff
+        self.ret_kinds: Dict[str, Set[str]] = {}
+        self.ret_params: Dict[str, Set[str]] = {}
+        #: fid -> {(param, sink_kind): where-description}.
+        self.param_sinks: Dict[str, Dict[Tuple[str, str], str]] = {}
+        self._fixpoint()
+        #: Sink sites reached by concrete taint: dicts with ``fid``,
+        #: ``module``, ``qualname``, ``sink`` kind, ``label``, ``kinds``,
+        #: ``via`` ("" for a direct reach, else the callee chain), and
+        #: the site location keys the reporter expects.
+        self.incidents: List[Dict] = self._collect_incidents()
+
+    # -- composition ---------------------------------------------------------
+
+    def _callee_of(self, fid: str, site: Dict) -> Optional[str]:
+        """Resolve one call record to a function id, or None."""
+        module = fid.partition("::")[0]
+        ms = self.program.index.modules.get(module)
+        raw = site.get("callee", "")
+        if ms is not None and raw:
+            entity = self.program.index.resolve(ms, raw)
+            if (
+                entity is not None
+                and entity.kind == "function"
+                and entity.id in self.functions
+            ):
+                return entity.id
+            if raw.startswith("self.") and "." not in raw[5:]:
+                # A method calling a sibling on the same class.
+                caller_qual = fid.partition("::")[2]
+                if "." in caller_qual:
+                    cls = caller_qual.split(".", 1)[0]
+                    candidate = func_id(module, f"{cls}.{raw[5:]}")
+                    if candidate in self.functions:
+                        return candidate
+        attr = site.get("attr", "")
+        if attr:
+            # Dynamic dispatch, but only when unambiguous: a single
+            # known method of that name.  Anything wider would smear
+            # taint across unrelated classes.
+            candidates = self.program.index.methods_by_name.get(attr, [])
+            if len(candidates) == 1 and candidates[0] in self.functions:
+                return candidates[0]
+        return None
+
+    def _arg_tokens(
+        self, site: Dict, callee: FunctionFlow, pname: str
+    ) -> List[Token]:
+        tokens: List[Token] = []
+        kw = site["kwargs"].get(pname)
+        if kw:
+            tokens.extend(tuple(t) for t in kw)
+        try:
+            index = callee.params.index(pname)
+        except ValueError:
+            index = -1
+        if 0 <= index < len(site["args"]):
+            tokens.extend(tuple(t) for t in site["args"][index])
+        return tokens
+
+    def _expand(
+        self,
+        fid: str,
+        token: Token,
+        memo: Dict[Tuple[str, str], Tuple[FrozenSet[str], FrozenSet[str]]],
+        stack: Set[Tuple[str, str]],
+    ) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+        """Token -> (concrete kinds, caller params) under current summaries."""
+        tag, value = token
+        if tag == "kind":
+            return frozenset([value]), _EMPTY
+        if tag == "param":
+            return _EMPTY, frozenset([value])
+        key = (fid, value)
+        if key in memo:
+            return memo[key]
+        if key in stack:  # recursion: outer fixpoint refines this
+            return _EMPTY, _EMPTY
+        stack.add(key)
+        site = self.functions[fid].calls.get(value)
+        kinds: Set[str] = set()
+        params: Set[str] = set()
+        if site is not None:
+            callee_fid = self._callee_of(fid, site)
+            if callee_fid is not None:
+                callee = self.functions[callee_fid]
+                kinds |= self.ret_kinds.get(callee_fid, set())
+                for pname in self.ret_params.get(callee_fid, set()):
+                    for token2 in self._arg_tokens(site, callee, pname):
+                        k2, p2 = self._expand(fid, token2, memo, stack)
+                        kinds |= k2
+                        params |= p2
+            else:
+                passthrough: List[Token] = [tuple(t) for t in site["recv"]]
+                for arg in site["args"]:
+                    passthrough.extend(tuple(t) for t in arg)
+                for kw in site["kwargs"].values():
+                    passthrough.extend(tuple(t) for t in kw)
+                for token2 in passthrough:
+                    k2, p2 = self._expand(fid, token2, memo, stack)
+                    kinds |= k2
+                    params |= p2
+            kinds -= set(site.get("sanitize", []))
+        stack.discard(key)
+        result = (frozenset(kinds), frozenset(params))
+        memo[key] = result
+        return result
+
+    def _fixpoint(self) -> None:
+        fids = sorted(self.functions)
+        for fid in fids:
+            self.ret_kinds[fid] = set()
+            self.ret_params[fid] = set()
+            self.param_sinks[fid] = {}
+        changed = True
+        while changed:
+            changed = False
+            memo: Dict = {}
+            for fid in fids:
+                flow = self.functions[fid]
+                kinds: Set[str] = set()
+                params: Set[str] = set()
+                for token in flow.returns:
+                    k, p = self._expand(fid, tuple(token), memo, set())
+                    kinds |= k
+                    params |= p
+                if not kinds <= self.ret_kinds[fid]:
+                    self.ret_kinds[fid] |= kinds
+                    changed = True
+                if not params <= self.ret_params[fid]:
+                    self.ret_params[fid] |= params
+                    changed = True
+                for sink in flow.sinks:
+                    for token in sink["tokens"]:
+                        _, p = self._expand(fid, tuple(token), memo, set())
+                        for pname in p:
+                            key = (pname, sink["kind"])
+                            if key not in self.param_sinks[fid]:
+                                self.param_sinks[fid][key] = (
+                                    f"{sink['label']} at "
+                                    f"{fid.partition('::')[2]}:{sink['lineno']}"
+                                )
+                                changed = True
+                for sid in sorted(flow.calls):
+                    site = flow.calls[sid]
+                    callee_fid = self._callee_of(fid, site)
+                    if callee_fid is None:
+                        continue
+                    callee = self.functions[callee_fid]
+                    for (pname, skind), where in self.param_sinks[
+                        callee_fid
+                    ].items():
+                        for token in self._arg_tokens(site, callee, pname):
+                            _, p = self._expand(fid, token, memo, set())
+                            for caller_param in p:
+                                key = (caller_param, skind)
+                                if key not in self.param_sinks[fid]:
+                                    self.param_sinks[fid][key] = where
+                                    changed = True
+
+    # -- incidents -----------------------------------------------------------
+
+    def _collect_incidents(self) -> List[Dict]:
+        incidents: List[Dict] = []
+        seen: Set[Tuple[str, int, int, str]] = set()
+        memo: Dict = {}
+
+        def emit(
+            fid: str, site: Dict, sink: str, label: str, kinds: Set[str], via: str
+        ) -> None:
+            key = (fid, site["lineno"], site["col"], sink)
+            if not kinds or key in seen:
+                return
+            seen.add(key)
+            module, _, qualname = fid.partition("::")
+            incidents.append(
+                {
+                    "fid": fid,
+                    "module": module,
+                    "qualname": qualname,
+                    "sink": sink,
+                    "label": label,
+                    "kinds": sorted(kinds),
+                    "via": via,
+                    "lineno": site["lineno"],
+                    "col": site["col"],
+                    "stmt_line": site.get("stmt_line", site["lineno"]),
+                }
+            )
+
+        for fid in sorted(self.functions):
+            flow = self.functions[fid]
+            for sink in flow.sinks:
+                kinds: Set[str] = set()
+                for token in sink["tokens"]:
+                    k, _ = self._expand(fid, tuple(token), memo, set())
+                    kinds |= k
+                emit(fid, sink, sink["kind"], sink["label"], kinds, "")
+            for sid in sorted(flow.calls):
+                site = flow.calls[sid]
+                callee_fid = self._callee_of(fid, site)
+                if callee_fid is None:
+                    continue
+                callee = self.functions[callee_fid]
+                for (pname, skind), where in self.param_sinks[callee_fid].items():
+                    kinds = set()
+                    for token in self._arg_tokens(site, callee, pname):
+                        k, _ = self._expand(fid, token, memo, set())
+                        kinds |= k
+                    emit(
+                        fid,
+                        site,
+                        skind,
+                        where.split(" at ")[0],
+                        kinds,
+                        f"argument '{pname}' of "
+                        f"{callee_fid.partition('::')[2]} ({where})",
+                    )
+        return incidents
+
+    # -- rule-facing helpers -------------------------------------------------
+
+    def module_summary(self, fid: str):
+        """The :class:`ModuleSummary` owning ``fid`` (reporter input)."""
+        return self.program.index.modules.get(fid.partition("::")[0])
+
+    def iter_functions(self):
+        """(fid, ModuleSummary, FunctionFlow) in deterministic order."""
+        for fid in sorted(self.functions):
+            ms = self.module_summary(fid)
+            if ms is not None:
+                yield fid, ms, self.functions[fid]
+
+
+def build_flow_program(
+    program: ProgramContext, flows: Dict[str, ModuleFlow]
+) -> FlowProgram:
+    return FlowProgram(program, flows)

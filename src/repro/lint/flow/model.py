@@ -1,0 +1,168 @@
+"""The cacheable product of the intraprocedural solver.
+
+One :class:`FunctionFlow` per function records everything the
+interprocedural composition (:mod:`repro.lint.flow.interp`) needs —
+and *only* JSON-serializable data, because flow summaries ride in the
+same content-hash cache as the program summaries: a warm run rebuilds
+the whole-tree taint analysis without touching a single AST.
+
+Tokens are 2-tuples (encoded as 2-lists in JSON):
+
+- ``("kind", K)`` — a concrete taint kind produced in this function
+  (``time`` / ``entropy`` / ``id`` / ``setorder``);
+- ``("param", NAME)`` — the value of parameter ``NAME`` (context
+  dependent: the caller substitutes its argument tokens);
+- ``("call", SITE)`` — the return value of the call at ``SITE``
+  (resolved against the callee's summary at composition time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "Token",
+    "FunctionFlow",
+    "ModuleFlow",
+    "KIND_TIME",
+    "KIND_ENTROPY",
+    "KIND_ID",
+    "KIND_SETORDER",
+    "KIND_LABELS",
+    "SINK_LABELS",
+]
+
+Token = Tuple[str, str]
+
+KIND_TIME = "time"
+KIND_ENTROPY = "entropy"
+KIND_ID = "id"
+KIND_SETORDER = "setorder"
+
+#: Human phrasing per taint kind, used in findings.
+KIND_LABELS: Dict[str, str] = {
+    KIND_TIME: "wall-clock-derived",
+    KIND_ENTROPY: "ambient-entropy-derived",
+    KIND_ID: "object-identity (id())-derived",
+    KIND_SETORDER: "set-iteration-order-dependent",
+}
+
+#: Human phrasing per sink kind, used in findings.
+SINK_LABELS: Dict[str, str] = {
+    "trace": "trace output",
+    "metrics": "a metrics fold",
+    "wire": "a wire encoder",
+    "seed": "an RNG seed path that bypasses derive_seed",
+}
+
+
+def _tokens_to_json(tokens: List[Token]) -> List[List[str]]:
+    return [list(t) for t in tokens]
+
+
+def _tokens_from_json(data: List[List[str]]) -> List[Token]:
+    return [(t[0], t[1]) for t in data]
+
+
+@dataclass
+class FunctionFlow:
+    """Dataflow digest of one function (methods and nested defs too)."""
+
+    qualname: str
+    #: Positional parameter names, ``self``/``cls`` excluded so index i
+    #: lines up with argument i at an attribute call site.
+    params: List[str] = field(default_factory=list)
+    #: Tokens that may reach a ``return`` (union over all returns).
+    returns: List[Token] = field(default_factory=list)
+    #: site id -> call record: ``callee`` (raw dotted name, "" for an
+    #: unresolvable receiver), ``attr`` (method name for attribute
+    #: calls), ``recv``/``args``/``kwargs`` token sets, ``sanitize``
+    #: (kinds this call scrubs, e.g. sorted() and set order), location.
+    calls: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Sink reaches: ``{"kind", "tokens", "lineno", "col", "stmt_line",
+    #: "label"}`` — tokens may still contain params/calls; the verdict
+    #: is composition's job.
+    sinks: List[Dict[str, Any]] = field(default_factory=list)
+    #: Broad exception handlers: ``{"what": "bare"|"Exception"|
+    #: "BaseException", "handled": bool, ...location}``.  ``handled``
+    #: means the handler re-raises or demonstrably records the failure.
+    handlers: List[Dict[str, Any]] = field(default_factory=list)
+    #: ``return``/``break``/``continue`` lexically inside a ``finally``
+    #: block (they silently discard an in-flight exception).
+    finally_jumps: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, Any]:
+        calls = {}
+        for sid, site in self.calls.items():
+            entry = dict(site)
+            entry["recv"] = _tokens_to_json(site["recv"])
+            entry["args"] = [_tokens_to_json(a) for a in site["args"]]
+            entry["kwargs"] = {
+                k: _tokens_to_json(v) for k, v in site["kwargs"].items()
+            }
+            calls[sid] = entry
+        sinks = []
+        for sink in self.sinks:
+            entry = dict(sink)
+            entry["tokens"] = _tokens_to_json(sink["tokens"])
+            sinks.append(entry)
+        return {
+            "qualname": self.qualname,
+            "params": list(self.params),
+            "returns": _tokens_to_json(self.returns),
+            "calls": calls,
+            "sinks": sinks,
+            "handlers": [dict(h) for h in self.handlers],
+            "finally_jumps": [dict(j) for j in self.finally_jumps],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "FunctionFlow":
+        calls = {}
+        for sid, site in data["calls"].items():
+            entry = dict(site)
+            entry["recv"] = _tokens_from_json(site["recv"])
+            entry["args"] = [_tokens_from_json(a) for a in site["args"]]
+            entry["kwargs"] = {
+                k: _tokens_from_json(v) for k, v in site["kwargs"].items()
+            }
+            calls[sid] = entry
+        sinks = []
+        for sink in data["sinks"]:
+            entry = dict(sink)
+            entry["tokens"] = _tokens_from_json(sink["tokens"])
+            sinks.append(entry)
+        return cls(
+            qualname=data["qualname"],
+            params=list(data["params"]),
+            returns=_tokens_from_json(data["returns"]),
+            calls=calls,
+            sinks=sinks,
+            handlers=[dict(h) for h in data["handlers"]],
+            finally_jumps=[dict(j) for j in data["finally_jumps"]],
+        )
+
+
+@dataclass
+class ModuleFlow:
+    """Every function flow of one module, keyed by qualname."""
+
+    module: str
+    functions: Dict[str, FunctionFlow] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "module": self.module,
+            "functions": {q: f.to_json() for q, f in self.functions.items()},
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ModuleFlow":
+        return cls(
+            module=data["module"],
+            functions={
+                q: FunctionFlow.from_json(f)
+                for q, f in data["functions"].items()
+            },
+        )

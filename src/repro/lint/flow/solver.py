@@ -1,0 +1,678 @@
+"""Forward taint dataflow over the per-function CFG.
+
+The abstract state maps local names to sets of tokens (see
+:mod:`repro.lint.flow.model`); the join is set union, so the analysis
+is a *may* analysis — "this value may carry wall-clock data" — and the
+lattice height is bounded by the finite token universe, which is what
+guarantees the worklist terminates on loops.
+
+Sources mirror the syntactic RL101/RL102 tables (wall clock, ambient
+entropy) plus ``id()`` and set iteration; sanitizers are the calls
+whose *result* is order/seed-clean by construction (``sorted``/``min``/
+``max``/``sum``/``len`` scrub set-iteration order, ``derive_seed`` is
+the sanctioned seed route and returns no taint at all).  Sink *sites*
+are recorded here with whatever tokens reach them — parameters and
+unresolved call returns included — and judged only after
+interprocedural composition (:mod:`repro.lint.flow.interp`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.flow.cfg import build_cfg
+from repro.lint.flow.model import (
+    FunctionFlow,
+    KIND_ENTROPY,
+    KIND_ID,
+    KIND_SETORDER,
+    KIND_TIME,
+    ModuleFlow,
+    Token,
+)
+from repro.lint.rules._util import import_aliases, resolve_call_target
+from repro.lint.rules.determinism import _BANNED_TIME
+
+__all__ = ["extract_flow", "solve_function"]
+
+_EMPTY: FrozenSet[Token] = frozenset()
+
+#: Fold/census mutators — a tainted argument ends up in a result table.
+_METRICS_METHODS = ("observe", "observe_flags", "add_class", "add_device", "add_bulk")
+#: Trace capture — a tainted argument ends up in the packet trace.
+_TRACE_METHODS = ("record",)
+#: Wire encoders — a tainted receiver or argument ends up on the wire.
+_WIRE_METHODS = ("encode", "to_bytes", "to_wire")
+#: Calls whose result cannot depend on set-iteration order.
+_ORDER_SANITIZERS = ("sorted", "min", "max", "sum", "len")
+
+_MAX_SOLVER_PASSES = 64
+
+
+def _is_entropy_target(target: str) -> bool:
+    """The RL102 ambient-entropy predicate, shared with the taint lattice."""
+    return (
+        target == "os.urandom"
+        or target.startswith("secrets.")
+        or target in ("uuid.uuid1", "uuid.uuid4")
+        or target == "random.SystemRandom"
+        or (target.startswith("random.") and not target.startswith("random.Random"))
+    )
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _own_scope_walk(root: ast.AST) -> List[ast.AST]:
+    """Every descendant without entering nested function/class scopes."""
+    out: List[ast.AST] = []
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def _is_set_expr(node: ast.expr, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    return False
+
+
+def _set_annotated(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    text = ast.dump(annotation)
+    return any(
+        marker in text for marker in ("'set'", "'Set'", "'frozenset'", "'FrozenSet'")
+    )
+
+
+def _collect_set_names(fn_body: Sequence[ast.stmt], args: ast.arguments) -> Set[str]:
+    """Names that hold a set anywhere in this scope (coarse, like RL103)."""
+    names: Set[str] = set()
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        if _set_annotated(arg.annotation):
+            names.add(arg.arg)
+    fake = ast.Module(body=list(fn_body), type_ignores=[])
+    for node in _own_scope_walk(fake):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value, set()):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _set_annotated(node.annotation) or (
+                node.value is not None and _is_set_expr(node.value, set())
+            ):
+                names.add(node.target.id)
+    return names
+
+
+class _FunctionSolver:
+    """One worklist run over one function's CFG."""
+
+    def __init__(
+        self,
+        fn_node: ast.AST,
+        qualname: str,
+        *,
+        in_class: bool,
+        aliases: Dict[str, str],
+        statement_starts: Dict[int, int],
+    ) -> None:
+        self.node = fn_node
+        self.qualname = qualname
+        self.aliases = aliases
+        self.starts = statement_starts
+        args = fn_node.args  # type: ignore[attr-defined]
+        positional = args.posonlyargs + args.args
+        skip_first = bool(
+            in_class and positional and positional[0].arg in ("self", "cls")
+        )
+        self.params: List[str] = [
+            a.arg for a in positional[1 if skip_first else 0 :]
+        ] + [a.arg for a in args.kwonlyargs]
+        self._param_env: Dict[str, FrozenSet[Token]] = {
+            a.arg: frozenset([("param", a.arg)])
+            for a in positional + args.kwonlyargs
+        }
+        if skip_first:
+            self._param_env[positional[0].arg] = _EMPTY
+        for vararg in (args.vararg, args.kwarg):
+            if vararg is not None:
+                self._param_env[vararg.arg] = frozenset([("param", vararg.arg)])
+                self.params.append(vararg.arg)
+        body = list(getattr(fn_node, "body", []))
+        self.set_names = _collect_set_names(body, args)
+        self.cfg = build_cfg(body)
+        # Deterministic call-site ids: lexical walk order, nested scopes
+        # excluded (they solve separately).
+        self._site_ids: Dict[int, str] = {}
+        fake = ast.Module(body=body, type_ignores=[])
+        ordered = [
+            n
+            for n in _own_scope_walk(fake)
+            if isinstance(n, ast.Call)
+        ]
+        ordered.sort(key=lambda n: (n.lineno, n.col_offset))
+        for index, call in enumerate(ordered):
+            self._site_ids[id(call)] = str(index)
+        # Accumulated (monotone) outputs.
+        self.calls: Dict[str, Dict] = {}
+        self._sink_acc: Dict[Tuple[int, int, str], Dict] = {}
+        self.return_tokens: Set[Token] = set()
+
+    # -- driving -------------------------------------------------------------
+
+    def solve(self) -> FunctionFlow:
+        outs: Dict[int, Dict[str, FrozenSet[Token]]] = {}
+        for _ in range(_MAX_SOLVER_PASSES):
+            changed = False
+            for bid in sorted(self.cfg.blocks):
+                env: Dict[str, FrozenSet[Token]] = {}
+                if bid == self.cfg.entry:
+                    env.update(self._param_env)
+                for pred in self.cfg.preds[bid]:
+                    for name, tokens in outs.get(pred, {}).items():
+                        env[name] = env.get(name, _EMPTY) | tokens
+                for item in self.cfg.blocks[bid].items:
+                    self._transfer(item, env)
+                if env != outs.get(bid):
+                    outs[bid] = env
+                    changed = True
+            if not changed:
+                break
+        flow = FunctionFlow(
+            qualname=self.qualname,
+            params=self.params,
+            returns=sorted(self.return_tokens),
+            calls=self.calls,
+            sinks=[self._sink_acc[k] for k in sorted(self._sink_acc)],
+        )
+        flow.handlers, flow.finally_jumps = _exception_info(self.node, self.starts)
+        return flow
+
+    # -- transfer ------------------------------------------------------------
+
+    def _bind(
+        self,
+        env: Dict[str, FrozenSet[Token]],
+        target: ast.expr,
+        tokens: FrozenSet[Token],
+        weak: bool = False,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if weak:
+                env[target.id] = env.get(target.id, _EMPTY) | tokens
+            else:
+                env[target.id] = tokens
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(env, element, tokens, weak=True)
+        elif isinstance(target, ast.Starred):
+            self._bind(env, target.value, tokens, weak=True)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            # Writing through an object taints the object: ``pkt.ts = t``
+            # makes every later read of ``pkt`` carry ``t``'s tokens.
+            base = target.value
+            while isinstance(base, (ast.Attribute, ast.Subscript)):
+                base = base.value
+            if isinstance(base, ast.Name):
+                env[base.id] = env.get(base.id, _EMPTY) | tokens
+
+    def _transfer(self, item: ast.AST, env: Dict[str, FrozenSet[Token]]) -> None:
+        if isinstance(item, ast.Assign):
+            tokens = self._eval(item.value, env)
+            for target in item.targets:
+                self._bind(env, target, tokens)
+        elif isinstance(item, ast.AnnAssign):
+            if item.value is not None:
+                self._bind(env, item.target, self._eval(item.value, env))
+        elif isinstance(item, ast.AugAssign):
+            self._bind(env, item.target, self._eval(item.value, env), weak=True)
+        elif isinstance(item, ast.Return):
+            if item.value is not None:
+                self.return_tokens.update(self._eval(item.value, env))
+        elif isinstance(item, ast.Expr):
+            self._eval(item.value, env)
+        elif isinstance(item, (ast.For, ast.AsyncFor)):
+            tokens = self._eval(item.iter, env)
+            if _is_set_expr(item.iter, self.set_names):
+                tokens = tokens | frozenset([("kind", KIND_SETORDER)])
+            self._bind(env, item.target, tokens, weak=True)
+        elif isinstance(item, ast.withitem):
+            tokens = self._eval(item.context_expr, env)
+            if item.optional_vars is not None:
+                self._bind(env, item.optional_vars, tokens)
+        elif isinstance(item, ast.ExceptHandler):
+            if item.name:
+                env[item.name] = _EMPTY
+        elif isinstance(item, ast.Delete):
+            for target in item.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+                else:
+                    self._eval(target, env)
+        elif isinstance(item, ast.Assert):
+            self._eval(item.test, env)
+        elif isinstance(item, ast.Raise):
+            if item.exc is not None:
+                self._eval(item.exc, env)
+        elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            env[item.name] = _EMPTY
+        elif isinstance(item, (ast.Import, ast.ImportFrom)):
+            for alias in item.names:
+                env[(alias.asname or alias.name.split(".")[0])] = _EMPTY
+        elif item.__class__.__name__ == "Match":
+            subject = self._eval(item.subject, env)  # type: ignore[attr-defined]
+            for case in getattr(item, "cases", []):
+                for inner in ast.walk(case.pattern):
+                    name = getattr(inner, "name", None)
+                    if isinstance(name, str):
+                        env[name] = env.get(name, _EMPTY) | subject
+        elif isinstance(item, ast.expr):
+            self._eval(item, env)
+        # Pass/Global/Nonlocal/Break/Continue carry no dataflow.
+
+    # -- expression evaluation ----------------------------------------------
+
+    def _eval(self, node: ast.expr, env: Dict[str, FrozenSet[Token]]) -> FrozenSet[Token]:
+        if isinstance(node, ast.Name):
+            return env.get(node.id, _EMPTY)
+        if isinstance(node, ast.Constant):
+            return _EMPTY
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.NamedExpr):
+            tokens = self._eval(node.value, env)
+            # Weak update: inside a short-circuit operand the binding
+            # may not execute — union is exactly that join.
+            self._bind(env, node.target, tokens, weak=True)
+            return tokens
+        if isinstance(node, ast.Attribute):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Subscript):
+            return self._eval(node.value, env) | self._eval(node.slice, env)
+        if isinstance(node, ast.Slice):
+            out = _EMPTY
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    out = out | self._eval(part, env)
+            return out
+        if isinstance(node, ast.BoolOp):
+            out = _EMPTY
+            for value in node.values:
+                out = out | self._eval(value, env)
+            return out
+        if isinstance(node, ast.BinOp):
+            return self._eval(node.left, env) | self._eval(node.right, env)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env)
+        if isinstance(node, ast.Compare):
+            out = self._eval(node.left, env)
+            for comp in node.comparators:
+                out = out | self._eval(comp, env)
+            return out
+        if isinstance(node, ast.IfExp):
+            return (
+                self._eval(node.test, env)
+                | self._eval(node.body, env)
+                | self._eval(node.orelse, env)
+            )
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = _EMPTY
+            for element in node.elts:
+                out = out | self._eval(element, env)
+            return out
+        if isinstance(node, ast.Dict):
+            out = _EMPTY
+            for key in node.keys:
+                if key is not None:
+                    out = out | self._eval(key, env)
+            for value in node.values:
+                out = out | self._eval(value, env)
+            return out
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            return self._eval_comprehension(node, env)
+        if isinstance(node, ast.JoinedStr):
+            out = _EMPTY
+            for value in node.values:
+                out = out | self._eval(value, env)
+            return out
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Lambda):
+            return _EMPTY
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Yield):
+            return self._eval(node.value, env) if node.value is not None else _EMPTY
+        return _EMPTY
+
+    def _eval_comprehension(
+        self, node: ast.expr, env: Dict[str, FrozenSet[Token]]
+    ) -> FrozenSet[Token]:
+        scope = dict(env)
+        out = _EMPTY
+        for gen in node.generators:  # type: ignore[attr-defined]
+            iter_tokens = self._eval(gen.iter, scope)
+            if _is_set_expr(gen.iter, self.set_names) and not isinstance(
+                node, (ast.SetComp, ast.DictComp)
+            ):
+                # An ordered container built by walking a set inherits
+                # the iteration-order dependency; a set/dict result does
+                # not expose an order of its own here.
+                out = out | frozenset([("kind", KIND_SETORDER)])
+            self._bind(scope, gen.target, iter_tokens, weak=True)
+            for cond in gen.ifs:
+                self._eval(cond, scope)
+        if isinstance(node, ast.DictComp):
+            out = out | self._eval(node.key, scope) | self._eval(node.value, scope)
+        else:
+            out = out | self._eval(node.elt, scope)  # type: ignore[attr-defined]
+        return out
+
+    # -- calls ---------------------------------------------------------------
+
+    def _site(self, node: ast.AST) -> Dict:
+        lineno = getattr(node, "lineno", 1)
+        return {
+            "lineno": lineno,
+            "col": getattr(node, "col_offset", 0),
+            "stmt_line": self.starts.get(lineno, lineno),
+        }
+
+    def _record_sink(
+        self, node: ast.Call, kind: str, label: str, tokens: FrozenSet[Token]
+    ) -> None:
+        key = (node.lineno, node.col_offset, kind)
+        entry = self._sink_acc.get(key)
+        if entry is None:
+            entry = self._site(node)
+            entry.update({"kind": kind, "label": label, "tokens": []})
+            self._sink_acc[key] = entry
+        merged = set(tuple(t) for t in entry["tokens"]) | set(tokens)
+        entry["tokens"] = sorted(merged)
+
+    def _eval_call(
+        self, node: ast.Call, env: Dict[str, FrozenSet[Token]]
+    ) -> FrozenSet[Token]:
+        recv = _EMPTY
+        attr = ""
+        if isinstance(node.func, ast.Attribute):
+            recv = self._eval(node.func.value, env)
+            attr = node.func.attr
+        elif not isinstance(node.func, ast.Name):
+            recv = self._eval(node.func, env)
+        arg_tokens = [self._eval(arg, env) for arg in node.args]
+        kw_tokens: Dict[str, FrozenSet[Token]] = {}
+        for kw in node.keywords:
+            kw_tokens[kw.arg or "**"] = self._eval(kw.value, env)
+        everything = recv
+        for tokens in arg_tokens:
+            everything = everything | tokens
+        for tokens in kw_tokens.values():
+            everything = everything | tokens
+
+        raw = _dotted(node.func) or ""
+        tail = raw.rsplit(".", 1)[-1] if raw else attr
+        target = resolve_call_target(node.func, self.aliases) or ""
+
+        # -- sources ---------------------------------------------------------
+        if target in _BANNED_TIME:
+            return frozenset([("kind", KIND_TIME)])
+        if target and _is_entropy_target(target):
+            return frozenset([("kind", KIND_ENTROPY)])
+        if target == "id":
+            return frozenset([("kind", KIND_ID)])
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "list",
+            "tuple",
+            "iter",
+            "enumerate",
+        ):
+            if node.args and _is_set_expr(node.args[0], self.set_names):
+                return everything | frozenset([("kind", KIND_SETORDER)])
+
+        # -- sanitizers ------------------------------------------------------
+        if tail == "derive_seed":
+            return _EMPTY
+
+        # -- sinks -----------------------------------------------------------
+        args_and_kwargs = everything - recv if recv else everything
+        if attr in _METRICS_METHODS:
+            self._record_sink(node, "metrics", f".{attr}()", args_and_kwargs)
+        elif attr in _TRACE_METHODS:
+            self._record_sink(node, "trace", f".{attr}()", args_and_kwargs)
+        elif tail == "TraceEntry":
+            self._record_sink(node, "trace", "TraceEntry(...)", args_and_kwargs)
+        elif attr in _WIRE_METHODS:
+            self._record_sink(node, "wire", f".{attr}()", everything)
+        elif target in ("struct.pack", "struct.pack_into"):
+            self._record_sink(node, "wire", target, args_and_kwargs)
+        if target == "random.Random":
+            self._record_sink(node, "seed", "random.Random(...)", args_and_kwargs)
+        elif attr == "seed":
+            self._record_sink(node, "seed", ".seed()", args_and_kwargs)
+        elif tail == "ShardSpec":
+            seed_tokens = kw_tokens.get("seed", _EMPTY)
+            if len(arg_tokens) >= 2:
+                seed_tokens = seed_tokens | arg_tokens[1]
+            if seed_tokens:
+                self._record_sink(node, "seed", "ShardSpec(seed=...)", seed_tokens)
+
+        # -- plain call site -------------------------------------------------
+        sid = self._site_ids.get(id(node))
+        if sid is None:  # a call synthesized outside the lexical walk
+            return everything
+        site = self.calls.get(sid)
+        if site is None:
+            site = self._site(node)
+            site.update(
+                {
+                    "callee": raw,
+                    "attr": attr,
+                    "recv": [],
+                    "args": [[] for _ in arg_tokens],
+                    "kwargs": {},
+                    "sanitize": [KIND_SETORDER]
+                    if isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_SANITIZERS
+                    else [],
+                }
+            )
+            self.calls[sid] = site
+        site["recv"] = sorted(set(tuple(t) for t in site["recv"]) | recv)
+        merged_args = []
+        for index, tokens in enumerate(arg_tokens):
+            have = (
+                set(tuple(t) for t in site["args"][index])
+                if index < len(site["args"])
+                else set()
+            )
+            merged_args.append(sorted(have | tokens))
+        site["args"] = merged_args
+        for name, tokens in kw_tokens.items():
+            have = set(tuple(t) for t in site["kwargs"].get(name, []))
+            site["kwargs"][name] = sorted(have | tokens)
+        return frozenset([("call", sid)])
+
+
+# -- exception-flow extraction (purely syntactic) ----------------------------
+
+
+def _handler_kind(handler: ast.ExceptHandler) -> Optional[str]:
+    """"bare"/"Exception"/"BaseException" for broad handlers, else None."""
+    if handler.type is None:
+        return "bare"
+    candidates = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for candidate in candidates:
+        dotted = _dotted(candidate) or ""
+        tail = dotted.rsplit(".", 1)[-1]
+        if tail in ("Exception", "BaseException"):
+            return tail
+    return None
+
+
+def _handler_records_failure(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or demonstrably keeps the error:
+    it references the bound exception name, or formats the traceback.
+    Swallowing means none of those — the failure becomes silence."""
+    fake = ast.Module(body=list(handler.body), type_ignores=[])
+    for node in _own_scope_walk(fake):
+        if isinstance(node, ast.Raise):
+            return True
+        if (
+            handler.name
+            and isinstance(node, ast.Name)
+            and node.id == handler.name
+            and isinstance(node.ctx, ast.Load)
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func) or ""
+            if dotted.split(".", 1)[0] == "traceback":
+                return True
+    return False
+
+
+def _finally_jumps(finalbody: Sequence[ast.stmt], starts: Dict[int, int]) -> List[Dict]:
+    """Jump statements that exit a ``finally`` block, discarding any
+    in-flight exception.  ``break``/``continue`` targeting a loop fully
+    inside the block are local and exempt."""
+    out: List[Dict] = []
+
+    def walk(stmts: Sequence[ast.stmt], loop_depth: int) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Return):
+                out.append(_jump(stmt, "return"))
+            elif isinstance(stmt, ast.Break) and loop_depth == 0:
+                out.append(_jump(stmt, "break"))
+            elif isinstance(stmt, ast.Continue) and loop_depth == 0:
+                out.append(_jump(stmt, "continue"))
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                walk(stmt.body, loop_depth + 1)
+                walk(stmt.orelse, loop_depth)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            else:
+                for field in ("body", "orelse", "finalbody"):
+                    walk(getattr(stmt, field, []), loop_depth)
+                for handler in getattr(stmt, "handlers", []):
+                    walk(handler.body, loop_depth)
+
+    def _jump(stmt: ast.stmt, kind: str) -> Dict:
+        return {
+            "lineno": stmt.lineno,
+            "col": stmt.col_offset,
+            "stmt_line": starts.get(stmt.lineno, stmt.lineno),
+            "kind": kind,
+        }
+
+    walk(finalbody, 0)
+    return out
+
+
+def _exception_info(
+    fn_node: ast.AST, starts: Dict[int, int]
+) -> Tuple[List[Dict], List[Dict]]:
+    handlers: List[Dict] = []
+    jumps: List[Dict] = []
+    for node in _own_scope_walk(fn_node):
+        if isinstance(node, ast.ExceptHandler):
+            kind = _handler_kind(node)
+            if kind is not None:
+                handlers.append(
+                    {
+                        "lineno": node.lineno,
+                        "col": node.col_offset,
+                        "stmt_line": starts.get(node.lineno, node.lineno),
+                        "what": kind,
+                        "handled": _handler_records_failure(node),
+                    }
+                )
+        elif isinstance(node, ast.Try) or node.__class__.__name__ == "TryStar":
+            jumps.extend(_finally_jumps(getattr(node, "finalbody", []), starts))
+    return handlers, jumps
+
+
+# -- module extraction -------------------------------------------------------
+
+
+def solve_function(
+    fn_node: ast.AST,
+    qualname: str,
+    *,
+    in_class: bool = False,
+    aliases: Optional[Dict[str, str]] = None,
+    statement_starts: Optional[Dict[int, int]] = None,
+) -> FunctionFlow:
+    """Solve one function in isolation (unit-test entry point)."""
+    return _FunctionSolver(
+        fn_node,
+        qualname,
+        in_class=in_class,
+        aliases=aliases or {},
+        statement_starts=statement_starts or {},
+    ).solve()
+
+
+def extract_flow(
+    module: str,
+    tree: ast.Module,
+    statement_starts: Optional[Dict[int, int]] = None,
+) -> ModuleFlow:
+    """Flow summaries for every function in one parsed module.
+
+    Qualnames mirror :mod:`repro.lint.program.summary` exactly —
+    ``f``, ``Cls.m``, ``f.<locals>.g`` — so a flow summary and a
+    program summary for the same function share one function id.
+    """
+    aliases = import_aliases(tree)
+    starts = statement_starts or {}
+    out = ModuleFlow(module=module)
+
+    def scan(node: ast.AST, qual: str, in_class: bool) -> None:
+        out.functions[qual] = _FunctionSolver(
+            node,
+            qual,
+            in_class=in_class,
+            aliases=aliases,
+            statement_starts=starts,
+        ).solve()
+        for inner in _own_scope_walk(node):
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scan(inner, f"{qual}.<locals>.{inner.name}", in_class=False)
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scan(node, node.name, in_class=False)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    scan(item, f"{node.name}.{item.name}", in_class=True)
+    return out

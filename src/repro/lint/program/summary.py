@@ -307,7 +307,9 @@ def _annotation_source(node: Optional[ast.expr]) -> str:
         return ""
     try:
         return ast.unparse(node)
-    except Exception:  # pragma: no cover - unparse is total on 3.9+
+    # Defensive only (unparse is total on 3.9+); the annotation text is
+    # cosmetic, so the empty fallback loses nothing worth recording.
+    except Exception:  # pragma: no cover  # repro: allow[RL701]
         return ""
 
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 from repro.lint.rules import (
     compile_ready,
     determinism,
+    flow_determinism,
+    flow_exceptions,
     hygiene,
     shard_safety,
     suppression,
@@ -20,6 +22,8 @@ from repro.lint.rules import (
 __all__ = [
     "compile_ready",
     "determinism",
+    "flow_determinism",
+    "flow_exceptions",
     "hygiene",
     "shard_safety",
     "suppression",

@@ -1,0 +1,123 @@
+"""RL6xx — determinism-taint (dataflow) rules.
+
+The syntactic RL1xx rules see one statement at a time: ``t = id(pkt)``
+is invisible to them the moment ``t`` crosses a function boundary
+before reaching a trace.  These rules run on the composed dataflow
+facts (:class:`repro.lint.flow.interp.FlowProgram`): a value derived
+from a wall-clock read, ambient entropy, ``id()``, or set-iteration
+order is tracked through assignments, containers, returns and calls —
+two or more hops included — until it reaches an output surface:
+
+- RL601 — trace output or a metrics fold: the value lands in the
+  byte-compared artifact tables, so two runs diverge silently;
+- RL602 — a wire encoder: the nondeterminism is serialized into
+  packet bytes, breaking trace byte-identity *and* protocol replay;
+- RL603 — an RNG seed path that bypasses ``derive_seed``: shard
+  results then depend on scheduling or the wall clock, not the seed.
+
+Scope matches RL1xx: the packages whose behaviour must be a pure
+function of the seed (``DETERMINISTIC_PACKAGES``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lint.core import LintContext, register_rule, Rule
+from repro.lint.flow.interp import FlowProgram
+from repro.lint.flow.model import KIND_LABELS
+from repro.lint.program.analyzer import ProgramReporter
+from repro.lint.rules.determinism import DETERMINISTIC_PACKAGES
+
+__all__ = ["TaintReachesTable", "TaintReachesWire", "TaintReachesSeed"]
+
+
+def _in_scope(module: str) -> bool:
+    return any(
+        module == p or module.startswith(p + ".") for p in DETERMINISTIC_PACKAGES
+    )
+
+
+def _kinds_phrase(kinds) -> str:
+    return " / ".join(KIND_LABELS.get(k, k) for k in kinds)
+
+
+def _path_phrase(incident: Dict) -> str:
+    if incident["via"]:
+        return f" (reaches the sink through {incident['via']})"
+    return ""
+
+
+class _TaintRule(Rule):
+    """Shared driver: report incidents of the configured sink kinds."""
+
+    program = True
+    flow = True
+    sink_kinds: tuple = ()
+    sink_phrase: str = ""
+    hint: str = ""
+
+    def check(self, ctx: LintContext) -> None:
+        return None
+
+    def check_flow(self, flow_program: FlowProgram, report: ProgramReporter) -> None:
+        for incident in flow_program.incidents:
+            if incident["sink"] not in self.sink_kinds:
+                continue
+            if not _in_scope(incident["module"]):
+                continue
+            ms = flow_program.module_summary(incident["fid"])
+            if ms is None:
+                continue
+            report.add(
+                ms,
+                incident,
+                self.code,
+                f"`{incident['qualname']}` lets a "
+                f"{_kinds_phrase(incident['kinds'])} value reach "
+                f"{self.sink_phrase} via {incident['label']}"
+                f"{_path_phrase(incident)}",
+                self.hint,
+            )
+
+
+@register_rule
+class TaintReachesTable(_TaintRule):
+    code = "RL601"
+    name = "taint-reaches-table"
+    summary = "wall-clock/entropy/id()/set-order taint flows into a trace or metrics fold"
+    sink_kinds = ("trace", "metrics")
+    sink_phrase = "the byte-compared output tables"
+    hint = (
+        "trace entries and fold inputs must be pure functions of the "
+        "seed — derive the value from simulation time, a stable field, "
+        "or the shard's derived RNG; sorted(...) scrubs set order"
+    )
+
+
+@register_rule
+class TaintReachesWire(_TaintRule):
+    code = "RL602"
+    name = "taint-reaches-wire"
+    summary = "nondeterministic value is serialized into packet bytes"
+    sink_kinds = ("wire",)
+    sink_phrase = "a wire encoder"
+    hint = (
+        "wire bytes must replay identically: take identifiers from the "
+        "engine RNG or a sequence counter, timestamps from the "
+        "simulation clock, and order multi-entry fields explicitly"
+    )
+
+
+@register_rule
+class TaintReachesSeed(_TaintRule):
+    code = "RL603"
+    name = "taint-reaches-seed"
+    summary = "RNG seeded from a nondeterministic value, bypassing derive_seed"
+    sink_kinds = ("seed",)
+    sink_phrase = "an RNG seed"
+    hint = (
+        "seeds must come from derive_seed(base_seed, shard_index) (or a "
+        "value derived from it) so results are a function of the "
+        "configured seed, not of when or where the run happened"
+    )

@@ -4,7 +4,10 @@ Suppressions rot: the offending line gets refactored away, the pragma
 stays, and six months later it silently swallows a brand-new violation
 on the same line.  RL001 closes that loop — after every full run the
 driver compares the suppressions that exist against the suppressions
-that fired, and reports the difference.
+that fired, and reports the difference.  It also flags suppressions
+that name a rule code missing from the registry entirely (a renamed or
+deleted rule): those can never fire again and are reported even on
+partial ``--select`` runs.
 
 The detection itself lives in :func:`repro.lint.core.
 _stale_suppression_findings` because it needs the whole run's usage

@@ -1,0 +1,15 @@
+# repro-lint-module: repro.sim.fix601
+"""RL601 positive: an id()-derived tag crosses *two* calls before it
+lands in the packet trace — invisible to the syntactic RL1xx rules."""
+
+
+def ident_token(obj):
+    return id(obj)
+
+
+def tag(obj):
+    return ident_token(obj) & 0xFFFF
+
+
+def emit(trace, obj):
+    trace.record("client0", "eth0", "tx", tag(obj))

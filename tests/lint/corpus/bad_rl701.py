@@ -1,0 +1,20 @@
+# repro-lint-module: repro.sweeps.fix701
+"""RL701 positive: a shard worker swallows every exception — a crashed
+shard becomes a silently wrong row instead of a failure."""
+from repro.parallel.executor import SweepExecutor
+
+
+def compute(spec):
+    return spec.seed * 2
+
+
+def measure(spec):
+    try:
+        return compute(spec)
+    except Exception:
+        return None
+
+
+def sweep(specs):
+    executor = SweepExecutor(jobs=2)
+    return executor.map(measure, specs)

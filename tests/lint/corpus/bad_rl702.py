@@ -1,0 +1,10 @@
+# repro-lint-module: repro.sim.fix702
+"""RL702 positive: `return` inside `finally` silently replaces any
+in-flight exception mid-cleanup."""
+
+
+def drain(engine):
+    try:
+        engine.step()
+    finally:
+        return 0

@@ -1,0 +1,20 @@
+# repro-lint-module: repro.sim.fix601g
+"""RL601 negative: the trace tag comes from a stable field, and the
+set-order dependency is scrubbed by sorted() before it reaches a fold."""
+
+
+def ident_token(obj):
+    return obj.name
+
+
+def tag(obj):
+    return ident_token(obj)
+
+
+def emit(trace, obj):
+    trace.record("client0", "eth0", "tx", tag(obj))
+
+
+def fold_counts(census, addresses: set) -> None:
+    for address in sorted(addresses):
+        census.observe(address)

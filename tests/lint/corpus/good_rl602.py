@@ -1,0 +1,12 @@
+# repro-lint-module: repro.net.fix602g
+"""RL602 negative: wire idents come from an explicit sequence counter
+threaded through the caller — a pure function of simulation state."""
+import struct
+
+
+def make_ident(sequence):
+    return sequence & 0xFFFF
+
+
+def encode_header(sequence, proto):
+    return struct.pack("!HH", proto, make_ident(sequence))

@@ -1,0 +1,10 @@
+# repro-lint-module: repro.analysis.fix603g
+"""RL603 negative: the RNG seed is derived from the shard — the
+sanctioned route, so the taint analysis treats it as clean."""
+import random
+
+from repro.parallel.shard import derive_seed
+
+
+def make_rng(base_seed, spec):
+    return random.Random(derive_seed(base_seed, spec.index))

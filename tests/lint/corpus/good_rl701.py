@@ -1,0 +1,27 @@
+# repro-lint-module: repro.sweeps.fix701g
+"""RL701 negative: the worker keeps failures visible — one handler is
+narrow, the other binds the exception and records it in the row."""
+from repro.parallel.executor import SweepExecutor
+
+
+def compute(spec):
+    return spec.seed * 2
+
+
+def measure(spec):
+    try:
+        return compute(spec)
+    except ValueError:
+        return 0
+
+
+def measure_logged(spec):
+    try:
+        return compute(spec)
+    except Exception as exc:
+        return {"failed": repr(exc)}
+
+
+def sweep(specs):
+    executor = SweepExecutor(jobs=2)
+    return executor.map(measure, specs) + executor.map(measure_logged, specs)

@@ -1,0 +1,19 @@
+# repro-lint-module: repro.sim.fix702g
+"""RL702 negative: finally blocks do straight-line cleanup; the only
+`break` targets a loop fully inside the block (a local jump)."""
+
+
+def drain(engine):
+    try:
+        return engine.step()
+    finally:
+        engine.reset()
+
+
+def flush(engine, queue):
+    try:
+        engine.step()
+    finally:
+        while queue:
+            if queue.pop() is None:
+                break

@@ -1,9 +1,10 @@
 """Per-rule fixture tests: every code has a minimal positive and
 negative snippet in ``tests/lint/corpus`` (one pair per shipped rule).
 
-Fixtures are linted through :func:`lint_paths` with ``program=True`` so
-the whole-program RL4xx/RL5xx rules (and the RL001 stale-suppression
-check) see the same pipeline the CLI runs.
+Fixtures are linted through :func:`lint_paths` with ``flow=True`` so
+the whole-program RL4xx/RL5xx rules, the dataflow RL6xx/RL7xx rules,
+and the RL001 stale-suppression check all see the same pipeline the
+CLI runs under ``--flow``.
 """
 
 from __future__ import annotations
@@ -19,7 +20,7 @@ ALL_CODES = sorted(rule.code for rule in all_rules())
 
 
 def codes_in(path: Path) -> set:
-    return {finding.code for finding in lint_paths([path], program=True)}
+    return {finding.code for finding in lint_paths([path], flow=True)}
 
 
 def test_corpus_covers_every_rule():
@@ -45,10 +46,10 @@ def test_negative_fixture_clean(code):
 def test_rule_codes_follow_families():
     """Codes stay within the documented families: RL0xx meta, RL1xx
     determinism, RL2xx wire, RL3xx hygiene, RL4xx shard-safety, RL5xx
-    compile-readiness."""
+    compile-readiness, RL6xx determinism-taint, RL7xx exception-flow."""
     for code in ALL_CODES:
         assert code.startswith("RL") and len(code) == 5, code
-        assert code[2] in "012345", f"unknown family for {code}"
+        assert code[2] in "01234567", f"unknown family for {code}"
 
 
 def test_findings_report_location_and_hint():

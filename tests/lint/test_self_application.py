@@ -34,18 +34,18 @@ def _run_cli(*args: str) -> subprocess.CompletedProcess:
 
 
 def test_src_tree_lints_clean_via_cli():
-    result = _run_cli("src", "--program")
+    result = _run_cli("src", "--flow")
     assert result.returncode == 0, f"tree not clean:\n{result.stdout}"
     assert "repro.lint: clean" in result.stdout
 
 
 def test_src_tree_lints_clean_in_process():
-    assert lint_paths([REPO_ROOT / "src"], program=True) == []
+    assert lint_paths([REPO_ROOT / "src"], flow=True) == []
 
 
 def test_broken_corpus_fails_with_every_code():
     bad_files = sorted(str(p) for p in CORPUS.glob("bad_*.py"))
-    result = _run_cli("--program", *bad_files)
+    result = _run_cli("--flow", *bad_files)
     assert result.returncode == 1
     for rule in all_rules():
         assert rule.code in result.stdout, f"{rule.code} missing from CLI output"
@@ -71,6 +71,25 @@ def test_cli_list_rules():
     assert result.returncode == 0
     for rule in all_rules():
         assert rule.code in result.stdout
+    # Grouped by family, in order.
+    for header in ("RL1xx", "RL4xx", "RL6xx", "RL7xx"):
+        assert header in result.stdout
+    assert result.stdout.index("RL6xx") < result.stdout.index("RL7xx")
+
+
+def test_cli_list_rules_json():
+    import json as _json
+
+    result = _run_cli("--list-rules", "--format", "json")
+    assert result.returncode == 0
+    inventory = _json.loads(result.stdout)
+    codes = [entry["code"] for entry in inventory["rules"]]
+    assert codes == sorted(rule.code for rule in all_rules())
+    by_code = {entry["code"]: entry for entry in inventory["rules"]}
+    assert by_code["RL601"]["kind"] == "flow"
+    assert by_code["RL401"]["kind"] == "program"
+    assert by_code["RL101"]["kind"] == "file"
+    assert by_code["RL601"]["family"].startswith("RL6xx")
 
 
 def test_cli_missing_path_is_usage_error():
