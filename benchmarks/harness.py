@@ -25,6 +25,13 @@ Metrics per scenario:
   (``parallel_speedup`` is null for serial scenarios);
 - ``devices_per_sec`` — fleet devices evaluated per wall second, for
   scenarios driving the columnar fleet engine (null elsewhere);
+- ``transport`` / ``ipc_bytes`` — how the fleet scenarios' bulk shard
+  data travelled (``pickle`` through the pool pipe, ``shm`` through
+  zero-copy arena windows) and the column bytes that crossed the pipe
+  per round (0 under shm; null for non-fleet scenarios);
+- ``speedup_gate`` — verdict on ``parallel_speedup`` against the 0.6 x
+  jobs floor, or a "skipped (...)" marker naming why the number cannot
+  gate on this run (quick mode, <4 cores, jobs<2, serial scenario);
 - ``peak_rss_bytes`` — process peak RSS (children included) sampled
   after the scenario's rounds.  ``ru_maxrss`` is a high-water mark, so
   the value is cumulative across the scenarios run before it in the
@@ -69,7 +76,11 @@ from repro.analysis.adoption import (  # noqa: E402
     run_adoption_sweep_stats,
     windows_refresh_mixes,
 )
-from repro.analysis.fleet import run_fleet_adoption_sweep_stats  # noqa: E402
+from repro.analysis.fleet import (  # noqa: E402
+    distinct_profiles,
+    run_fleet_population_stats,
+)
+from repro.clients.fleet import calibrate_profiles, ProfileOutcome  # noqa: E402
 from repro.clients.profiles import (  # noqa: E402
     ANDROID,
     IOS,
@@ -125,6 +136,8 @@ class RoundResult:
         shard_wall: float = 0.0,
         parallel: bool = False,
         devices: int = 0,
+        transport: str = "",
+        ipc_bytes: int = 0,
     ) -> None:
         self.events = events
         self.sim_seconds = sim_seconds
@@ -132,6 +145,8 @@ class RoundResult:
         self.shard_wall = shard_wall
         self.parallel = parallel
         self.devices = devices
+        self.transport = transport
+        self.ipc_bytes = ipc_bytes
         self.wall = 0.0
 
 
@@ -262,22 +277,28 @@ def scenario_scheduler_wheel(quick: bool, executor: SweepExecutor) -> RoundResul
     return RoundResult(engine.events_run, engine.now, 0)
 
 
-def scenario_fleet_million(quick: bool, executor: SweepExecutor) -> RoundResult:
-    """The §VII adoption trajectory at production fleet scale.
+#: Calibration tables measured once per distinct-profile set and reused
+#: across rounds/scenarios, so the timed region measures the columnar
+#: sweep + transport, not the (tiny, constant) calibration testbed.
+_CALIBRATIONS: Dict[tuple, tuple] = {}
 
-    A million-device fleet (100k in quick mode) swept through the five
-    Windows-refresh stages on the columnar engine: one live calibration
-    client per distinct OS profile, then struct-of-arrays evaluation +
-    streaming folds over device ranges sharded across the executor's
-    pool.  Headline metric is ``devices_per_sec`` (events/queries are
-    zero by design — the per-device work is translate/count, not
-    simulated packets — so the events/queries regression gate skips this
-    scenario and the CI fleet smoke gates peak RSS instead).
-    """
-    fleet = 100_000 if quick else 1_000_000
+
+def _fleet_calibration(mixes) -> "tuple[ProfileOutcome, ...]":
+    profiles = distinct_profiles(mixes)
+    key = tuple(p.name for p in profiles)
+    if key not in _CALIBRATIONS:
+        _CALIBRATIONS[key] = calibrate_profiles(profiles, TestbedConfig())
+    return _CALIBRATIONS[key]
+
+
+def _scenario_fleet(fleet: int, executor: SweepExecutor) -> RoundResult:
+    """Shared body for the fleet-scale scenarios: sweep ``fleet`` devices
+    per stage through the columnar engine's population path, full state
+    columns travelling back over the executor's transport."""
     mixes = windows_refresh_mixes(fleet_size=fleet)
-    _points, stats, info = run_fleet_adoption_sweep_stats(
-        mixes, TestbedConfig(), executor=executor
+    calibration = _fleet_calibration(mixes)
+    _points, stats, info, _states = run_fleet_population_stats(
+        mixes, TestbedConfig(), executor=executor, calibration=calibration
     )
     return RoundResult(
         0,
@@ -286,7 +307,37 @@ def scenario_fleet_million(quick: bool, executor: SweepExecutor) -> RoundResult:
         shard_wall=stats.shard_wall_s,
         parallel=True,
         devices=info.devices,
+        transport=info.transport,
+        ipc_bytes=info.ipc_bytes,
     )
+
+
+def scenario_fleet_million(quick: bool, executor: SweepExecutor) -> RoundResult:
+    """The §VII adoption trajectory at production fleet scale.
+
+    A million-device fleet (100k in quick mode) swept through the five
+    Windows-refresh stages on the columnar engine: calibration tables
+    reused from the module cache, then struct-of-arrays evaluation over
+    device ranges sharded across the executor's pool, with the full
+    outcome columns shipped back over the executor's transport (arena
+    windows under shm, pool pipe under pickle).  Headline metric is
+    ``devices_per_sec`` (events/queries are zero by design — the
+    per-device work is translate/count, not simulated packets — so the
+    events/queries regression gate skips this scenario and the CI fleet
+    smoke gates peak RSS instead).
+    """
+    return _scenario_fleet(100_000 if quick else 1_000_000, executor)
+
+
+def scenario_fleet_10m(quick: bool, executor: SweepExecutor) -> RoundResult:
+    """Ten million devices per stage — the transport stress tier.
+
+    At this size the pickle transport ships ~70 MB of column bytes per
+    stage through the pool pipe, so the shared-memory arena's zero-copy
+    advantage dominates the wall clock.  Quick mode runs 200k devices
+    (a smoke of the same code path, deliberately distinct from
+    ``fleet_million``'s quick size so both rows stay meaningful)."""
+    return _scenario_fleet(200_000 if quick else 10_000_000, executor)
 
 
 SCENARIOS: Dict[str, Callable[[bool, SweepExecutor], RoundResult]] = {
@@ -295,6 +346,7 @@ SCENARIOS: Dict[str, Callable[[bool, SweepExecutor], RoundResult]] = {
     "dns_fast_path": scenario_dns_fast_path,
     "scheduler_wheel": scenario_scheduler_wheel,
     "fleet_million": scenario_fleet_million,
+    "fleet_10m": scenario_fleet_10m,
 }
 
 
@@ -328,6 +380,8 @@ def run_scenario(
     events = 0
     queries = 0
     devices = 0
+    ipc_bytes = 0
+    transport = ""
     sharded = False
     # Cyclic-GC pauses land at arbitrary points inside timed rounds and
     # are the dominant noise source at these round lengths.  Standard
@@ -348,6 +402,8 @@ def run_scenario(
             events += result.events
             queries += result.queries
             devices += result.devices
+            ipc_bytes += result.ipc_bytes
+            transport = result.transport or transport
             sharded = sharded or result.parallel
             if result.sim_seconds:
                 ratios.append(result.sim_seconds / wall)
@@ -378,6 +434,12 @@ def run_scenario(
         # Fleet scenarios report columnar throughput; everything else
         # null.  Recorded, not gated — the fleet gate in CI is peak RSS.
         "devices_per_sec": round(round_devices / best_wall, 1) if devices else None,
+        # How the bulk shard data travelled (fleet scenarios): the
+        # resolved transport plus the column bytes that crossed the pool
+        # pipe per round — 0 under shm (columns land in arena windows),
+        # ~bytes_per_device x devices under pickle.
+        "transport": transport or None,
+        "ipc_bytes": ipc_bytes // rounds if transport else None,
         # Cumulative process high-water mark at the end of this
         # scenario's rounds (ru_maxrss, children included); None only
         # where the platform offers no resource module.
@@ -389,7 +451,39 @@ def run_scenario(
         # Effective parallelism: summed worker-equivalent wall over
         # observed wall — ~1.0 documents an inherently serial scenario.
         "parallel_speedup": round(max(speedups), 2) if speedups else None,
+        "speedup_gate": _speedup_gate(
+            sharded, quick, executor.jobs, max(speedups) if speedups else 0.0
+        ),
     }
+
+
+#: Minimum fraction of linear scaling a sharded full-mode scenario must
+#: reach on a machine with enough cores to make the number meaningful.
+SPEEDUP_FLOOR_FRACTION = 0.6
+
+
+def _speedup_gate(sharded: bool, quick: bool, jobs: int, speedup: float) -> str:
+    """Gate verdict for ``parallel_speedup``: "ok", "fail: ...", or a
+    "skipped (...)" marker naming why the number cannot gate here.
+
+    Quick-mode scenario sizes are too small to amortise pool dispatch,
+    a single-worker pool has nothing to scale, and below 4 physical
+    cores the OS scheduler (not the executor) owns the outcome — each
+    of those skips loudly instead of failing on noise.
+    """
+    if not sharded:
+        return "skipped (serial scenario)"
+    if quick:
+        return "skipped (quick mode)"
+    if jobs < 2:
+        return "skipped (jobs<2)"
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        return f"skipped ({cores} cores < 4)"
+    floor = SPEEDUP_FLOOR_FRACTION * jobs
+    if speedup >= floor:
+        return "ok"
+    return f"fail: speedup {speedup:.2f} < {floor:.2f} (0.6 x {jobs} jobs)"
 
 
 def _git_commit() -> Optional[str]:
@@ -612,6 +706,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="worker processes for sharded scenarios (default: $REPRO_JOBS or 1; 0 = all cores)",
     )
     parser.add_argument(
+        "--transport",
+        choices=("auto", "pickle", "shm"),
+        default="auto",
+        help="shard transport for the executor: pickle over the pool pipe or "
+        "zero-copy shared-memory arena windows (auto prefers shm where "
+        "available; results are byte-identical either way)",
+    )
+    parser.add_argument(
         "--format",
         choices=("plain", "gha"),
         default="plain",
@@ -624,7 +726,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     current: Dict[str, dict] = {}
     # One warm executor for the whole run: sharded scenarios reuse the
     # worker pool across rounds instead of re-forking per round.
-    with SweepExecutor(jobs=args.jobs) as executor:
+    with SweepExecutor(jobs=args.jobs, transport=args.transport) as executor:
         for name in names:
             if name not in SCENARIOS:
                 parser.error(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
@@ -709,6 +811,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         problems: List[str] = []
     else:
         problems = compare(current, baseline, args.tolerance, quick=args.quick, accel=accel)
+    # The speedup gate needs no baseline — it compares against the pool
+    # size itself (0.6 x jobs), skipping loudly where the number cannot
+    # mean anything (quick mode, <4 cores, jobs<2, serial scenarios).
+    problems += [
+        f"{name}.parallel_speedup {stats['speedup_gate']}"
+        for name, stats in current.items()
+        if str(stats.get("speedup_gate", "")).startswith("fail")
+    ]
     for problem in problems:
         print(f"[harness] REGRESSION {problem}")
     section_name = _baseline_section(args.quick, accel)

@@ -46,13 +46,13 @@ def cmd_fleet(args) -> int:
     """
     import time
 
-    from repro.analysis.fleet import run_fleet_adoption_sweep_stats
+    from repro.analysis.fleet import run_fleet_population_stats
     from repro.core.rss import peak_rss_bytes
 
     mixes = windows_refresh_mixes(fleet_size=args.devices)
     start = time.perf_counter()
-    points, _stats, info = run_fleet_adoption_sweep_stats(
-        mixes, jobs=args.jobs, min_shard=args.min_shard
+    points, _stats, info, _states = run_fleet_population_stats(
+        mixes, jobs=args.jobs, min_shard=args.min_shard, transport=args.transport
     )
     elapsed = time.perf_counter() - start
     print(sweep_table(points))
@@ -61,6 +61,7 @@ def cmd_fleet(args) -> int:
     summary = (
         f"fleet: {info.devices} devices / {info.stages} stages / "
         f"{info.distinct_profiles} profiles / {info.shard_count} shards, "
+        f"transport {info.transport} ({info.ipc_bytes} ipc bytes), "
         f"{elapsed:.2f}s, {rate:,.0f} devices/sec"
     )
     if rss is not None:
@@ -216,6 +217,12 @@ def main(argv=None) -> int:
         help="smallest device range worth dispatching to a worker",
     )
     p_fleet.add_argument("--jobs", type=int, default=None, help=jobs_help)
+    p_fleet.add_argument(
+        "--transport", default="auto", choices=["auto", "pickle", "shm"],
+        help="how worker columns reach the parent: pickle over the pool pipe "
+             "or zero-copy shared-memory arena windows (auto prefers shm when "
+             "the platform offers it; tables are byte-identical either way)",
+    )
     p_fleet.set_defaults(fn=cmd_fleet)
 
     p_scores = sub.add_parser("scores", help="mirror scores, stock vs fixed (§VI)")

@@ -29,7 +29,7 @@ from repro._compat import slotted_dataclass
 from repro.clients.profiles import LEGACY_IOT, MACOS, OsProfile, WINDOWS_10, WINDOWS_11_RFC8925
 from repro.core.metrics import AdoptionFold, CensusFold, SweepStats
 from repro.core.testbed import Testbed, TestbedConfig
-from repro.parallel import make_shards, ShardPayload, ShardSpec, SweepExecutor
+from repro.parallel import make_shards, owned_executor, ShardPayload, ShardSpec, SweepExecutor
 
 __all__ = [
     "FleetMix",
@@ -193,15 +193,14 @@ def _run_sweep(
     executor: Optional[SweepExecutor],
 ) -> Tuple[List[AdoptionPoint], SweepStats]:
     config = config or TestbedConfig()
-    specs = make_shards([(mix, config) for mix in mixes], base_seed=config.seed)
-    own_executor = executor is None
-    executor = executor or SweepExecutor(jobs=jobs)
-    try:
-        points = executor.map(worker, specs, label="adoption sweep")
-    finally:
-        if own_executor:
-            executor.close()
-    return points, executor.last_stats
+    specs = make_shards(
+        [(mix, config) for mix in mixes],
+        base_seed=config.seed,
+        costs=[float(mix.total) for mix in mixes],
+    )
+    with owned_executor(executor, jobs=jobs) as ex:
+        points = ex.map(worker, specs, label="adoption sweep")
+        return points, ex.last_stats
 
 
 def run_adoption_sweep_stats(

@@ -40,14 +40,24 @@ from repro.clients.fleet import (
 from repro.clients.profiles import OsProfile
 from repro.core.metrics import AdoptionFold, CensusFold, SweepStats
 from repro.core.testbed import TestbedConfig
-from repro.parallel import make_shards, ShardPayload, ShardSpec, SweepExecutor
+from repro.parallel import (
+    make_shards,
+    open_window,
+    owned_executor,
+    ShardPayload,
+    ShardSpec,
+    SweepExecutor,
+)
 from repro.parallel.shard import chunk_ranges
+from repro.parallel.shm import ArenaWindow, SharedColumnArena
 from repro.sim import fleet as fl
 
 __all__ = [
     "FleetSweepInfo",
+    "distinct_profiles",
     "run_fleet_adoption_sweep",
     "run_fleet_adoption_sweep_stats",
+    "run_fleet_population_stats",
 ]
 
 #: Devices below which a stage is not worth cutting into further shards;
@@ -57,13 +67,33 @@ DEFAULT_MIN_SHARD = 65_536
 
 @slotted_dataclass()
 class FleetSweepInfo:
-    """Execution accounting for one fleet sweep (for BENCH json rows)."""
+    """Execution accounting for one fleet sweep (for BENCH json rows).
+
+    ``transport`` and ``ipc_bytes`` record how the sweep's bulk data
+    travelled: the pickle transport ships ~``bytes_per_device`` bytes
+    per device through the pool's pipe, the shared-memory transport
+    ships none (columns land in the arena; only O(1) folds pickle).
+    """
 
     devices: int
     stages: int
     distinct_profiles: int
     shard_count: int
     bytes_per_device: float
+    transport: str = "pickle"
+    ipc_bytes: int = 0
+
+
+def distinct_profiles(mixes: Sequence[FleetMix]) -> List[OsProfile]:
+    """Distinct profiles in first-appearance order across all stages."""
+    profiles: List[OsProfile] = []
+    seen: Dict[str, int] = {}
+    for mix in mixes:
+        for profile, _count in mix.devices:
+            if profile.name not in seen:
+                seen[profile.name] = len(profiles)
+                profiles.append(profile)
+    return profiles
 
 
 def _runs_for_mix(mix: FleetMix, profile_index: Dict[str, int]) -> List[Tuple[int, int]]:
@@ -88,22 +118,15 @@ def _slice_runs(
     return out
 
 
-def _fold_fleet_range(spec: ShardSpec) -> ShardPayload:
-    """Worker: one contiguous device range, columnar evaluation + fold.
+def _fold_state(state: fl.FleetState) -> Tuple[AdoptionFold, CensusFold]:
+    """Fold one columnar population into its additive accumulators.
 
-    The payload carries everything the fold needs — the range's profile
-    runs and the pre-built translate tables — so the worker touches no
-    testbed, no engine and no RNG: it is a pure function of its spec,
-    which is what makes the merged table shard-geometry-independent.
+    ``naive_v6only`` is an addressing fact (device holds a global v6
+    address), not a class fact, so it folds from the addressing column
+    while the per-class counts fold from the census column.  Used both
+    by shard workers (their range) and by the population path's parent
+    (the merged state) — the folds agree by additivity.
     """
-    mix_index, start, stop, runs, tables = spec.payload
-    state = fl.FleetState(stop - start)
-    state.fill_runs(_slice_runs(runs, start, stop))
-    state.apply_outcomes(tables)
-
-    # ``naive_v6only`` is an addressing fact (device holds a global v6
-    # address), not a class fact, so it folds from the addressing column
-    # while the per-class counts fold from the census column.
     census = CensusFold()
     for code, count in state.code_counts("census").items():
         census.add_class(CLASS_FOR_CODE[code], has_v6_address=False, count=count)
@@ -118,7 +141,57 @@ def _fold_fleet_range(spec: ShardSpec) -> ShardPayload:
         intervened=state.count("dns", fl.DNS_POISON_REDIRECT),
         accurate_v6only=census.accurate_v6only,
     )
+    return fold, census
+
+
+def _build_range_state(
+    runs: Sequence[Tuple[int, int]],
+    start: int,
+    stop: int,
+    tables: Dict[str, bytes],
+) -> fl.FleetState:
+    """Materialize + evaluate one contiguous device range columnar-ly."""
+    state = fl.FleetState(stop - start)
+    state.fill_runs(_slice_runs(runs, start, stop))
+    state.apply_outcomes(tables)
+    return state
+
+
+def _fold_fleet_range(spec: ShardSpec) -> ShardPayload:
+    """Worker: one contiguous device range, columnar evaluation + fold.
+
+    The payload carries everything the fold needs — the range's profile
+    runs and the pre-built translate tables — so the worker touches no
+    testbed, no engine and no RNG: it is a pure function of its spec,
+    which is what makes the merged table shard-geometry-independent.
+    """
+    mix_index, start, stop, runs, tables = spec.payload
+    state = _build_range_state(runs, start, stop, tables)
+    fold, census = _fold_state(state)
     return ShardPayload((mix_index, fold, census))
+
+
+def _export_fleet_range(spec: ShardSpec) -> ShardPayload:
+    """Worker for the population path: evaluate a range, export columns.
+
+    Same pure columnar evaluation as :func:`_fold_fleet_range`, but the
+    parent wants the *columns* back, not just the folds.  With a
+    ``window`` in the payload the columns land directly in the shared
+    arena (only the fold struct and the committed generation pickle
+    home — O(1) per shard); without one they ship as pickled bytes and
+    the shard's ``ipc_bytes`` bills ~7 B/device for the trip.
+    """
+    mix_index, start, stop, runs, tables, window = spec.payload
+    state = _build_range_state(runs, start, stop, tables)
+    fold, census = _fold_state(state)
+    if window is None:
+        columns = state.export_columns()
+        ipc = sum(len(data) for data in columns.values())
+        return ShardPayload((mix_index, fold, census, columns, 0), ipc_bytes=ipc)
+    with open_window(window) as writer:
+        state.write_into(writer.buffers())
+        committed = writer.commit()
+    return ShardPayload((mix_index, fold, census, None, committed))
 
 
 def run_fleet_adoption_sweep_stats(
@@ -139,47 +212,53 @@ def run_fleet_adoption_sweep_stats(
     same config instead of paying the (small) calibration testbed again.
     """
     config = config or TestbedConfig()
-    own_executor = executor is None
-    executor = executor or SweepExecutor(jobs=jobs)
+    profiles = distinct_profiles(mixes)
+    index_of = {profile.name: i for i, profile in enumerate(profiles)}
 
-    # Distinct profiles in first-appearance order across all stages.
-    profiles: List[OsProfile] = []
-    index_of: Dict[str, int] = {}
-    for mix in mixes:
-        for profile, _count in mix.devices:
-            if profile.name not in index_of:
-                index_of[profile.name] = len(profiles)
-                profiles.append(profile)
-
-    try:
-        if calibration is None:
-            calibration = calibrate_profiles(profiles, config, target_site=target_site)
-        elif len(calibration) != len(profiles):
-            raise ValueError(
-                f"calibration covers {len(calibration)} profiles, sweep needs {len(profiles)}"
-            )
-        tables = outcome_tables(calibration)
+    with owned_executor(executor, jobs=jobs) as ex:
+        tables = _calibration_tables(profiles, config, target_site, calibration)
 
         payloads = []
+        costs: List[float] = []
         for mix_index, mix in enumerate(mixes):
             runs = _runs_for_mix(mix, index_of)
-            for start, stop in chunk_ranges(mix.total, executor.jobs, min_shard):
+            for start, stop in chunk_ranges(mix.total, ex.jobs, min_shard):
                 payloads.append((mix_index, start, stop, runs, tables))
-        specs = make_shards(payloads, base_seed=config.seed)
+                costs.append(float(stop - start))
+        specs = make_shards(payloads, base_seed=config.seed, costs=costs)
 
         folds = [AdoptionFold() for _ in mixes]
         censuses = [CensusFold() for _ in mixes]
-        for mix_index, fold, census in executor.map(
-            _fold_fleet_range, specs, label="fleet sweep"
-        ):
+        for mix_index, fold, census in ex.map(_fold_fleet_range, specs, label="fleet sweep"):
             folds[mix_index].merge(fold)
             censuses[mix_index].merge(census)
-        stats = executor.last_stats
-    finally:
-        if own_executor:
-            executor.close()
+        stats = ex.last_stats
 
-    points = [
+    points = _points_from_folds(mixes, folds)
+    info = _sweep_info(mixes, profiles, len(specs), stats)
+    return points, stats, info
+
+
+def _calibration_tables(
+    profiles: Sequence[OsProfile],
+    config: TestbedConfig,
+    target_site: str,
+    calibration: Optional[Tuple[ProfileOutcome, ...]],
+) -> Dict[str, bytes]:
+    """Measure (or validate a reused) calibration; build translate tables."""
+    if calibration is None:
+        calibration = calibrate_profiles(list(profiles), config, target_site=target_site)
+    elif len(calibration) != len(profiles):
+        raise ValueError(
+            f"calibration covers {len(calibration)} profiles, sweep needs {len(profiles)}"
+        )
+    return outcome_tables(calibration)
+
+
+def _points_from_folds(
+    mixes: Sequence[FleetMix], folds: Sequence[AdoptionFold]
+) -> List[AdoptionPoint]:
+    return [
         AdoptionPoint(
             label=mix.label,
             total=fold.total,
@@ -190,14 +269,148 @@ def run_fleet_adoption_sweep_stats(
         )
         for mix, fold in zip(mixes, folds)
     ]
-    info = FleetSweepInfo(
+
+
+def _sweep_info(
+    mixes: Sequence[FleetMix],
+    profiles: Sequence[OsProfile],
+    shard_count: int,
+    stats: SweepStats,
+) -> FleetSweepInfo:
+    return FleetSweepInfo(
         devices=sum(mix.total for mix in mixes),
         stages=len(mixes),
         distinct_profiles=len(profiles),
-        shard_count=len(specs),
-        bytes_per_device=float(len(("profile",) + fl.OUTCOME_COLUMNS)),
+        shard_count=shard_count,
+        bytes_per_device=float(len(fl.ALL_COLUMNS)),
+        transport=stats.transport,
+        ipc_bytes=stats.total_ipc_bytes,
     )
-    return points, stats, info
+
+
+def run_fleet_population_stats(
+    mixes: Sequence[FleetMix],
+    config: Optional[TestbedConfig] = None,
+    jobs: Optional[int] = None,
+    executor: Optional[SweepExecutor] = None,
+    min_shard: int = DEFAULT_MIN_SHARD,
+    target_site: str = "sc24.supercomputing.org",
+    calibration: Optional[Tuple[ProfileOutcome, ...]] = None,
+    transport: str = "auto",
+    keep_states: bool = False,
+) -> Tuple[List[AdoptionPoint], SweepStats, FleetSweepInfo, List[Optional[fl.FleetState]]]:
+    """The population sweep: like the adoption sweep, but the parent ends
+    up holding every stage's evaluated *columns*, not just the counts.
+
+    This is the path where the transport matters.  Workers evaluate
+    their range and hand the columns back either as pickled bytes
+    (``transport="pickle"`` — ~7 B/device crosses the pipe) or by
+    writing them into a per-stage :class:`SharedColumnArena` window
+    (``transport="shm"`` — only the O(1) fold struct pickles).  Either
+    way the parent reconstructs each stage's merged
+    :class:`~repro.sim.fleet.FleetState` byte-identically — a sanity
+    cross-check against the workers' additive folds runs on every stage
+    — and the points it returns are byte-identical to
+    :func:`run_fleet_adoption_sweep_stats` at any ``jobs``, any
+    transport and any chunk geometry.
+
+    ``keep_states=True`` returns the per-stage states (tests byte-diff
+    them across transports); the default drops each stage's state after
+    its cross-check so peak RSS stays bounded by one stage, not the
+    whole sweep.  Arena segments are created per stage and released in
+    a ``finally`` — a crashed sweep leaks nothing.
+    """
+    config = config or TestbedConfig()
+    profiles = distinct_profiles(mixes)
+    index_of = {profile.name: i for i, profile in enumerate(profiles)}
+
+    with owned_executor(executor, jobs=jobs, transport=transport) as ex:
+        tables = _calibration_tables(profiles, config, target_site, calibration)
+
+        payloads = []
+        costs: List[float] = []
+        arenas: List[Optional[SharedColumnArena]] = []
+        stage_slots: List[List[int]] = []  # payload indices per stage, slot order
+        for mix_index, mix in enumerate(mixes):
+            runs = _runs_for_mix(mix, index_of)
+            ranges = chunk_ranges(mix.total, ex.jobs, min_shard)
+            arena = ex.open_arena(fl.ALL_COLUMNS, mix.total, ranges)
+            arenas.append(arena)
+            slots: List[int] = []
+            for slot, (start, stop) in enumerate(ranges):
+                window: Optional[ArenaWindow] = (
+                    arena.window(slot) if arena is not None else None
+                )
+                slots.append(len(payloads))
+                payloads.append((mix_index, start, stop, runs, tables, window))
+                costs.append(float(stop - start))
+            stage_slots.append(slots)
+        specs = make_shards(payloads, base_seed=config.seed, costs=costs)
+
+        try:
+            values = ex.map(_export_fleet_range, specs, label="fleet population sweep")
+            stats = ex.last_stats
+
+            folds = [AdoptionFold() for _ in mixes]
+            censuses = [CensusFold() for _ in mixes]
+            for value in values:
+                mix_i, fold, census = value[0], value[1], value[2]
+                folds[mix_i].merge(fold)
+                censuses[mix_i].merge(census)
+
+            # Drain stage by stage: verify stamps, rebuild the merged
+            # columns, cross-check against the folds, then release the
+            # stage's arena so peak RSS tracks one stage's columns.
+            states: List[Optional[fl.FleetState]] = []
+            for mix_index, mix in enumerate(mixes):
+                arena = arenas[mix_index]
+                if arena is None:
+                    # Pickle transport: merge the shipped column bytes.
+                    state = fl.FleetState(mix.total)
+                    for payload_index in stage_slots[mix_index]:
+                        _mix, start, stop, *_rest = specs[payload_index].payload
+                        columns = values[payload_index][3]
+                        state.import_range(start, stop, columns)
+                else:
+                    # Shm transport: accept each window's stamp against
+                    # the generation its accepted result committed with,
+                    # then copy the merged columns out of the arena.
+                    for slot, payload_index in enumerate(stage_slots[mix_index]):
+                        committed = values[payload_index][4]
+                        arena.verify(slot, committed)
+                    state = fl.FleetState.from_buffers(
+                        mix.total, dict(arena.iter_buffers())
+                    )
+                    ex.release_arena(arena)
+                    arenas[mix_index] = None
+                _check_stage(state, folds[mix_index], mix.label)
+                states.append(state if keep_states else None)
+        finally:
+            for arena in arenas:
+                ex.release_arena(arena)
+
+    points = _points_from_folds(mixes, folds)
+    info = _sweep_info(mixes, profiles, len(specs), stats)
+    return points, stats, info, states
+
+
+def _check_stage(state: fl.FleetState, fold: AdoptionFold, label: str) -> None:
+    """Cross-check the reconstructed columns against the workers' folds.
+
+    Two C-speed column counts per stage — cheap at any scale, and they
+    would catch a misplaced window or a torn transport copy that the
+    stamp protocol structurally cannot (e.g. a wrong offset that still
+    committed cleanly).
+    """
+    leases = state.count("dhcp4", fl.DHCP4_LEASED)
+    grants = state.count("dhcp4", fl.DHCP4_V6ONLY_GRANT)
+    if state.size != fold.total or leases != fold.ipv4_leases or grants != fold.rfc8925_grants:
+        raise RuntimeError(
+            f"fleet stage {label!r}: reconstructed columns disagree with worker "
+            f"folds (size {state.size}/{fold.total}, leases {leases}/"
+            f"{fold.ipv4_leases}, grants {grants}/{fold.rfc8925_grants}) — "
+            "transport corruption"
+        )
 
 
 def run_fleet_adoption_sweep(

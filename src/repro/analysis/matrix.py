@@ -27,7 +27,7 @@ from repro._compat import slotted_dataclass
 from repro.clients.profiles import ALL_PROFILES, OsProfile
 from repro.core.metrics import SweepStats
 from repro.core.testbed import Testbed, TestbedConfig
-from repro.parallel import make_shards, ShardPayload, ShardSpec, SweepExecutor
+from repro.parallel import make_shards, owned_executor, ShardPayload, ShardSpec, SweepExecutor
 from repro.services.captive import connectivity_probe, ProbeOutcome
 
 __all__ = [
@@ -155,21 +155,17 @@ def run_device_matrix_stats(
     """
     config = config or TestbedConfig()
     profiles = list(profiles)
-    own_executor = executor is None
-    executor = executor or SweepExecutor(jobs=jobs)
-    try:
-        chunks = _chunk_profiles(profiles, executor.jobs)
+    with owned_executor(executor, jobs=jobs) as ex:
+        chunks = _chunk_profiles(profiles, ex.jobs)
         specs = make_shards(
             [(config, chunk, start, target_site) for chunk, start in chunks],
             base_seed=config.seed,
+            costs=[float(len(chunk)) for chunk, _start in chunks],
         )
         merged: List[DeviceOutcome] = []
-        for rows in executor.map(_measure_profiles, specs, label="device matrix"):
+        for rows in ex.map(_measure_profiles, specs, label="device matrix"):
             merged.extend(rows)
-    finally:
-        if own_executor:
-            executor.close()
-    return merged, executor.last_stats
+        return merged, ex.last_stats
 
 
 def run_device_matrix_table(
@@ -188,18 +184,14 @@ def run_device_matrix_table(
     """
     config = config or TestbedConfig()
     profiles = list(profiles)
-    own_executor = executor is None
-    executor = executor or SweepExecutor(jobs=jobs)
-    try:
-        chunks = _chunk_profiles(profiles, executor.jobs)
+    with owned_executor(executor, jobs=jobs) as ex:
+        chunks = _chunk_profiles(profiles, ex.jobs)
         specs = make_shards(
             [(config, chunk, start, target_site) for chunk, start in chunks],
             base_seed=config.seed,
+            costs=[float(len(chunk)) for chunk, _start in chunks],
         )
-        texts = executor.map(_measure_profile_rows, specs, label="device matrix")
-    finally:
-        if own_executor:
-            executor.close()
+        texts = ex.map(_measure_profile_rows, specs, label="device matrix")
     return "\n".join(text for text in texts if text)
 
 

@@ -293,9 +293,12 @@ class ShardStats:
 
     ``wall_s`` is the worker-measured wall clock for the shard;
     ``events``/``sim_seconds``/``queries`` come from the shard's
-    simulation engine when the worker reported them.  A non-``None``
-    ``error`` marks the shard's structured failure row (it exhausted
-    its one retry).
+    simulation engine when the worker reported them.  ``ipc_bytes``
+    counts bulk payload bytes that crossed (or, on the serial backend,
+    would have crossed) the transport boundary — the shared-memory
+    transport reports ~0 here because columns travel through the arena.
+    A non-``None`` ``error`` marks the shard's structured failure row
+    (it exhausted its one retry).
     """
 
     index: int
@@ -304,6 +307,7 @@ class ShardStats:
     events: int = 0
     sim_seconds: float = 0.0
     queries: int = 0
+    ipc_bytes: int = 0
     attempts: int = 1
     error: Optional[str] = None
 
@@ -319,11 +323,16 @@ class SweepStats:
     ``wall_s`` is the parent-observed elapsed time for the whole sweep;
     the shards' summed wall clock divided by it is the *effective
     parallelism* the pool achieved (≈1.0 serial, →``jobs`` ideally).
+    ``transport`` records how bulk shard data travelled: ``"pickle"``
+    through the pool's pipe, ``"shm"`` through a shared-memory column
+    arena (fold-only sweeps always report ``"pickle"`` — they have no
+    bulk data to route).
     """
 
     jobs: int
     backend: str
     wall_s: float
+    transport: str = "pickle"
     shards: List[ShardStats] = field(default_factory=list)
 
     @property
@@ -341,6 +350,11 @@ class SweepStats:
     @property
     def total_queries(self) -> int:
         return sum(s.queries for s in self.shards)
+
+    @property
+    def total_ipc_bytes(self) -> int:
+        """Bulk payload bytes that crossed the transport boundary."""
+        return sum(s.ipc_bytes for s in self.shards)
 
     @property
     def failures(self) -> List[ShardStats]:
@@ -363,8 +377,9 @@ class SweepStats:
                 f"{s.queries:>8d} {s.attempts:>5d} {status}"
             )
         lines.append(
-            f"jobs={self.jobs} backend={self.backend} wall={self.wall_s:.3f}s "
-            f"shard-wall={self.shard_wall_s:.3f}s speedup={self.speedup:.2f}x "
+            f"jobs={self.jobs} backend={self.backend} transport={self.transport} "
+            f"wall={self.wall_s:.3f}s shard-wall={self.shard_wall_s:.3f}s "
+            f"speedup={self.speedup:.2f}x ipc={self.total_ipc_bytes}B "
             f"failures={len(self.failures)}"
         )
         return "\n".join(lines)

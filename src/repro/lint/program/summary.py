@@ -547,10 +547,15 @@ class _Extractor:
 
     @staticmethod
     def _constructs_executor(value: ast.expr) -> bool:
+        # ``owned_executor(...)`` yields a SweepExecutor (borrowed or
+        # constructed), so a ``with ... as ex`` binding counts too.
         for inner in ast.walk(value):
             if isinstance(inner, ast.Call):
                 callee = _dotted(inner.func)
-                if callee and callee.split(".")[-1] == "SweepExecutor":
+                if callee and callee.split(".")[-1] in (
+                    "SweepExecutor",
+                    "owned_executor",
+                ):
                     return True
         return False
 

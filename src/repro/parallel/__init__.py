@@ -17,15 +17,25 @@ Entry points:
   :class:`ShardResult` — the picklable job protocol;
 - :func:`make_range_shards` / :func:`chunk_ranges` — contiguous
   device-range chunking for columnar fleet shards (million-device
-  sweeps fold per-range partial counts that merge additively).
+  sweeps fold per-range partial counts that merge additively);
+- :mod:`repro.parallel.shm` — the zero-copy shared-memory transport:
+  :class:`SharedColumnArena` windows that workers write columns into
+  so only O(1) fold structs ever cross the pickle pipe
+  (``transport="auto"|"pickle"|"shm"`` on the executor);
+- :func:`owned_executor` — the call-site idiom: borrow a caller's warm
+  executor or own (and always close) a fresh one.
 """
 
 from repro.parallel.executor import (
     ensure_ok,
     fork_available,
     JOBS_ENV_VAR,
+    owned_executor,
+    plan_chunks,
     resolve_jobs,
+    resolve_transport,
     SweepExecutor,
+    TRANSPORTS,
 )
 from repro.parallel.shard import (
     chunk_ranges,
@@ -36,9 +46,21 @@ from repro.parallel.shard import (
     ShardResult,
     ShardSpec,
 )
+from repro.parallel.shm import (
+    ArenaTornWrite,
+    ArenaWindow,
+    open_window,
+    scan_segments,
+    SharedColumnArena,
+    shm_available,
+)
 
 __all__ = [
     "JOBS_ENV_VAR",
+    "TRANSPORTS",
+    "ArenaTornWrite",
+    "ArenaWindow",
+    "SharedColumnArena",
     "SweepExecutor",
     "ShardPayload",
     "ShardResult",
@@ -49,5 +71,11 @@ __all__ = [
     "fork_available",
     "make_range_shards",
     "make_shards",
+    "open_window",
+    "owned_executor",
+    "plan_chunks",
     "resolve_jobs",
+    "resolve_transport",
+    "scan_segments",
+    "shm_available",
 ]

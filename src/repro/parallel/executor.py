@@ -19,24 +19,51 @@ Backend selection:
 
 ``jobs`` resolves from the explicit argument, then the ``REPRO_JOBS``
 environment variable, then ``1``; ``0`` or negative means "all cores".
+
+Transport selection (``transport="auto"|"pickle"|"shm"``):
+
+- ``pickle`` ships every worker return value through the pool's pipe —
+  always correct, and the only option for the serial backend (which has
+  no process boundary at all);
+- ``shm`` additionally lets sweeps :meth:`~SweepExecutor.open_arena` a
+  :class:`~repro.parallel.shm.SharedColumnArena` so workers write bulk
+  columns into shared memory and pickle only O(1) fold structs;
+- ``auto`` picks ``shm`` whenever the process backend and POSIX shared
+  memory are both available, degrading to ``pickle`` gracefully —
+  correctness never depends on the transport, only the IPC bill does.
 """
 
 from __future__ import annotations
 
-import math
+import contextlib
 import multiprocessing
 import os
+import sys
 import time
 import traceback
 from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.metrics import ShardStats, SweepStats
 from repro.parallel.shard import ShardPayload, ShardResult, ShardSpec
+from repro.parallel.shm import SharedColumnArena, shm_available
 
-__all__ = ["SweepExecutor", "resolve_jobs", "fork_available", "ensure_ok", "JOBS_ENV_VAR"]
+__all__ = [
+    "SweepExecutor",
+    "owned_executor",
+    "plan_chunks",
+    "resolve_jobs",
+    "resolve_transport",
+    "fork_available",
+    "ensure_ok",
+    "JOBS_ENV_VAR",
+    "TRANSPORTS",
+]
+
+#: Valid values of the ``transport`` axis.
+TRANSPORTS = ("auto", "pickle", "shm")
 
 #: Environment variable consulted when no explicit ``jobs`` is given.
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -46,12 +73,22 @@ _Entry = Tuple[Any, float, Optional[str]]
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Resolve a worker count: argument > ``REPRO_JOBS`` > 1; ≤0 → all cores."""
+    """Resolve a worker count: argument > ``REPRO_JOBS`` > 1; ≤0 → all cores.
+
+    A malformed ``REPRO_JOBS`` (e.g. ``"four"``) falls back to 1 worker,
+    but says so once on stderr — a sweep silently running serial because
+    of an environment typo is indistinguishable from a slow machine.
+    """
     if jobs is None:
         raw = os.environ.get(JOBS_ENV_VAR, "").strip()
         try:
             jobs = int(raw) if raw else 1
         except ValueError:
+            print(
+                f"repro.parallel: ignoring invalid {JOBS_ENV_VAR}={raw!r} "
+                "(expected an integer); running with 1 worker",
+                file=sys.stderr,
+            )
             jobs = 1
     jobs = int(jobs)
     if jobs <= 0:
@@ -62,6 +99,76 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 def fork_available() -> bool:
     """Whether the platform offers the ``fork`` start method (Linux/macOS)."""
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_transport(transport: str = "auto", backend: str = "process") -> str:
+    """Resolve a transport request against backend + platform reality.
+
+    Shared-memory transport needs a process boundary to be worth
+    anything and POSIX shared memory to exist; everything else — the
+    serial backend, fork-less or shm-less platforms — degrades to
+    ``pickle``.  An explicit ``transport="shm"`` request degrades the
+    same way (graceful, like the backend fallback) rather than raising:
+    the transports are byte-identical by contract, so the request is a
+    performance preference, not a correctness requirement.
+    """
+    if transport not in TRANSPORTS:
+        raise ValueError(f"unknown transport {transport!r}; choose from {TRANSPORTS}")
+    if transport == "pickle" or backend != "process" or not shm_available():
+        return "pickle"
+    return "shm"
+
+
+def plan_chunks(
+    specs: Sequence[ShardSpec], jobs: int, chunk_size: Optional[int] = None
+) -> List[List[ShardSpec]]:
+    """Group specs into pool submissions: adaptive, deterministic, in order.
+
+    With an explicit ``chunk_size`` this is plain fixed-size slicing
+    (tests pin dispatch behaviour with it).  Otherwise the plan is
+    guided self-scheduling, size-weighted by each spec's ``cost`` hint:
+
+    - early chunks target half an even worker share of the *remaining*
+      cost (large chunks amortize dispatch while the pool is saturated),
+      shrinking as the sweep drains but never below 1/6 of a worker's
+      even share;
+    - the tail — the last one-worker's-worth of cost — splits into
+      single-spec chunks (bounded at ``4*jobs``), the redistribution
+      pass that stops one straggler shard from serializing the finish.
+
+    The plan depends only on ``(costs, jobs, chunk_size)`` — never on
+    timing — and chunks preserve spec order, so any plan merges back
+    byte-identically.
+    """
+    spec_list = list(specs)
+    if chunk_size is not None:
+        size = max(1, chunk_size)
+        return [spec_list[i : i + size] for i in range(0, len(spec_list), size)]
+    jobs = max(1, jobs)
+    costs = [spec.cost if spec.cost > 0 else 1.0 for spec in spec_list]
+    total = sum(costs)
+    tail_cost = total - total / jobs  # consumed cost at which the tail begins
+    tail_budget = 4 * jobs  # bounded redistribution: at most this many tail chunks
+    chunks: List[List[ShardSpec]] = []
+    current: List[ShardSpec] = []
+    current_cost = 0.0
+    consumed = 0.0
+    for spec, cost in zip(spec_list, costs):
+        in_tail = consumed >= tail_cost and tail_budget > 0
+        remaining = total - consumed
+        target = 0.0 if in_tail else max(remaining / (2 * jobs), total / (6 * jobs))
+        current.append(spec)
+        current_cost += cost
+        consumed += cost
+        if current_cost >= target:
+            chunks.append(current)
+            if in_tail:
+                tail_budget -= 1
+            current = []
+            current_cost = 0.0
+    if current:
+        chunks.append(current)
+    return chunks
 
 
 def _run_shard(fn: Callable[[ShardSpec], Any], spec: ShardSpec) -> _Entry:
@@ -108,6 +215,7 @@ class SweepExecutor:
         backend: str = "auto",
         timeout: Optional[float] = None,
         chunk_size: Optional[int] = None,
+        transport: str = "auto",
     ) -> None:
         if backend not in ("auto", "serial", "process"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -119,10 +227,12 @@ class SweepExecutor:
         elif backend == "auto":
             backend = "process"
         self.backend = backend
+        self.transport = resolve_transport(transport, backend)
         self.timeout = timeout
         self.chunk_size = chunk_size
         self.last_stats: Optional[SweepStats] = None
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._arenas: List[SharedColumnArena] = []
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -134,15 +244,55 @@ class SweepExecutor:
         return self._pool
 
     def _recycle_pool(self) -> None:
-        """Drop a poisoned pool (crash/timeout); the next use forks afresh."""
+        """Drop a poisoned pool (crash/timeout); the next use forks afresh.
+
+        Every registered arena's generation bumps at the same moment, so
+        a window half-written by the dead pool — or late-written by an
+        orphaned worker that survived a timeout — can never pass stamp
+        verification against a result the retry pool produced.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        for arena in self._arenas:
+            arena.bump_generation()
+
+    def open_arena(
+        self,
+        columns: Sequence[str],
+        column_size: int,
+        ranges: Sequence[Tuple[int, int]],
+    ) -> Optional[SharedColumnArena]:
+        """Create + register a shard arena, or ``None`` on pickle transport.
+
+        The executor tracks every arena it opens: pool recycling bumps
+        their generations and :meth:`close` releases any the sweep did
+        not already hand back to :meth:`release_arena` — segments never
+        outlive the executor, even on the exception path.
+        """
+        if self.transport != "shm" or column_size <= 0 or not ranges:
+            return None
+        arena = SharedColumnArena.create(columns, column_size, ranges)
+        self._arenas.append(arena)
+        return arena
+
+    def release_arena(self, arena: Optional[SharedColumnArena]) -> None:
+        """Unlink one arena's segment now (idempotent; ``None`` is a no-op)."""
+        if arena is None:
+            return
+        if arena in self._arenas:
+            self._arenas.remove(arena)
+        arena.release()
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        try:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
+        finally:
+            arenas, self._arenas = self._arenas, []
+            for arena in arenas:
+                arena.release()
 
     def __enter__(self) -> "SweepExecutor":
         return self
@@ -162,6 +312,10 @@ class SweepExecutor:
         call, :attr:`last_stats` holds the merged per-shard statistics.
         """
         spec_list = list(specs)
+        # An arena registered before the run means this sweep routes its
+        # bulk data through shared memory; fold-only sweeps are plain
+        # pickle regardless of what the executor *could* do.
+        used_transport = self.transport if self._arenas else "pickle"
         start = time.perf_counter()
         if not spec_list:
             results: List[ShardResult] = []
@@ -177,6 +331,7 @@ class SweepExecutor:
             jobs=self.jobs,
             backend=used,
             wall_s=wall,
+            transport=used_transport,
             shards=[
                 ShardStats(
                     index=r.index,
@@ -185,6 +340,7 @@ class SweepExecutor:
                     events=r.events,
                     sim_seconds=r.sim_seconds,
                     queries=r.queries,
+                    ipc_bytes=r.ipc_bytes,
                     attempts=r.attempts,
                     error=r.error,
                 )
@@ -220,8 +376,7 @@ class SweepExecutor:
     def _run_process(
         self, fn: Callable[[ShardSpec], Any], specs: Sequence[ShardSpec]
     ) -> List[ShardResult]:
-        chunk_size = self.chunk_size or max(1, math.ceil(len(specs) / (self.jobs * 4)))
-        chunks = [specs[i : i + chunk_size] for i in range(0, len(specs), chunk_size)]
+        chunks = plan_chunks(specs, self.jobs, self.chunk_size)
         first: Dict[int, _Entry] = {}
         final: Dict[int, _Entry] = {}  # timeout/dispatch failures: not retryable
         retry: List[ShardSpec] = []
@@ -301,6 +456,29 @@ class SweepExecutor:
             result.events = value.events
             result.sim_seconds = value.sim_seconds
             result.queries = value.queries
+            result.ipc_bytes = value.ipc_bytes
         else:
             result.value = value
         return result
+
+
+@contextlib.contextmanager
+def owned_executor(
+    executor: Optional[SweepExecutor], **kwargs: Any
+) -> Iterator[SweepExecutor]:
+    """Yield a caller-provided executor as-is, or own a fresh one.
+
+    The one idiom every ``repro.analysis`` sweep uses: a caller-supplied
+    executor stays the caller's to close (warm pools survive across
+    sweep points), while an executor this context constructed is always
+    closed on exit — fork pools and shared-memory arenas never outlive
+    the sweep that created them, without any ``__del__`` finalizer.
+    """
+    if executor is not None:
+        yield executor
+        return
+    own = SweepExecutor(**kwargs)
+    try:
+        yield own
+    finally:
+        own.close()

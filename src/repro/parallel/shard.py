@@ -19,7 +19,7 @@ the serial and process backends, so a sweep's per-shard RNG streams
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro._compat import slotted_dataclass
 
@@ -71,12 +71,20 @@ def derive_seed(base_seed: int, shard_index: int) -> int:
 
 @slotted_dataclass(frozen=True)
 class ShardSpec:
-    """One picklable job description: what to run and with which seed."""
+    """One picklable job description: what to run and with which seed.
+
+    ``cost`` is a relative size hint (any positive unit — device count,
+    profile count, expected wall seconds) the executor's adaptive
+    scheduler uses to build size-weighted chunks; 1.0 means "like any
+    other shard" and never changes *what* runs, only how shards group
+    into pool submissions.
+    """
 
     index: int
     seed: int
     payload: Any = None
     label: str = ""
+    cost: float = 1.0
 
 
 @slotted_dataclass()
@@ -92,6 +100,12 @@ class ShardPayload:
     events: int = 0
     sim_seconds: float = 0.0
     queries: int = 0
+    #: Payload bytes that crossed (or would cross) the transport
+    #: boundary for bulk data — the fleet's per-device columns.  The
+    #: pickle transport counts its shipped column bytes here; the shm
+    #: transport reports 0 (columns travel through the arena, and the
+    #: fold struct itself is O(1) per shard on both transports).
+    ipc_bytes: int = 0
 
 
 @slotted_dataclass()
@@ -110,6 +124,7 @@ class ShardResult:
     events: int = 0
     sim_seconds: float = 0.0
     queries: int = 0
+    ipc_bytes: int = 0
     attempts: int = 1
     error: Optional[str] = None
 
@@ -118,12 +133,25 @@ class ShardResult:
         return self.error is None
 
 
-def make_shards(payloads: Iterable[Any], base_seed: int) -> List[ShardSpec]:
-    """Wrap payloads into specs, seeding each via :func:`derive_seed`."""
-    return [
-        ShardSpec(index=i, seed=derive_seed(base_seed, i), payload=payload)
-        for i, payload in enumerate(payloads)
-    ]
+def make_shards(
+    payloads: Iterable[Any],
+    base_seed: int,
+    costs: Optional[Sequence[float]] = None,
+) -> List[ShardSpec]:
+    """Wrap payloads into specs, seeding each via :func:`derive_seed`.
+
+    ``costs`` (optional, parallel to ``payloads``) attaches relative
+    size hints for the executor's adaptive chunk planner; omitted, every
+    shard weighs 1.0.  Costs never affect seeds or results — only how
+    shards group into pool submissions.
+    """
+    specs = []
+    for i, payload in enumerate(payloads):
+        cost = float(costs[i]) if costs is not None else 1.0
+        specs.append(
+            ShardSpec(index=i, seed=derive_seed(base_seed, i), payload=payload, cost=cost)
+        )
+    return specs
 
 
 def chunk_ranges(total: int, jobs: int, min_chunk: int = 1) -> List[Tuple[int, int]]:
@@ -163,8 +191,12 @@ def make_range_shards(
     these shards must be chunk-boundary-independent (plain additive
     merges) so the merged result is byte-identical at any ``jobs`` —
     the fleet folds in :mod:`repro.analysis.fleet` are built that way.
+    Each spec's ``cost`` is its range length, feeding the executor's
+    size-weighted chunk planner.
     """
+    ranges = chunk_ranges(total, jobs, min_chunk)
     return make_shards(
-        [(start, stop, payload) for start, stop in chunk_ranges(total, jobs, min_chunk)],
+        [(start, stop, payload) for start, stop in ranges],
         base_seed=base_seed,
+        costs=[float(stop - start) for start, stop in ranges],
     )

@@ -1,0 +1,446 @@
+"""Zero-copy shared-memory shard transport: the column arena.
+
+A fleet sweep's product is *columns* — one byte per device per
+observable (:mod:`repro.sim.fleet`).  The pickle transport ships those
+columns worker → parent through a pipe, which at 10M+ devices costs a
+serialize + copy + deserialize per shard and briefly doubles peak RSS.
+This module is the alternative the ISSUE's "Million-host fleet scale"
+path wants: the parent carves one ``multiprocessing.shared_memory``
+block into per-shard, per-column *windows*; workers write their range's
+outcome bytes straight into their window and return only a fixed-size
+additive fold, so no per-device byte ever crosses a pipe.
+
+Layout of one :class:`SharedColumnArena` segment::
+
+    offset 0    magic  b"RCA1"
+    offset 4    u32    generation      (starts at 1; bumped per pool recycle)
+    offset 8    u32    shard_count
+    offset 12   u32    column_count
+    offset 16   u32[shard_count]      per-slot commit stamps (0 = unwritten)
+    data        column-major: column ``i`` occupies
+                ``[data + i*column_size, data + (i+1)*column_size)``;
+                slot ``s`` covers rows ``[start_s, stop_s)`` of every column
+
+All header fields are little-endian.  The data offset is the header
+rounded up to 64 bytes so column 0 starts cache-line aligned.
+
+**Crash safety (generation stamps).**  The executor bumps the arena
+``generation`` whenever it recycles a crashed/timed-out pool.  A worker
+records the generation it observed when it *opened* its window and
+stamps its slot with that value on commit; the committed value also
+rides home in the worker's (tiny) pickled payload.  The parent accepts
+a window only when the slot's stamp equals the accepted result's
+committed generation — a half-written window from a killed worker
+(stamp still 0, or a stale generation) can never be read as data, and
+a retry's fresh write (stamped with the post-recycle generation)
+validates even though older slots legitimately carry older stamps.
+
+**Resource hygiene.**  The creating parent owns the segment: ``release``
+closes *and unlinks* it, and the executor releases every arena it
+opened from a ``finally``.  Workers attach without registering with the
+``multiprocessing`` resource tracker (on 3.12 and earlier an attach
+registers the name, and the tracker would unlink the parent's live
+segment when the worker exits); :func:`scan_segments` exposes the
+``/dev/shm`` view so tests and CI can assert zero leaked segments.
+
+Writes go only through :class:`WindowWriter` — the RL404 lint rule
+fences direct ``shared_memory`` imports and raw ``.buf`` stores to this
+module.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import struct
+import sys
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro._compat import slotted_dataclass
+
+__all__ = [
+    "ARENA_PREFIX",
+    "ArenaTornWrite",
+    "ArenaWindow",
+    "SharedColumnArena",
+    "WindowWriter",
+    "open_window",
+    "scan_segments",
+    "shm_available",
+]
+
+#: Prefix of every arena segment name; leak scans key on it.
+ARENA_PREFIX = "repro-arena-"
+
+_MAGIC = b"RCA1"
+_HEADER_FIXED = 16  # magic + generation + shard_count + column_count
+_STAMP_FMT = "<I"
+_GEN_OFFSET = 4
+
+#: Monotonic per-process arena sequence — with the owning PID this makes
+#: segment names unique without wall clock or entropy (repro.parallel is
+#: a deterministic package; RL101/102 apply).
+_arena_seq = itertools.count()
+
+
+def shm_available() -> bool:
+    """Whether this platform offers POSIX shared memory at all.
+
+    Import-probe only (no segment is created): platforms without
+    ``multiprocessing.shared_memory`` — or without a real ``/dev/shm``
+    to back it — make the executor degrade to the pickle transport.
+    """
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:
+        return False
+    # WASM builds ship the module without a working shm_open.
+    return sys.platform not in ("emscripten", "wasi")
+
+
+def scan_segments(prefix: str = ARENA_PREFIX) -> List[str]:
+    """Names of live ``/dev/shm`` segments carrying ``prefix`` (sorted).
+
+    The leak-check primitive: tests and the CI transport-matrix step
+    snapshot this before and after a sweep (including a forced worker
+    crash) and assert the difference is empty.
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return []
+    return sorted(name for name in os.listdir(shm_dir) if name.startswith(prefix))
+
+
+def _data_offset(shard_count: int) -> int:
+    """Start of column 0: the header rounded up to a 64-byte boundary."""
+    raw = _HEADER_FIXED + 4 * shard_count
+    return (raw + 63) & ~63
+
+
+def _attach(name: str) -> "object":
+    """Attach to an existing segment without resource-tracker side effects.
+
+    Python 3.13+ exposes ``track=False`` — a worker attach should never
+    take ownership of cleanup.  On earlier interpreters the attach
+    registers the name, which is *safe here by construction*: fork-pool
+    workers inherit the parent's resource-tracker connection, the
+    tracker's cache is a per-name set (the worker's register is an
+    idempotent duplicate of the parent's create-time entry), and the
+    parent's ``unlink`` performs the single matching unregister.
+    Explicitly unregistering from a worker would instead erase the
+    parent's registration out from under it — the shared tracker does
+    not refcount.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+class ArenaTornWrite(RuntimeError):
+    """A window's commit stamp does not match its accepted result.
+
+    Raised by :meth:`SharedColumnArena.verify` when a slot was never
+    committed (worker died mid-write and the failure escaped the retry
+    machinery) or carries a different pool generation than the result
+    the executor accepted for it.  Reading the window would return torn
+    or stale bytes, so the sweep fails loudly instead.
+    """
+
+
+@slotted_dataclass(frozen=True)
+class ArenaWindow:
+    """A picklable claim ticket for one shard's slice of the arena.
+
+    Everything a forked worker needs to locate its bytes: the segment
+    name plus the layout parameters.  It carries no buffer and no file
+    descriptor, so it pickles in tens of bytes — this is the only
+    arena-related thing that crosses the pipe.
+    """
+
+    name: str
+    columns: Tuple[str, ...]
+    column_size: int
+    shard_count: int
+    slot: int
+    start: int
+    stop: int
+
+
+class WindowWriter:
+    """Worker-side handle: the one sanctioned way to write arena bytes.
+
+    Opens the window's segment, exposes per-column ``memoryview`` slices
+    covering exactly ``[start, stop)``, and stamps the slot on
+    :meth:`commit` with the pool generation observed at open time.  Use
+    as a context manager; the segment is closed (never unlinked — the
+    parent owns it) on exit, committed or not.
+    """
+
+    def __init__(self, window: ArenaWindow) -> None:
+        self._window = window
+        self._segment = _attach(window.name)
+        buf = self._segment.buf  # type: ignore[attr-defined]
+        if bytes(buf[:4]) != _MAGIC:
+            self.close()
+            raise ValueError(f"segment {window.name!r} is not a column arena")
+        #: generation under which this write will be stamped — read once
+        #: at open so a recycle *during* the write leaves a stale stamp
+        #: the parent will reject, never a falsely-fresh one.
+        self.generation: int = struct.unpack_from(_STAMP_FMT, buf, _GEN_OFFSET)[0]
+        self._views: Dict[str, memoryview] = {}
+        self._committed = False
+
+    def __enter__(self) -> "WindowWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def buffers(self) -> Dict[str, memoryview]:
+        """Writable per-column views of this window, keyed by column name."""
+        if self._segment is None:
+            raise ValueError("window writer is closed")
+        if not self._views:
+            w = self._window
+            base = _data_offset(w.shard_count)
+            buf = self._segment.buf  # type: ignore[attr-defined]
+            for i, column in enumerate(w.columns):
+                lo = base + i * w.column_size + w.start
+                self._views[column] = buf[lo : lo + (w.stop - w.start)]
+        return self._views
+
+    def write(self, column: str, data: "bytes | bytearray | memoryview") -> None:
+        """Copy ``data`` (exactly the window's row count) into one column."""
+        view = self.buffers().get(column)
+        if view is None:
+            raise KeyError(f"unknown arena column {column!r}")
+        if len(data) != len(view):
+            raise ValueError(
+                f"column {column!r} write is {len(data)} bytes, window holds {len(view)}"
+            )
+        view[:] = data
+
+    def commit(self) -> int:
+        """Stamp the slot with the open-time generation; return that value."""
+        if self._segment is None:
+            raise ValueError("window writer is closed")
+        struct.pack_into(
+            _STAMP_FMT,
+            self._segment.buf,  # type: ignore[attr-defined]
+            _HEADER_FIXED + 4 * self._window.slot,
+            self.generation,
+        )
+        self._committed = True
+        return self.generation
+
+    def close(self) -> None:
+        if self._segment is None:
+            return
+        for view in self._views.values():
+            view.release()
+        self._views.clear()
+        segment, self._segment = self._segment, None
+        segment.close()  # type: ignore[attr-defined]
+
+
+def open_window(window: ArenaWindow) -> WindowWriter:
+    """Open a worker's :class:`WindowWriter` for its claimed window."""
+    return WindowWriter(window)
+
+
+class SharedColumnArena:
+    """Parent-owned shared block carved into per-shard per-column windows.
+
+    Create with :meth:`create`, hand workers :meth:`window` tickets,
+    then read each slot back with :meth:`shard_view` after
+    :meth:`verify` accepts its stamp.  :meth:`release` closes *and
+    unlinks* the segment; it is idempotent and the executor calls it
+    from a ``finally`` for every arena it opened.
+    """
+
+    def __init__(
+        self,
+        segment: "object",
+        columns: Tuple[str, ...],
+        column_size: int,
+        ranges: Tuple[Tuple[int, int], ...],
+    ) -> None:
+        self._segment: Optional[object] = segment
+        self.columns = columns
+        self.column_size = column_size
+        self.ranges = ranges
+        self._views: List[memoryview] = []
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        columns: Sequence[str],
+        column_size: int,
+        ranges: Sequence[Tuple[int, int]],
+    ) -> "SharedColumnArena":
+        from multiprocessing import shared_memory
+
+        columns = tuple(columns)
+        ranges_t = tuple((int(start), int(stop)) for start, stop in ranges)
+        if not columns:
+            raise ValueError("an arena needs at least one column")
+        if column_size <= 0:
+            raise ValueError(f"column size must be positive, got {column_size}")
+        if not ranges_t:
+            raise ValueError("an arena needs at least one shard range")
+        for start, stop in ranges_t:
+            if not 0 <= start <= stop <= column_size:
+                raise ValueError(f"range ({start}, {stop}) outside column of {column_size}")
+        total = _data_offset(len(ranges_t)) + len(columns) * column_size
+        while True:
+            name = f"{ARENA_PREFIX}{os.getpid()}-{next(_arena_seq)}"
+            try:
+                segment = shared_memory.SharedMemory(name=name, create=True, size=total)
+                break
+            except FileExistsError:
+                continue  # stale name from a previous PID wrap — try the next seq
+        buf = segment.buf
+        buf[:4] = _MAGIC
+        struct.pack_into("<III", buf, _GEN_OFFSET, 1, len(ranges_t), len(columns))
+        # Fresh POSIX segments are zero-filled: every stamp starts 0
+        # ("unwritten"), distinct from any generation (which starts 1).
+        return cls(segment, columns, column_size, ranges_t)
+
+    # -- identity / header ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        if self._segment is None:
+            raise ValueError("arena is released")
+        name = self._segment.name  # type: ignore[attr-defined]
+        assert isinstance(name, str)
+        return name
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.ranges)
+
+    @property
+    def generation(self) -> int:
+        value: int = struct.unpack_from(_STAMP_FMT, self._buf(), _GEN_OFFSET)[0]
+        return value
+
+    def bump_generation(self) -> int:
+        """Invalidate every not-yet-accepted window (pool recycle path)."""
+        nxt = self.generation + 1
+        struct.pack_into(_STAMP_FMT, self._buf(), _GEN_OFFSET, nxt)
+        return nxt
+
+    def stamp(self, slot: int) -> int:
+        """The commit stamp of ``slot`` (0 = never committed)."""
+        value: int = struct.unpack_from(
+            _STAMP_FMT, self._buf(), _HEADER_FIXED + 4 * self._check_slot(slot)
+        )[0]
+        return value
+
+    def verify(self, slot: int, committed_generation: int) -> None:
+        """Accept ``slot`` only if its stamp matches the accepted result.
+
+        ``committed_generation`` is the value the worker's
+        :meth:`WindowWriter.commit` returned, carried home in the
+        worker's pickled payload — so a stale stamp (recycled pool) or
+        a missing one (death mid-write) raises :class:`ArenaTornWrite`.
+        """
+        found = self.stamp(slot)
+        if found != committed_generation or committed_generation == 0:
+            raise ArenaTornWrite(
+                f"arena {self.name!r} slot {slot}: stamp {found} != committed "
+                f"generation {committed_generation} — window was torn or "
+                "written by a recycled pool"
+            )
+
+    # -- dispatch / read-back ------------------------------------------------
+
+    def window(self, slot: int) -> ArenaWindow:
+        """The picklable ticket a worker needs to claim ``slot``."""
+        start, stop = self.ranges[self._check_slot(slot)]
+        return ArenaWindow(
+            name=self.name,
+            columns=self.columns,
+            column_size=self.column_size,
+            shard_count=self.shard_count,
+            slot=slot,
+            start=start,
+            stop=stop,
+        )
+
+    def shard_view(self, slot: int, column: str) -> memoryview:
+        """Read-only view of one committed window's bytes for ``column``.
+
+        Call :meth:`verify` first; the view stays valid until
+        :meth:`release` (the arena tracks and releases it).
+        """
+        start, stop = self.ranges[self._check_slot(slot)]
+        return self._column_slice(column, start, stop)
+
+    def column_view(self, column: str) -> memoryview:
+        """Read-only view of one whole column (all rows, all windows)."""
+        return self._column_slice(column, 0, self.column_size)
+
+    def iter_buffers(self) -> Iterator[Tuple[str, memoryview]]:
+        """(column, whole-column view) pairs in declared column order."""
+        for column in self.columns:
+            yield column, self.column_view(column)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def release(self) -> None:
+        """Close and unlink the segment (idempotent; parent-only)."""
+        if self._segment is None:
+            return
+        for view in self._views:
+            view.release()
+        self._views.clear()
+        segment, self._segment = self._segment, None
+        segment.close()  # type: ignore[attr-defined]
+        try:
+            segment.unlink()  # type: ignore[attr-defined]
+        except FileNotFoundError:  # pragma: no cover - external cleanup race
+            pass
+
+    def __enter__(self) -> "SharedColumnArena":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "released" if self._segment is None else self.name
+        return (
+            f"<SharedColumnArena {state} {len(self.columns)}x{self.column_size}B "
+            f"{self.shard_count} windows>"
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _buf(self) -> "memoryview":
+        if self._segment is None:
+            raise ValueError("arena is released")
+        buf = self._segment.buf  # type: ignore[attr-defined]
+        assert isinstance(buf, memoryview)
+        return buf
+
+    def _check_slot(self, slot: int) -> int:
+        if not 0 <= slot < len(self.ranges):
+            raise IndexError(f"arena has {len(self.ranges)} windows, no slot {slot}")
+        return slot
+
+    def _column_slice(self, column: str, start: int, stop: int) -> memoryview:
+        try:
+            index = self.columns.index(column)
+        except ValueError:
+            raise KeyError(f"unknown arena column {column!r}") from None
+        base = _data_offset(self.shard_count) + index * self.column_size
+        view = self._buf()[base + start : base + stop]
+        self._views.append(view)
+        return view

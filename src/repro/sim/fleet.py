@@ -38,6 +38,7 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 
 __all__ = [
     "FleetState",
+    "ALL_COLUMNS",
     "OUTCOME_COLUMNS",
     "ADDR_NONE",
     "ADDR_V4_ONLY",
@@ -91,6 +92,10 @@ HE_OK_V6 = 2
 #: :class:`repro.core.metrics.ClientClass` code assigned by the
 #: calibration layer (see :data:`repro.clients.fleet.CENSUS_CODES`).
 OUTCOME_COLUMNS: Tuple[str, ...] = ("addressing", "dhcp4", "ra6", "dns", "he", "census")
+
+#: Every column a :class:`FleetState` holds, in canonical layout order —
+#: the order the shared-memory transport lays columns out in an arena.
+ALL_COLUMNS: Tuple[str, ...] = ("profile",) + OUTCOME_COLUMNS
 
 
 def make_translation_table(codes: Mapping[int, int]) -> bytes:
@@ -164,6 +169,69 @@ class FleetState:
                 raise ValueError(f"table for {column!r} has {len(table)} entries, not 256")
             setattr(self, column, bytearray(profile.translate(table)))
 
+    # -- column transport ----------------------------------------------------
+    #
+    # The parallel fleet path moves whole columns between processes —
+    # pickled (export/import) or through externally-owned shared-memory
+    # buffers (write_into/from_buffers).  All four are straight C-level
+    # copies in canonical ALL_COLUMNS order; none ever iterates devices.
+
+    def export_columns(self) -> Dict[str, bytes]:
+        """Immutable snapshot of every column, keyed by name.
+
+        The pickle transport's bulk payload: ~``bytes_per_device`` bytes
+        per device cross the pipe when a worker returns this.
+        """
+        return {name: bytes(self.column(name)) for name in ALL_COLUMNS}
+
+    def import_range(self, start: int, stop: int, columns: Mapping[str, bytes]) -> None:
+        """Copy exported columns for devices ``[start, stop)`` into place."""
+        if not 0 <= start <= stop <= self.size:
+            raise ValueError(f"range ({start}, {stop}) outside fleet of {self.size}")
+        for name in ALL_COLUMNS:
+            data = columns[name]
+            if len(data) != stop - start:
+                raise ValueError(
+                    f"column {name!r} carries {len(data)} bytes for a "
+                    f"{stop - start}-device range"
+                )
+            self.column(name)[start:stop] = data
+
+    def write_into(self, buffers: Mapping[str, memoryview]) -> None:
+        """Copy every column into externally-owned writable buffers.
+
+        ``buffers`` maps column name → a ``memoryview`` of exactly
+        ``size`` bytes (a shared-memory arena window, typically); each
+        column lands with one slice assignment.
+        """
+        for name in ALL_COLUMNS:
+            target = buffers[name]
+            if len(target) != self.size:
+                raise ValueError(
+                    f"buffer for column {name!r} holds {len(target)} bytes, "
+                    f"fleet needs {self.size}"
+                )
+            target[:] = self.column(name)
+
+    @classmethod
+    def from_buffers(cls, size: int, buffers: Mapping[str, memoryview]) -> "FleetState":
+        """Rebuild a fleet by copying columns out of external buffers.
+
+        The read-back half of the shared-memory transport: the parent
+        materializes the merged population from arena views with one
+        C-level copy per column.
+        """
+        state = cls(size)
+        for name in ALL_COLUMNS:
+            data = buffers[name]
+            if len(data) != size:
+                raise ValueError(
+                    f"buffer for column {name!r} holds {len(data)} bytes, "
+                    f"fleet needs {size}"
+                )
+            setattr(state, name, bytearray(data))
+        return state
+
     # -- aggregation ---------------------------------------------------------
 
     def column(self, name: str) -> bytearray:
@@ -202,7 +270,7 @@ class FleetState:
         """Column bytes per device — the flyweight's whole footprint."""
         if self.size == 0:
             return 0.0
-        total = sum(len(self.column(name)) for name in ("profile",) + OUTCOME_COLUMNS)
+        total = sum(len(self.column(name)) for name in ALL_COLUMNS)
         return total / self.size
 
     def __len__(self) -> int:

@@ -1,0 +1,9 @@
+# repro-lint-module: repro.analysis.fixture
+"""RL404 positive: raw shared-memory handling outside repro.parallel.shm."""
+from multiprocessing import shared_memory
+
+
+def stash_columns(name: str, data: bytes) -> None:
+    segment = shared_memory.SharedMemory(name=name)
+    segment.buf[0 : len(data)] = data  # unbounded store, no commit stamp
+    segment.close()

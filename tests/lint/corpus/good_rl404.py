@@ -1,0 +1,9 @@
+# repro-lint-module: repro.analysis.fixture
+"""RL404 negative: arena writes flow through the WindowWriter API."""
+from repro.parallel.shm import ArenaWindow, open_window
+
+
+def stash_columns(window: ArenaWindow, data: bytes) -> int:
+    with open_window(window) as writer:
+        writer.write("profile", data)
+        return writer.commit()

@@ -97,6 +97,20 @@ class TestResolveJobs:
         monkeypatch.setenv(JOBS_ENV_VAR, "lots")
         assert resolve_jobs(None) == 1
 
+    def test_invalid_env_warns_on_stderr(self, monkeypatch, capsys):
+        # A typo'd REPRO_JOBS silently running serial would be
+        # indistinguishable from a slow machine — it must say so once.
+        monkeypatch.setenv(JOBS_ENV_VAR, "four")
+        assert resolve_jobs(None) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "ignoring invalid REPRO_JOBS='four'" in captured.err
+
+    def test_valid_env_is_silent(self, monkeypatch, capsys):
+        monkeypatch.setenv(JOBS_ENV_VAR, "2")
+        assert resolve_jobs(None) == 2
+        assert capsys.readouterr().err == ""
+
     def test_zero_means_all_cores(self):
         assert resolve_jobs(0) == (os.cpu_count() or 1)
         assert resolve_jobs(-1) == (os.cpu_count() or 1)
